@@ -1,0 +1,70 @@
+//! Criterion micro-benches for the ball carvers (Table 2 algorithms).
+//!
+//! Wall-clock of the *simulation* (not the simulated rounds — those are
+//! in the table binaries). Keeps sizes small so `cargo bench` finishes
+//! quickly; scale with `SDND_N`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sdnd_baselines::{Mpx13, SequentialGreedy};
+use sdnd_clustering::{StrongCarver, WeakCarver};
+use sdnd_congest::RoundLedger;
+use sdnd_core::{Params, Theorem22Carver, Theorem33Carver};
+use sdnd_graph::{gen, NodeSet};
+use sdnd_weak::{Ls93, Rg20};
+
+fn bench_carvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("carve");
+    group.sample_size(10);
+    for side in [8usize, 12] {
+        let g = gen::grid(side, side);
+        let alive = NodeSet::full(g.n());
+        let n = g.n();
+
+        group.bench_with_input(BenchmarkId::new("rg20-weak", n), &g, |b, g| {
+            b.iter(|| {
+                let mut l = RoundLedger::new();
+                Rg20::rg20().carve_weak(g, &alive, 0.5, &mut l)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("ggr21-weak", n), &g, |b, g| {
+            b.iter(|| {
+                let mut l = RoundLedger::new();
+                Rg20::ggr21().carve_weak(g, &alive, 0.5, &mut l)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("ls93-weak", n), &g, |b, g| {
+            b.iter(|| {
+                let mut l = RoundLedger::new();
+                Ls93::new(7).carve_weak(g, &alive, 0.5, &mut l)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("mpx13-strong", n), &g, |b, g| {
+            b.iter(|| {
+                let mut l = RoundLedger::new();
+                Mpx13::new(7).carve_strong(g, &alive, 0.5, &mut l)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("cg21-thm2.2-strong", n), &g, |b, g| {
+            b.iter(|| {
+                let mut l = RoundLedger::new();
+                Theorem22Carver::new(Params::default()).carve_strong(g, &alive, 0.5, &mut l)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("cg21-thm3.3-strong", n), &g, |b, g| {
+            b.iter(|| {
+                let mut l = RoundLedger::new();
+                Theorem33Carver::new(Params::default()).carve_strong(g, &alive, 0.5, &mut l)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("ls93-sequential-strong", n), &g, |b, g| {
+            b.iter(|| {
+                let mut l = RoundLedger::new();
+                SequentialGreedy::new().carve_strong(g, &alive, 0.5, &mut l)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_carvers);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion micro-benches for the CONGEST simulator primitives: fast
+//! path vs message-passing kernel, quantifying what the dual-level
+//! design buys.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sdnd_congest::{primitives, CostModel, Engine, RoundLedger};
+use sdnd_graph::{gen, NodeId};
+
+fn bench_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("primitives");
+    for side in [16usize, 32] {
+        let g = gen::grid(side, side);
+        let n = g.n();
+        let view = g.full_view();
+
+        group.bench_with_input(BenchmarkId::new("bfs-fast", n), &g, |b, _| {
+            b.iter(|| {
+                let mut l = RoundLedger::new();
+                primitives::bfs(&view, [NodeId::new(0)], u32::MAX, &mut l)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("bfs-kernel", n), &g, |b, _| {
+            let kernel = primitives::BfsKernel::new(&view, [NodeId::new(0)], u32::MAX);
+            let engine = Engine::new(CostModel::congest_for(n));
+            b.iter(|| engine.run(&view, &kernel).expect("kernel BFS runs"))
+        });
+        group.bench_with_input(BenchmarkId::new("layer-census-fast", n), &g, |b, _| {
+            b.iter(|| {
+                let mut l = RoundLedger::new();
+                primitives::layer_census(&view, NodeId::new(0), u32::MAX, &mut l)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("leader-election", n), &g, |b, _| {
+            b.iter(|| {
+                let mut l = RoundLedger::new();
+                primitives::elect_leader(&view, &mut l)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_primitives);
+criterion_main!(benches);

@@ -1,0 +1,153 @@
+//! Experiment E3 — round-complexity scaling against the theorem
+//! formulae.
+//!
+//! Sweeps `n` (at fixed `eps`) and `eps` (at fixed `n`) for the paper's
+//! own algorithms and fits the polylog exponent `k` in
+//! `rounds ~ (log n)^k` by regressing `ln rounds` on `ln ln n`. The
+//! paper's statements put Thm 2.2 at `log^7`, Thm 2.3 at `log^8`,
+//! Thm 3.3 at `log^10`, Thm 3.4 at `log^11` — worst-case bounds; the
+//! measured exponents land well below, but the orderings
+//! (2.2 < 2.3 < 3.3 < 3.4) and the `1/eps^2` trend must hold. The
+//! sequential baseline is included to show a *non*-polylog row: its
+//! fitted exponent keeps growing with `n` (linear rounds).
+//!
+//! Usage: `cargo run --release -p sdnd-bench --bin scaling`
+
+use sdnd_baselines::SequentialGreedy;
+use sdnd_bench::{env_seed, env_usize, ls_slope, Table};
+use sdnd_clustering::{decompose_with_strong_carver, StrongCarver};
+use sdnd_congest::RoundLedger;
+use sdnd_core::{Params, Theorem22Carver, Theorem33Carver};
+use sdnd_graph::{gen, Graph, NodeSet};
+
+fn rounds_of<F: FnOnce(&mut RoundLedger)>(f: F) -> u64 {
+    let mut ledger = RoundLedger::new();
+    f(&mut ledger);
+    ledger.rounds()
+}
+
+fn main() {
+    let seed = env_seed();
+    let n_max = env_usize("SDND_N", 1024);
+    let params = Params::default();
+
+    // --- Sweep n at eps = 1/2 (grids: deterministic, structured). ---
+    let mut ns: Vec<usize> = vec![64, 144, 256, 484];
+    if n_max >= 1024 {
+        ns.push(1024);
+    }
+    let mut table = Table::new(["algorithm", "n", "rounds", "rounds/dominant-term"]);
+    let mut series: Vec<(&str, Vec<f64>, Vec<f64>)> = Vec::new();
+
+    let algorithms: Vec<(&str, Box<dyn Fn(&Graph, &mut RoundLedger) -> u64>)> = vec![
+        ("cg21-thm2.2-carve", {
+            let p = params.clone();
+            Box::new(move |g: &Graph, l: &mut RoundLedger| {
+                let c = Theorem22Carver::new(p.clone());
+                let _ = c.carve_strong(g, &NodeSet::full(g.n()), 0.5, l);
+                l.rounds()
+            })
+        }),
+        ("cg21-thm2.3-decompose", {
+            let p = params.clone();
+            Box::new(move |g: &Graph, l: &mut RoundLedger| {
+                let _ = sdnd_core::decompose_strong_with(g, &p, l);
+                l.rounds()
+            })
+        }),
+        ("cg21-thm3.3-carve", {
+            let p = params.clone();
+            Box::new(move |g: &Graph, l: &mut RoundLedger| {
+                let c = Theorem33Carver::new(p.clone());
+                let _ = c.carve_strong(g, &NodeSet::full(g.n()), 0.5, l);
+                l.rounds()
+            })
+        }),
+        ("cg21-thm3.4-decompose", {
+            let p = params.clone();
+            Box::new(move |g: &Graph, l: &mut RoundLedger| {
+                let _ = sdnd_core::decompose_strong_improved_with(g, &p, l);
+                l.rounds()
+            })
+        }),
+        (
+            "ls93-sequential-decompose",
+            Box::new(move |g: &Graph, l: &mut RoundLedger| {
+                let c = SequentialGreedy::new();
+                let _ = decompose_with_strong_carver(g, &c, 0.5, l);
+                l.rounds()
+            }),
+        ),
+    ];
+
+    println!("# Scaling in n (grids, eps = 1/2)\n");
+    for (name, run) in &algorithms {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for &n in &ns {
+            let side = (n as f64).sqrt().round() as usize;
+            let g = gen::grid(side, side);
+            let rounds = rounds_of(|l| {
+                run(&g, l);
+            });
+            let logn = (g.n() as f64).ln();
+            table.row([
+                name.to_string(),
+                g.n().to_string(),
+                rounds.to_string(),
+                format!("{:.2}", rounds as f64 / logn.powi(3)),
+            ]);
+            xs.push(logn.ln());
+            ys.push((rounds.max(1) as f64).ln());
+            eprintln!("{name} n={} rounds={rounds}", g.n());
+        }
+        series.push((name, xs, ys));
+    }
+    println!("{}", table.to_markdown());
+
+    let mut fit = Table::new(["algorithm", "fitted polylog exponent k (rounds ~ log^k n)"]);
+    for (name, xs, ys) in &series {
+        fit.row([name.to_string(), format!("{:.2}", ls_slope(xs, ys))]);
+    }
+    println!("\n## Polylog exponent fits\n\n{}", fit.to_markdown());
+    println!(
+        "(paper worst-case exponents: thm2.2 = 7, thm2.3 = 8, thm3.3 = 10, thm3.4 = 11;\n\
+         the sequential baseline is *not* polylog — its fit degrades as n grows)"
+    );
+
+    // --- Sweep eps at fixed n. ---
+    let side = 16;
+    let g = gen::grid(side, side);
+    let mut eps_table = Table::new(["algorithm", "eps", "rounds", "rounds*eps^2"]);
+    for eps in [0.5, 0.25, 0.125] {
+        let p = params.clone();
+        let r22 = rounds_of(|l| {
+            let c = Theorem22Carver::new(p.clone());
+            let _ = c.carve_strong(&g, &NodeSet::full(g.n()), eps, l);
+        });
+        eps_table.row([
+            "cg21-thm2.2-carve".to_string(),
+            format!("{eps}"),
+            r22.to_string(),
+            format!("{:.1}", r22 as f64 * eps * eps),
+        ]);
+        let r33 = rounds_of(|l| {
+            let c = Theorem33Carver::new(p.clone());
+            let _ = c.carve_strong(&g, &NodeSet::full(g.n()), eps, l);
+        });
+        eps_table.row([
+            "cg21-thm3.3-carve".to_string(),
+            format!("{eps}"),
+            r33.to_string(),
+            format!("{:.1}", r33 as f64 * eps * eps),
+        ]);
+    }
+    println!(
+        "\n# Scaling in eps (grid {side}x{side})\n\n{}",
+        eps_table.to_markdown()
+    );
+
+    let _ = table.write_csv("scaling_n.csv");
+    let _ = eps_table.write_csv("scaling_eps.csv");
+    let _ = seed; // reserved for future randomized rows
+}

@@ -1,0 +1,503 @@
+//! Experiment harness for the SDND reproduction.
+//!
+//! The paper's evaluation artifacts are **Table 1** (network
+//! decomposition in CONGEST) and **Table 2** (ball carving in CONGEST),
+//! plus the Section 3 barrier construction. The binaries in `src/bin/`
+//! regenerate each of them empirically; this library provides the shared
+//! machinery: the graph suite, the algorithm registries, measurement
+//! records, and table/CSV emitters.
+//!
+//! Environment knobs:
+//!
+//! - `SDND_N` — target node count for the table binaries (default 256).
+//! - `SDND_SEED` — base RNG seed (default 42).
+//! - `SDND_OUT` — directory for CSV exports (default `bench_out/`).
+
+#![forbid(unsafe_code)]
+
+use sdnd_baselines::{Abcp96, Mpx13, SequentialGreedy};
+use sdnd_clustering::{
+    decompose_with_strong_carver, decompose_with_weak_carver, metrics, NetworkDecomposition,
+    StrongCarver, WeakCarver,
+};
+use sdnd_congest::{CostModel, RoundLedger};
+use sdnd_core::{Params, Theorem22Carver, Theorem33Carver};
+use sdnd_graph::{gen, Graph, NodeSet};
+use sdnd_weak::{Ls93, Rg20};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// Reads an environment knob with a default.
+pub fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Base seed for randomized algorithms.
+pub fn env_seed() -> u64 {
+    env_usize("SDND_SEED", 42) as u64
+}
+
+/// Output directory for CSV exports.
+pub fn out_dir() -> PathBuf {
+    let dir = std::env::var("SDND_OUT").unwrap_or_else(|_| "bench_out".to_string());
+    let path = PathBuf::from(dir);
+    let _ = std::fs::create_dir_all(&path);
+    path
+}
+
+/// The graph families every experiment runs on.
+///
+/// Each generator aims for roughly `n_target` nodes.
+pub fn graph_suite(n_target: usize, seed: u64) -> Vec<(String, Graph)> {
+    let side = (n_target as f64).sqrt().round().max(2.0) as usize;
+    let mut suite = vec![
+        (format!("grid-{side}x{side}"), gen::grid(side, side)),
+        (format!("cycle-{n_target}"), gen::cycle(n_target)),
+        (format!("tree-{n_target}"), gen::random_tree(n_target, seed)),
+        (
+            format!("gnp-{n_target}"),
+            gen::gnp_connected(n_target, 6.0 / n_target.max(7) as f64, seed),
+        ),
+    ];
+    if let Ok(g) = gen::random_regular_connected(n_target - n_target % 2, 4, seed) {
+        suite.push((format!("expander-{}", g.n()), g));
+    }
+    suite
+}
+
+/// One measured row of a reproduction table.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Algorithm name.
+    pub algorithm: String,
+    /// `det` or `rand`.
+    pub model: String,
+    /// `strong` or `weak` guarantee class.
+    pub class: String,
+    /// Colors used (decompositions only).
+    pub colors: Option<u32>,
+    /// Max exact strong diameter (`None` when a cluster is internally
+    /// disconnected, as weak-diameter outputs allow).
+    pub strong_diameter: Option<u32>,
+    /// Max exact weak diameter.
+    pub weak_diameter: Option<u32>,
+    /// Fraction of input nodes removed (carvings only).
+    pub dead_fraction: Option<f64>,
+    /// Simulated round count.
+    pub rounds: u64,
+    /// Largest single message, in bits.
+    pub max_message_bits: u32,
+    /// Whether every message fit the CONGEST budget for this `n`.
+    pub congest_ok: bool,
+}
+
+impl Measurement {
+    fn from_decomposition(
+        name: &str,
+        model: &str,
+        class: &str,
+        g: &Graph,
+        d: &NetworkDecomposition,
+        ledger: &RoundLedger,
+    ) -> Measurement {
+        let q = metrics::decomposition_quality(g, d);
+        let cost = CostModel::congest_for(g.n());
+        Measurement {
+            algorithm: name.to_string(),
+            model: model.to_string(),
+            class: class.to_string(),
+            colors: Some(q.colors),
+            strong_diameter: q.max_strong_diameter,
+            weak_diameter: q.max_weak_diameter,
+            dead_fraction: None,
+            rounds: ledger.rounds(),
+            max_message_bits: ledger.max_message_bits(),
+            congest_ok: ledger.complies_with(&cost),
+        }
+    }
+
+    fn from_carving(
+        name: &str,
+        model: &str,
+        class: &str,
+        g: &Graph,
+        c: &sdnd_clustering::BallCarving,
+        ledger: &RoundLedger,
+    ) -> Measurement {
+        let q = metrics::carving_quality(g, c);
+        let cost = CostModel::congest_for(g.n());
+        Measurement {
+            algorithm: name.to_string(),
+            model: model.to_string(),
+            class: class.to_string(),
+            colors: None,
+            strong_diameter: q.max_strong_diameter,
+            weak_diameter: q.max_weak_diameter,
+            dead_fraction: Some(q.dead_fraction),
+            rounds: ledger.rounds(),
+            max_message_bits: ledger.max_message_bits(),
+            congest_ok: ledger.complies_with(&cost),
+        }
+    }
+}
+
+/// Runs every Table 1 algorithm (network decomposition) on `g`.
+pub fn run_table1_row_set(g: &Graph, seed: u64) -> Vec<Measurement> {
+    let params = Params::default();
+    let mut rows = Vec::new();
+
+    // Weak-diameter rows.
+    {
+        let mut ledger = RoundLedger::new();
+        let carver = Ls93::new(seed);
+        let d = decompose_with_weak_carver(g, &carver, 0.5, &mut ledger);
+        rows.push(Measurement::from_decomposition(
+            "ls93", "rand", "weak", g, &d, &ledger,
+        ));
+    }
+    for (name, carver) in [("rg20", Rg20::rg20()), ("ggr21", Rg20::ggr21())] {
+        let mut ledger = RoundLedger::new();
+        let d = decompose_with_weak_carver(g, &carver, 0.5, &mut ledger);
+        rows.push(Measurement::from_decomposition(
+            name, "det", "weak", g, &d, &ledger,
+        ));
+    }
+
+    // Strong-diameter rows.
+    {
+        let mut ledger = RoundLedger::new();
+        let d = sdnd_baselines::en16_decomposition(g, seed, &mut ledger);
+        rows.push(Measurement::from_decomposition(
+            "mpx13/en16",
+            "rand",
+            "strong",
+            g,
+            &d,
+            &ledger,
+        ));
+    }
+    {
+        let mut ledger = RoundLedger::new();
+        let carver = SequentialGreedy::new();
+        let d = decompose_with_strong_carver(g, &carver, 0.5, &mut ledger);
+        rows.push(Measurement::from_decomposition(
+            "ls93-sequential",
+            "det*",
+            "strong",
+            g,
+            &d,
+            &ledger,
+        ));
+    }
+    {
+        let mut ledger = RoundLedger::new();
+        let carver = Abcp96::new();
+        let d = decompose_with_strong_carver(g, &carver, 0.5, &mut ledger);
+        rows.push(Measurement::from_decomposition(
+            "abcp96-local",
+            "det",
+            "strong",
+            g,
+            &d,
+            &ledger,
+        ));
+    }
+    {
+        let mut ledger = RoundLedger::new();
+        let d = sdnd_core::decompose_strong_with(g, &params, &mut ledger);
+        rows.push(Measurement::from_decomposition(
+            "cg21-thm2.3",
+            "det",
+            "strong",
+            g,
+            &d,
+            &ledger,
+        ));
+    }
+    {
+        let mut ledger = RoundLedger::new();
+        let d = sdnd_core::decompose_strong_improved_with(g, &params, &mut ledger);
+        rows.push(Measurement::from_decomposition(
+            "cg21-thm3.4",
+            "det",
+            "strong",
+            g,
+            &d,
+            &ledger,
+        ));
+    }
+    rows
+}
+
+/// Runs every Table 2 algorithm (ball carving) on `g` at `eps`.
+pub fn run_table2_row_set(g: &Graph, eps: f64, seed: u64) -> Vec<Measurement> {
+    let params = Params::default();
+    let alive = NodeSet::full(g.n());
+    let mut rows = Vec::new();
+
+    // Weak carvings.
+    {
+        let mut ledger = RoundLedger::new();
+        let wc = Ls93::new(seed).carve_weak(g, &alive, eps, &mut ledger);
+        rows.push(Measurement::from_carving(
+            "ls93",
+            "rand",
+            "weak",
+            g,
+            wc.carving(),
+            &ledger,
+        ));
+    }
+    for (name, carver) in [("rg20", Rg20::rg20()), ("ggr21", Rg20::ggr21())] {
+        let mut ledger = RoundLedger::new();
+        let wc = carver.carve_weak(g, &alive, eps, &mut ledger);
+        rows.push(Measurement::from_carving(
+            name,
+            "det",
+            "weak",
+            g,
+            wc.carving(),
+            &ledger,
+        ));
+    }
+
+    // Strong carvings.
+    let strong: Vec<(&str, &str, Box<dyn StrongCarver>)> = vec![
+        ("mpx13", "rand", Box::new(Mpx13::new(seed))),
+        ("ls93-sequential", "det*", Box::new(SequentialGreedy::new())),
+        ("abcp96-local", "det", Box::new(Abcp96::new())),
+        (
+            "cg21-thm2.2",
+            "det",
+            Box::new(Theorem22Carver::new(params.clone())),
+        ),
+        (
+            "cg21-thm3.3",
+            "det",
+            Box::new(Theorem33Carver::new(params.clone())),
+        ),
+    ];
+    for (name, model, carver) in strong {
+        let mut ledger = RoundLedger::new();
+        let c = carver.carve_strong(g, &alive, eps, &mut ledger);
+        rows.push(Measurement::from_carving(
+            name, model, "strong", g, &c, &ledger,
+        ));
+    }
+    rows
+}
+
+/// A printable experiment table with CSV export.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<I: IntoIterator<Item = S>, S: Into<String>>(headers: I) -> Table {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (stringified cells).
+    pub fn row<I: IntoIterator<Item = S>, S: Into<String>>(&mut self, cells: I) {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(row);
+    }
+
+    /// Renders GitHub-flavored markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            let mut line = String::from("|");
+            for (c, w) in cells.iter().zip(widths) {
+                let _ = write!(line, " {c:<w$} |");
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        let mut sep = String::from("|");
+        for w in &widths {
+            let _ = write!(sep, "{}|", "-".repeat(w + 2));
+        }
+        out.push_str(&sep);
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the table as CSV into the output directory.
+    pub fn write_csv(&self, filename: &str) -> std::io::Result<PathBuf> {
+        let path = out_dir().join(filename);
+        let mut s = String::new();
+        let escape = |c: &String| {
+            if c.contains(',') || c.contains('"') {
+                format!("\"{}\"", c.replace('"', "\"\""))
+            } else {
+                c.clone()
+            }
+        };
+        s.push_str(
+            &self
+                .headers
+                .iter()
+                .map(escape)
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        s.push('\n');
+        for row in &self.rows {
+            s.push_str(&row.iter().map(escape).collect::<Vec<_>>().join(","));
+            s.push('\n');
+        }
+        std::fs::write(&path, s)?;
+        Ok(path)
+    }
+}
+
+/// Formats an optional value with a dash fallback.
+pub fn opt<T: std::fmt::Display>(v: Option<T>) -> String {
+    v.map(|x| x.to_string()).unwrap_or_else(|| "—".to_string())
+}
+
+/// Formats a fraction to three decimals.
+pub fn frac(v: Option<f64>) -> String {
+    v.map(|x| format!("{x:.3}"))
+        .unwrap_or_else(|| "—".to_string())
+}
+
+/// Least-squares slope of `y` against `x` (used for the polylog-exponent
+/// fits in the scaling experiment: regress `ln rounds` on `ln ln n`).
+pub fn ls_slope(xs: &[f64], ys: &[f64]) -> f64 {
+    let n = xs.len() as f64;
+    let sx: f64 = xs.iter().sum();
+    let sy: f64 = ys.iter().sum();
+    let sxx: f64 = xs.iter().map(|x| x * x).sum();
+    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| x * y).sum();
+    (n * sxy - sx * sy) / (n * sxx - sx * sx)
+}
+
+/// Appends the standard measurement columns to a table.
+pub fn push_measurement(table: &mut Table, graph: &str, n: usize, m: &Measurement) {
+    table.row([
+        graph.to_string(),
+        n.to_string(),
+        m.algorithm.clone(),
+        m.model.clone(),
+        m.class.clone(),
+        opt(m.colors),
+        opt(m.strong_diameter),
+        opt(m.weak_diameter),
+        frac(m.dead_fraction),
+        m.rounds.to_string(),
+        m.max_message_bits.to_string(),
+        if m.congest_ok {
+            "yes".into()
+        } else {
+            "NO".into()
+        },
+    ]);
+}
+
+/// The standard measurement column headers matching
+/// [`push_measurement`].
+pub fn measurement_headers() -> Vec<&'static str> {
+    vec![
+        "graph",
+        "n",
+        "algorithm",
+        "model",
+        "class",
+        "colors",
+        "strongD",
+        "weakD",
+        "dead",
+        "rounds",
+        "maxMsgBits",
+        "congest",
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_markdown_and_csv() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["1", "x,y"]);
+        let md = t.to_markdown();
+        assert!(md.contains("| a"));
+        assert!(md.lines().count() == 3);
+        let path = t.write_csv("test_table.csv").unwrap();
+        let content = std::fs::read_to_string(path).unwrap();
+        assert!(content.contains("\"x,y\""));
+    }
+
+    #[test]
+    fn slope_of_linear_data() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.0, 4.0, 6.0, 8.0];
+        assert!((ls_slope(&xs, &ys) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn suite_generates_connected_graphs() {
+        for (name, g) in graph_suite(64, 1) {
+            assert!(g.n() >= 32, "{name} too small");
+            assert!(
+                sdnd_graph::algo::is_connected(&g.full_view()),
+                "{name} disconnected"
+            );
+        }
+    }
+
+    #[test]
+    fn table2_rows_on_tiny_graph() {
+        let g = sdnd_graph::gen::grid(5, 5);
+        let rows = run_table2_row_set(&g, 0.5, 7);
+        assert_eq!(rows.len(), 8);
+        // Every strong row with connected clusters reports a diameter.
+        for r in &rows {
+            if r.class == "strong" {
+                assert!(
+                    r.strong_diameter.is_some(),
+                    "{} lost connectivity",
+                    r.algorithm
+                );
+            }
+            if r.algorithm != "abcp96-local" && r.algorithm != "ls93-sequential" {
+                assert!(r.congest_ok, "{} broke CONGEST", r.algorithm);
+            }
+        }
+    }
+
+    #[test]
+    fn table1_rows_on_tiny_graph() {
+        let g = sdnd_graph::gen::grid(5, 5);
+        let rows = run_table1_row_set(&g, 7);
+        assert_eq!(rows.len(), 8);
+        for r in &rows {
+            assert!(r.colors.is_some());
+            assert!(r.rounds > 0, "{} charged no rounds", r.algorithm);
+        }
+    }
+}

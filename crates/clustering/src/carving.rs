@@ -1,0 +1,241 @@
+//! Ball carvings: partial clusterings with a dead remainder.
+
+use crate::{ClusteringError, SteinerForest};
+use sdnd_graph::{NodeId, NodeSet};
+use serde::{Deserialize, Serialize};
+
+/// A (strong- or weak-diameter) ball carving of an alive set.
+///
+/// The clusters are disjoint subsets of the input set; input nodes in no
+/// cluster are **dead** (the `eps` fraction the algorithms are allowed to
+/// remove). Diameter and non-adjacency guarantees are *properties* of a
+/// carving, checked by [`validate_carving`](crate::validate_carving) —
+/// the type itself only enforces the partition structure.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BallCarving {
+    universe: usize,
+    input: NodeSet,
+    clusters: Vec<Vec<NodeId>>,
+    cluster_of: Vec<u32>,
+    dead: NodeSet,
+}
+
+/// Internal marker: node not assigned to any cluster.
+const UNASSIGNED: u32 = u32::MAX;
+
+impl BallCarving {
+    /// Assembles a carving of `input` from a cluster list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusteringError`] if clusters overlap, contain
+    /// non-input nodes, or are empty.
+    pub fn new(input: NodeSet, clusters: Vec<Vec<NodeId>>) -> Result<BallCarving, ClusteringError> {
+        let universe = input.universe();
+        let mut cluster_of = vec![UNASSIGNED; universe];
+        for (i, c) in clusters.iter().enumerate() {
+            if c.is_empty() {
+                return Err(ClusteringError::EmptyCluster);
+            }
+            for &v in c {
+                if !input.contains(v) {
+                    return Err(ClusteringError::OutsideInput { node: v });
+                }
+                if cluster_of[v.index()] != UNASSIGNED {
+                    return Err(ClusteringError::Overlap { node: v });
+                }
+                cluster_of[v.index()] = i as u32;
+            }
+        }
+        let mut dead = input.clone();
+        for c in &clusters {
+            for &v in c {
+                dead.remove(v);
+            }
+        }
+        Ok(BallCarving {
+            universe,
+            input,
+            clusters,
+            cluster_of,
+            dead,
+        })
+    }
+
+    /// The index space size.
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// The alive set the carving was computed on.
+    pub fn input(&self) -> &NodeSet {
+        &self.input
+    }
+
+    /// The clusters, indexed by cluster id.
+    pub fn clusters(&self) -> &[Vec<NodeId>] {
+        &self.clusters
+    }
+
+    /// Number of clusters.
+    pub fn num_clusters(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Cluster id of `v`, or `None` if dead / outside the input.
+    pub fn cluster_of(&self, v: NodeId) -> Option<usize> {
+        match self.cluster_of[v.index()] {
+            UNASSIGNED => None,
+            c => Some(c as usize),
+        }
+    }
+
+    /// The dead nodes (input nodes in no cluster).
+    pub fn dead(&self) -> &NodeSet {
+        &self.dead
+    }
+
+    /// Fraction of input nodes that are dead (0 for empty input).
+    pub fn dead_fraction(&self) -> f64 {
+        if self.input.is_empty() {
+            0.0
+        } else {
+            self.dead.len() as f64 / self.input.len() as f64
+        }
+    }
+
+    /// Number of clustered nodes.
+    pub fn clustered_count(&self) -> usize {
+        self.input.len() - self.dead.len()
+    }
+
+    /// All clustered nodes as a [`NodeSet`].
+    pub fn clustered_set(&self) -> NodeSet {
+        let mut s = self.input.clone();
+        s.subtract(&self.dead);
+        s
+    }
+
+    /// Size of the largest cluster (0 if none).
+    pub fn max_cluster_size(&self) -> usize {
+        self.clusters.iter().map(Vec::len).max().unwrap_or(0)
+    }
+}
+
+/// A weak-diameter ball carving: a [`BallCarving`] whose clusters carry
+/// Steiner trees — the Theorem 2.1 black-box interface.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WeakCarving {
+    carving: BallCarving,
+    forest: SteinerForest,
+}
+
+impl WeakCarving {
+    /// Pairs a carving with its Steiner forest (one tree per cluster,
+    /// aligned by index).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusteringError::ForestSizeMismatch`] if the counts
+    /// differ.
+    pub fn new(carving: BallCarving, forest: SteinerForest) -> Result<Self, ClusteringError> {
+        if carving.num_clusters() != forest.len() {
+            return Err(ClusteringError::ForestSizeMismatch {
+                trees: forest.len(),
+                clusters: carving.num_clusters(),
+            });
+        }
+        Ok(WeakCarving { carving, forest })
+    }
+
+    /// The underlying carving.
+    pub fn carving(&self) -> &BallCarving {
+        &self.carving
+    }
+
+    /// The Steiner forest (tree `i` serves cluster `i`).
+    pub fn forest(&self) -> &SteinerForest {
+        &self.forest
+    }
+
+    /// Splits into carving and forest.
+    pub fn into_parts(self) -> (BallCarving, SteinerForest) {
+        (self.carving, self.forest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SteinerTree;
+
+    fn v(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn input(n: usize) -> NodeSet {
+        NodeSet::full(n)
+    }
+
+    #[test]
+    fn partition_accounting() {
+        let c = BallCarving::new(input(6), vec![vec![v(0), v(1)], vec![v(3)]]).unwrap();
+        assert_eq!(c.num_clusters(), 2);
+        assert_eq!(c.cluster_of(v(1)), Some(0));
+        assert_eq!(c.cluster_of(v(3)), Some(1));
+        assert_eq!(c.cluster_of(v(2)), None);
+        assert_eq!(c.dead().len(), 3);
+        assert!((c.dead_fraction() - 0.5).abs() < 1e-9);
+        assert_eq!(c.clustered_count(), 3);
+        assert_eq!(c.max_cluster_size(), 2);
+    }
+
+    #[test]
+    fn rejects_overlap() {
+        let err = BallCarving::new(input(4), vec![vec![v(0), v(1)], vec![v(1)]]).unwrap_err();
+        assert_eq!(err, ClusteringError::Overlap { node: v(1) });
+    }
+
+    #[test]
+    fn rejects_outside_input() {
+        let mut inp = NodeSet::empty(4);
+        inp.insert(v(0));
+        let err = BallCarving::new(inp, vec![vec![v(0), v(2)]]).unwrap_err();
+        assert_eq!(err, ClusteringError::OutsideInput { node: v(2) });
+    }
+
+    #[test]
+    fn rejects_empty_cluster() {
+        let err = BallCarving::new(input(3), vec![vec![]]).unwrap_err();
+        assert_eq!(err, ClusteringError::EmptyCluster);
+    }
+
+    #[test]
+    fn empty_input_all_fine() {
+        let c = BallCarving::new(NodeSet::empty(5), vec![]).unwrap();
+        assert_eq!(c.dead_fraction(), 0.0);
+        assert_eq!(c.num_clusters(), 0);
+    }
+
+    #[test]
+    fn weak_carving_pairs_forest() {
+        let c = BallCarving::new(input(4), vec![vec![v(0), v(1)]]).unwrap();
+        let f =
+            SteinerForest::from_trees(vec![SteinerTree::from_parents(v(0), vec![(v(1), v(0))])]);
+        let w = WeakCarving::new(c.clone(), f).unwrap();
+        assert_eq!(w.carving().num_clusters(), 1);
+        assert_eq!(w.forest().len(), 1);
+
+        let err = WeakCarving::new(c, SteinerForest::new()).unwrap_err();
+        assert!(matches!(err, ClusteringError::ForestSizeMismatch { .. }));
+    }
+
+    #[test]
+    fn clustered_set_complements_dead() {
+        let c = BallCarving::new(input(5), vec![vec![v(4), v(0)]]).unwrap();
+        let s = c.clustered_set();
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(v(0)) && s.contains(v(4)));
+        assert!(s.is_disjoint(c.dead()));
+    }
+}

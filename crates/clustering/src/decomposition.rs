@@ -1,0 +1,190 @@
+//! Colored network decompositions.
+
+use crate::ClusteringError;
+use sdnd_graph::{NodeId, NodeSet};
+use serde::{Deserialize, Serialize};
+
+/// Dense identifier of a cluster within a decomposition.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ClusterId(pub u32);
+
+/// A `(C, D)` network decomposition: a partition of the node set into
+/// clusters, each carrying a color in `0..C`, such that clusters sharing
+/// an edge have different colors (validated by
+/// [`validate_decomposition`](crate::validate_decomposition)) and each
+/// cluster has diameter at most `D` (strong or weak, depending on the
+/// producing algorithm).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetworkDecomposition {
+    universe: usize,
+    clusters: Vec<Vec<NodeId>>,
+    color: Vec<u32>,
+    cluster_of: Vec<u32>,
+    num_colors: u32,
+}
+
+impl NetworkDecomposition {
+    /// Assembles a decomposition of `cover` (usually all of `0..n`) from
+    /// `(members, color)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusteringError`] if clusters overlap, are empty, or do
+    /// not exactly cover `cover`.
+    pub fn new(
+        cover: &NodeSet,
+        colored_clusters: Vec<(Vec<NodeId>, u32)>,
+    ) -> Result<Self, ClusteringError> {
+        let universe = cover.universe();
+        let mut cluster_of = vec![u32::MAX; universe];
+        let mut clusters = Vec::with_capacity(colored_clusters.len());
+        let mut color = Vec::with_capacity(colored_clusters.len());
+        for (members, col) in colored_clusters {
+            if members.is_empty() {
+                return Err(ClusteringError::EmptyCluster);
+            }
+            let id = clusters.len() as u32;
+            for &v in &members {
+                if !cover.contains(v) {
+                    return Err(ClusteringError::OutsideInput { node: v });
+                }
+                if cluster_of[v.index()] != u32::MAX {
+                    return Err(ClusteringError::Overlap { node: v });
+                }
+                cluster_of[v.index()] = id;
+            }
+            clusters.push(members);
+            color.push(col);
+        }
+        for v in cover.iter() {
+            if cluster_of[v.index()] == u32::MAX {
+                return Err(ClusteringError::NotCovered { node: v });
+            }
+        }
+        let num_colors = color.iter().map(|&c| c + 1).max().unwrap_or(0);
+        Ok(NetworkDecomposition {
+            universe,
+            clusters,
+            color,
+            cluster_of,
+            num_colors,
+        })
+    }
+
+    /// The index space size.
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// The clusters, indexed by [`ClusterId`].
+    pub fn clusters(&self) -> &[Vec<NodeId>] {
+        &self.clusters
+    }
+
+    /// Number of clusters.
+    pub fn num_clusters(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Number of colors used (`max color + 1`).
+    pub fn num_colors(&self) -> u32 {
+        self.num_colors
+    }
+
+    /// The cluster containing `v`, if `v` is covered.
+    pub fn cluster_of(&self, v: NodeId) -> Option<ClusterId> {
+        match self.cluster_of[v.index()] {
+            u32::MAX => None,
+            c => Some(ClusterId(c)),
+        }
+    }
+
+    /// The color of cluster `c`.
+    pub fn color(&self, c: ClusterId) -> u32 {
+        self.color[c.0 as usize]
+    }
+
+    /// The color of the cluster containing `v`.
+    pub fn color_of(&self, v: NodeId) -> Option<u32> {
+        self.cluster_of(v).map(|c| self.color(c))
+    }
+
+    /// Members of cluster `c`.
+    pub fn members(&self, c: ClusterId) -> &[NodeId] {
+        &self.clusters[c.0 as usize]
+    }
+
+    /// Iterates over the cluster ids of a given color.
+    pub fn clusters_of_color(&self, color: u32) -> impl Iterator<Item = ClusterId> + '_ {
+        self.color
+            .iter()
+            .enumerate()
+            .filter(move |&(_, &c)| c == color)
+            .map(|(i, _)| ClusterId(i as u32))
+    }
+
+    /// Size of the largest cluster.
+    pub fn max_cluster_size(&self) -> usize {
+        self.clusters.iter().map(Vec::len).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn assembles_and_queries() {
+        let cover = NodeSet::full(5);
+        let d = NetworkDecomposition::new(
+            &cover,
+            vec![
+                (vec![v(0), v(1)], 0),
+                (vec![v(2)], 1),
+                (vec![v(3), v(4)], 0),
+            ],
+        )
+        .unwrap();
+        assert_eq!(d.num_clusters(), 3);
+        assert_eq!(d.num_colors(), 2);
+        assert_eq!(d.color_of(v(2)), Some(1));
+        assert_eq!(d.cluster_of(v(4)), Some(ClusterId(2)));
+        assert_eq!(d.members(ClusterId(0)), &[v(0), v(1)]);
+        let c0: Vec<ClusterId> = d.clusters_of_color(0).collect();
+        assert_eq!(c0, vec![ClusterId(0), ClusterId(2)]);
+        assert_eq!(d.max_cluster_size(), 2);
+    }
+
+    #[test]
+    fn rejects_uncovered() {
+        let cover = NodeSet::full(3);
+        let err = NetworkDecomposition::new(&cover, vec![(vec![v(0), v(1)], 0)]).unwrap_err();
+        assert_eq!(err, ClusteringError::NotCovered { node: v(2) });
+    }
+
+    #[test]
+    fn rejects_overlap_and_outside() {
+        let cover = NodeSet::full(3);
+        assert!(matches!(
+            NetworkDecomposition::new(&cover, vec![(vec![v(0)], 0), (vec![v(0), v(1), v(2)], 1)]),
+            Err(ClusteringError::Overlap { .. })
+        ));
+        let mut partial = NodeSet::empty(3);
+        partial.insert(v(0));
+        assert!(matches!(
+            NetworkDecomposition::new(&partial, vec![(vec![v(0), v(2)], 0)]),
+            Err(ClusteringError::OutsideInput { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_cover() {
+        let d = NetworkDecomposition::new(&NodeSet::empty(4), vec![]).unwrap();
+        assert_eq!(d.num_colors(), 0);
+        assert_eq!(d.cluster_of(v(1)), None);
+    }
+}

@@ -1,0 +1,89 @@
+//! Errors raised when assembling clustering objects.
+
+use sdnd_graph::NodeId;
+use std::error::Error;
+use std::fmt;
+
+/// Structural errors detected while constructing carvings or
+/// decompositions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ClusteringError {
+    /// A node was assigned to two clusters.
+    Overlap {
+        /// The doubly-assigned node.
+        node: NodeId,
+    },
+    /// A cluster member was not part of the alive input set.
+    OutsideInput {
+        /// The offending node.
+        node: NodeId,
+    },
+    /// A decomposition failed to cover some node.
+    NotCovered {
+        /// The uncovered node.
+        node: NodeId,
+    },
+    /// A cluster was empty.
+    EmptyCluster,
+    /// Steiner forest and cluster list lengths disagree.
+    ForestSizeMismatch {
+        /// Number of trees supplied.
+        trees: usize,
+        /// Number of clusters.
+        clusters: usize,
+    },
+}
+
+impl fmt::Display for ClusteringError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusteringError::Overlap { node } => {
+                write!(f, "node {node} assigned to more than one cluster")
+            }
+            ClusteringError::OutsideInput { node } => {
+                write!(f, "cluster member {node} is not in the alive input set")
+            }
+            ClusteringError::NotCovered { node } => {
+                write!(f, "node {node} is not covered by any cluster")
+            }
+            ClusteringError::EmptyCluster => write!(f, "empty cluster"),
+            ClusteringError::ForestSizeMismatch { trees, clusters } => {
+                write!(
+                    f,
+                    "steiner forest has {trees} trees for {clusters} clusters"
+                )
+            }
+        }
+    }
+}
+
+impl Error for ClusteringError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_nonempty() {
+        let errs = [
+            ClusteringError::Overlap {
+                node: NodeId::new(1),
+            },
+            ClusteringError::OutsideInput {
+                node: NodeId::new(2),
+            },
+            ClusteringError::NotCovered {
+                node: NodeId::new(3),
+            },
+            ClusteringError::EmptyCluster,
+            ClusteringError::ForestSizeMismatch {
+                trees: 1,
+                clusters: 2,
+            },
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

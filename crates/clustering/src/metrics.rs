@@ -1,0 +1,223 @@
+//! Quality metrics for carvings and decompositions.
+//!
+//! These are the quantities the experiment tables report: strong/weak
+//! cluster diameters, color counts, dead fractions, and the `C · D`
+//! product that governs the cost of the standard "process colors one by
+//! one" template.
+
+use sdnd_graph::{algo, Graph, NodeId, NodeSet};
+
+/// Exact strong diameter of a node set: the diameter of `G[members]`.
+///
+/// Returns `None` if the induced subgraph is disconnected (a weak cluster
+/// may legitimately be), `Some(0)` for singletons.
+pub fn strong_diameter_of(g: &Graph, members: &[NodeId]) -> Option<u32> {
+    if members.is_empty() {
+        return None;
+    }
+    let set = NodeSet::from_nodes(g.n(), members.iter().copied());
+    let view = g.view(&set);
+    let mut max = 0;
+    for &v in members {
+        let bfs = algo::bfs(&view, [v]);
+        if bfs.reached_count() != members.len() {
+            return None;
+        }
+        max = max.max(bfs.eccentricity().unwrap_or(0));
+    }
+    Some(max)
+}
+
+/// Exact weak diameter of a node set: the maximum distance *in `G`*
+/// between any two members. Returns `None` if some pair is disconnected
+/// even in `G`, `Some(0)` for singletons.
+pub fn weak_diameter_of(g: &Graph, members: &[NodeId]) -> Option<u32> {
+    if members.is_empty() {
+        return None;
+    }
+    let view = g.full_view();
+    let mut max = 0;
+    for &v in members {
+        let bfs = algo::bfs(&view, [v]);
+        for &u in members {
+            if !bfs.reached(u) {
+                return None;
+            }
+            max = max.max(bfs.dist(u));
+        }
+    }
+    Some(max)
+}
+
+/// Cheap strong-diameter estimate via two BFS sweeps inside the cluster.
+/// A lower bound on the exact strong diameter; `None` if disconnected.
+pub fn strong_diameter_two_sweep(g: &Graph, members: &[NodeId]) -> Option<u32> {
+    if members.is_empty() {
+        return None;
+    }
+    let set = NodeSet::from_nodes(g.n(), members.iter().copied());
+    let view = g.view(&set);
+    let first = algo::bfs(&view, [members[0]]);
+    if first.reached_count() != members.len() {
+        return None;
+    }
+    let far = *first.order().last().expect("nonempty BFS");
+    algo::bfs(&view, [far]).eccentricity()
+}
+
+/// Per-carving quality summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CarvingQuality {
+    /// Number of clusters.
+    pub clusters: usize,
+    /// Fraction of the input set left dead.
+    pub dead_fraction: f64,
+    /// Largest exact strong diameter over clusters (`None` if some
+    /// cluster induces a disconnected subgraph).
+    pub max_strong_diameter: Option<u32>,
+    /// Largest exact weak diameter over clusters (`None` if some pair of
+    /// cluster members is disconnected in `G`).
+    pub max_weak_diameter: Option<u32>,
+    /// Size of the largest cluster.
+    pub max_cluster_size: usize,
+}
+
+/// Computes quality metrics for a carving (exact diameters; cost is one
+/// BFS per cluster member).
+pub fn carving_quality(g: &Graph, carving: &crate::BallCarving) -> CarvingQuality {
+    let mut max_strong = Some(0u32);
+    let mut max_weak = Some(0u32);
+    for c in carving.clusters() {
+        max_strong = match (max_strong, strong_diameter_of(g, c)) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            _ => None,
+        };
+        max_weak = match (max_weak, weak_diameter_of(g, c)) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            _ => None,
+        };
+    }
+    CarvingQuality {
+        clusters: carving.num_clusters(),
+        dead_fraction: carving.dead_fraction(),
+        max_strong_diameter: max_strong,
+        max_weak_diameter: max_weak,
+        max_cluster_size: carving.max_cluster_size(),
+    }
+}
+
+/// Per-decomposition quality summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecompositionQuality {
+    /// Number of colors `C`.
+    pub colors: u32,
+    /// Number of clusters.
+    pub clusters: usize,
+    /// Largest exact strong diameter over clusters (`None` if some
+    /// cluster is internally disconnected — possible for weak-diameter
+    /// decompositions).
+    pub max_strong_diameter: Option<u32>,
+    /// Largest exact weak diameter over clusters.
+    pub max_weak_diameter: Option<u32>,
+    /// `C * (max strong diameter + 1)` — the cost driver of the standard
+    /// color-by-color template (`None` if strong diameter undefined).
+    pub cd_product: Option<u64>,
+    /// Size of the largest cluster.
+    pub max_cluster_size: usize,
+}
+
+/// Computes quality metrics for a decomposition.
+pub fn decomposition_quality(g: &Graph, d: &crate::NetworkDecomposition) -> DecompositionQuality {
+    let mut max_strong = Some(0u32);
+    let mut max_weak = Some(0u32);
+    for c in d.clusters() {
+        max_strong = match (max_strong, strong_diameter_of(g, c)) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            _ => None,
+        };
+        max_weak = match (max_weak, weak_diameter_of(g, c)) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            _ => None,
+        };
+    }
+    DecompositionQuality {
+        colors: d.num_colors(),
+        clusters: d.num_clusters(),
+        max_strong_diameter: max_strong,
+        max_weak_diameter: max_weak,
+        cd_product: max_strong.map(|s| d.num_colors() as u64 * (s as u64 + 1)),
+        max_cluster_size: d.max_cluster_size(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdnd_graph::gen;
+
+    fn ids(v: &[usize]) -> Vec<NodeId> {
+        v.iter().copied().map(NodeId::new).collect()
+    }
+
+    #[test]
+    fn strong_diameter_of_path_segment() {
+        let g = gen::path(10);
+        assert_eq!(strong_diameter_of(&g, &ids(&[2, 3, 4, 5])), Some(3));
+        assert_eq!(strong_diameter_of(&g, &ids(&[2])), Some(0));
+        // {2, 4} is disconnected inside the cluster but distance 2 in G.
+        assert_eq!(strong_diameter_of(&g, &ids(&[2, 4])), None);
+        assert_eq!(weak_diameter_of(&g, &ids(&[2, 4])), Some(2));
+    }
+
+    #[test]
+    fn weak_le_strong() {
+        let g = gen::grid(5, 5);
+        let members = ids(&[0, 1, 2, 5, 6, 7]);
+        let s = strong_diameter_of(&g, &members).unwrap();
+        let w = weak_diameter_of(&g, &members).unwrap();
+        assert!(w <= s);
+    }
+
+    #[test]
+    fn two_sweep_lower_bounds_exact() {
+        let g = gen::gnp_connected(40, 0.08, 2);
+        let members: Vec<NodeId> = (0..20).map(NodeId::new).collect();
+        if let Some(exact) = strong_diameter_of(&g, &members) {
+            let ts = strong_diameter_two_sweep(&g, &members).unwrap();
+            assert!(ts <= exact);
+        }
+    }
+
+    #[test]
+    fn empty_members() {
+        let g = gen::path(3);
+        assert_eq!(strong_diameter_of(&g, &[]), None);
+        assert_eq!(weak_diameter_of(&g, &[]), None);
+    }
+
+    #[test]
+    fn carving_quality_summary() {
+        let g = gen::path(6);
+        let carving =
+            crate::BallCarving::new(NodeSet::full(6), vec![ids(&[0, 1]), ids(&[3, 4, 5])]).unwrap();
+        let q = carving_quality(&g, &carving);
+        assert_eq!(q.clusters, 2);
+        assert_eq!(q.max_strong_diameter, Some(2));
+        assert_eq!(q.max_cluster_size, 3);
+        assert!((q.dead_fraction - 1.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn decomposition_quality_summary() {
+        let g = gen::path(4);
+        let d = crate::NetworkDecomposition::new(
+            &NodeSet::full(4),
+            vec![(ids(&[0, 1]), 0), (ids(&[2, 3]), 1)],
+        )
+        .unwrap();
+        let q = decomposition_quality(&g, &d);
+        assert_eq!(q.colors, 2);
+        assert_eq!(q.max_strong_diameter, Some(1));
+        assert_eq!(q.cd_product, Some(4));
+    }
+}

@@ -1,0 +1,266 @@
+//! Steiner trees and forests for weak-diameter clusterings.
+//!
+//! In a weak-diameter carving each cluster `C` carries a Steiner tree `T`
+//! rooted at a center: all of `C`'s nodes appear in `T` (as terminals),
+//! but `T` may also pass through *helper* nodes outside `C` — that is
+//! precisely what makes the diameter "weak". Two parameters matter to the
+//! transformations: the maximum **depth** `R` of any tree, and the
+//! **congestion** `L` — the maximum number of trees any single edge
+//! participates in.
+
+use sdnd_graph::{Graph, NodeId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A rooted Steiner tree, stored as parent pointers.
+///
+/// Every non-root tree node has exactly one parent; the parent must be a
+/// graph neighbor (validated by
+/// [`validate_weak_carving`](crate::validate_weak_carving)).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SteinerTree {
+    root: NodeId,
+    /// `parents[i] = (node, parent-of-node)`, unordered.
+    parents: Vec<(NodeId, NodeId)>,
+}
+
+impl SteinerTree {
+    /// A tree consisting of just the root.
+    pub fn singleton(root: NodeId) -> Self {
+        SteinerTree {
+            root,
+            parents: Vec::new(),
+        }
+    }
+
+    /// Builds a tree from a root and `(node, parent)` pairs.
+    pub fn from_parents(root: NodeId, parents: Vec<(NodeId, NodeId)>) -> Self {
+        SteinerTree { root, parents }
+    }
+
+    /// The root (center) of the tree.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Number of nodes in the tree (root plus parented nodes).
+    pub fn len(&self) -> usize {
+        self.parents.len() + 1
+    }
+
+    /// Whether the tree is just its root.
+    pub fn is_empty(&self) -> bool {
+        self.parents.is_empty()
+    }
+
+    /// Adds `node` with the given parent.
+    pub fn attach(&mut self, node: NodeId, parent: NodeId) {
+        self.parents.push((node, parent));
+    }
+
+    /// Iterates over the `(node, parent)` pairs.
+    pub fn parent_pairs(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.parents.iter().copied()
+    }
+
+    /// All nodes of the tree (root first, then parented nodes in
+    /// insertion order).
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        std::iter::once(self.root).chain(self.parents.iter().map(|&(v, _)| v))
+    }
+
+    /// Parent lookup map (node index → parent).
+    pub fn parent_map(&self) -> HashMap<NodeId, NodeId> {
+        self.parents.iter().copied().collect()
+    }
+
+    /// Depth of the tree: the maximum root-to-node distance along parent
+    /// pointers. Returns `None` if the parent pointers do not form a tree
+    /// reaching the root (cycle or dangling parent).
+    pub fn depth(&self) -> Option<u32> {
+        let map = self.parent_map();
+        let mut memo: HashMap<NodeId, u32> = HashMap::with_capacity(self.len());
+        memo.insert(self.root, 0);
+        let mut max = 0;
+        for &(start, _) in &self.parents {
+            // Walk up until a memoized node, collecting the chain.
+            let mut chain = Vec::new();
+            let mut cur = start;
+            let mut guard = 0usize;
+            while !memo.contains_key(&cur) {
+                chain.push(cur);
+                cur = *map.get(&cur)?;
+                guard += 1;
+                if guard > self.len() {
+                    return None; // cycle
+                }
+            }
+            let mut d = memo[&cur];
+            for &v in chain.iter().rev() {
+                d += 1;
+                memo.insert(v, d);
+            }
+            max = max.max(memo[&start]);
+        }
+        Some(max)
+    }
+
+    /// The undirected edges used by the tree, normalized as `(min, max)`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.parents
+            .iter()
+            .map(|&(v, p)| if v < p { (v, p) } else { (p, v) })
+    }
+}
+
+/// The Steiner trees of a weak-diameter carving, one per cluster
+/// (aligned with cluster ids).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SteinerForest {
+    trees: Vec<SteinerTree>,
+}
+
+impl SteinerForest {
+    /// An empty forest.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a forest from per-cluster trees.
+    pub fn from_trees(trees: Vec<SteinerTree>) -> Self {
+        SteinerForest { trees }
+    }
+
+    /// Appends a tree, returning its index.
+    pub fn push(&mut self, tree: SteinerTree) -> usize {
+        self.trees.push(tree);
+        self.trees.len() - 1
+    }
+
+    /// The tree for cluster `i`.
+    pub fn tree(&self, i: usize) -> &SteinerTree {
+        &self.trees[i]
+    }
+
+    /// All trees, aligned with cluster ids.
+    pub fn trees(&self) -> &[SteinerTree] {
+        &self.trees
+    }
+
+    /// Number of trees.
+    pub fn len(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Whether the forest has no trees.
+    pub fn is_empty(&self) -> bool {
+        self.trees.is_empty()
+    }
+
+    /// Maximum tree depth `R` (0 for an empty forest). Returns `None` if
+    /// any tree is malformed.
+    pub fn max_depth(&self) -> Option<u32> {
+        let mut max = 0;
+        for t in &self.trees {
+            max = max.max(t.depth()?);
+        }
+        Some(max)
+    }
+
+    /// The congestion `L`: the maximum number of trees sharing one edge
+    /// (0 for an edge-less forest).
+    pub fn congestion(&self) -> u32 {
+        let mut counts: HashMap<(NodeId, NodeId), u32> = HashMap::new();
+        for t in &self.trees {
+            for e in t.edges() {
+                *counts.entry(e).or_insert(0) += 1;
+            }
+        }
+        counts.values().copied().max().unwrap_or(0)
+    }
+
+    /// Whether every tree edge is an edge of `g`.
+    pub fn edges_exist_in(&self, g: &Graph) -> bool {
+        self.trees
+            .iter()
+            .flat_map(|t| t.edges())
+            .all(|(u, v)| g.has_edge(u, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn singleton_depth_zero() {
+        let t = SteinerTree::singleton(v(3));
+        assert_eq!(t.depth(), Some(0));
+        assert_eq!(t.len(), 1);
+        assert!(t.is_empty());
+        assert_eq!(t.nodes().collect::<Vec<_>>(), vec![v(3)]);
+    }
+
+    #[test]
+    fn chain_depth() {
+        let mut t = SteinerTree::singleton(v(0));
+        t.attach(v(1), v(0));
+        t.attach(v(2), v(1));
+        t.attach(v(3), v(2));
+        assert_eq!(t.depth(), Some(3));
+        assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    fn branching_depth() {
+        let t = SteinerTree::from_parents(v(0), vec![(v(1), v(0)), (v(2), v(0)), (v(3), v(2))]);
+        assert_eq!(t.depth(), Some(2));
+    }
+
+    #[test]
+    fn cycle_detected_as_none() {
+        let t = SteinerTree::from_parents(v(0), vec![(v(1), v(2)), (v(2), v(1))]);
+        assert_eq!(t.depth(), None);
+    }
+
+    #[test]
+    fn dangling_parent_detected() {
+        let t = SteinerTree::from_parents(v(0), vec![(v(1), v(9))]);
+        assert_eq!(t.depth(), None);
+    }
+
+    #[test]
+    fn forest_congestion_counts_shared_edges() {
+        let t1 = SteinerTree::from_parents(v(0), vec![(v(1), v(0)), (v(2), v(1))]);
+        let t2 = SteinerTree::from_parents(v(2), vec![(v(1), v(2)), (v(0), v(1))]);
+        let f = SteinerForest::from_trees(vec![t1, t2]);
+        // Edge {1,2} used by both; edge {0,1} used by both.
+        assert_eq!(f.congestion(), 2);
+        assert_eq!(f.max_depth(), Some(2));
+    }
+
+    #[test]
+    fn forest_edges_exist_in_graph() {
+        let g = sdnd_graph::gen::path(4);
+        let good = SteinerForest::from_trees(vec![SteinerTree::from_parents(
+            v(0),
+            vec![(v(1), v(0)), (v(2), v(1))],
+        )]);
+        assert!(good.edges_exist_in(&g));
+        let bad =
+            SteinerForest::from_trees(vec![SteinerTree::from_parents(v(0), vec![(v(2), v(0))])]);
+        assert!(!bad.edges_exist_in(&g));
+    }
+
+    #[test]
+    fn empty_forest() {
+        let f = SteinerForest::new();
+        assert!(f.is_empty());
+        assert_eq!(f.congestion(), 0);
+        assert_eq!(f.max_depth(), Some(0));
+    }
+}

@@ -1,0 +1,135 @@
+//! Black-box carver contracts.
+//!
+//! The paper's transformations are *reductions*: Theorem 2.1 consumes any
+//! algorithm `A` producing weak-diameter carvings, Theorem 3.2 consumes
+//! any strong-diameter carver. These traits are those interfaces; the
+//! concrete algorithms (RG20, GGR21, LS93, MPX13, and the paper's own
+//! constructions) all implement them, so the transformations and the
+//! experiment harness treat them uniformly.
+
+use crate::{BallCarving, WeakCarving};
+use sdnd_congest::RoundLedger;
+use sdnd_graph::{Graph, NodeSet};
+
+/// A weak-diameter ball carving algorithm: the black box `A` of
+/// Theorem 2.1.
+///
+/// Given a graph, an alive set `S`, and a boundary parameter `eps`, a
+/// carver removes at most an `eps` fraction of `S` and clusters the rest
+/// into non-adjacent clusters, each with a Steiner tree rooted at its
+/// center whose depth and congestion are the algorithm's `R` and `L`
+/// parameters. The carving must charge its distributed cost to `ledger`.
+pub trait WeakCarver {
+    /// Runs the carving on `G[alive]` with boundary parameter `eps`.
+    fn carve_weak(
+        &self,
+        g: &Graph,
+        alive: &NodeSet,
+        eps: f64,
+        ledger: &mut RoundLedger,
+    ) -> WeakCarving;
+
+    /// Human-readable algorithm name (for reports and experiment tables).
+    fn name(&self) -> &'static str;
+}
+
+/// A strong-diameter ball carving algorithm: the black box of
+/// Theorem 3.2.
+///
+/// Removes at most an `eps` fraction of the alive set so that every
+/// remaining connected component (equivalently, every output cluster)
+/// has bounded *strong* diameter.
+pub trait StrongCarver {
+    /// Runs the carving on `G[alive]` with boundary parameter `eps`.
+    fn carve_strong(
+        &self,
+        g: &Graph,
+        alive: &NodeSet,
+        eps: f64,
+        ledger: &mut RoundLedger,
+    ) -> BallCarving;
+
+    /// Human-readable algorithm name.
+    fn name(&self) -> &'static str;
+}
+
+impl<T: WeakCarver + ?Sized> WeakCarver for &T {
+    fn carve_weak(
+        &self,
+        g: &Graph,
+        alive: &NodeSet,
+        eps: f64,
+        ledger: &mut RoundLedger,
+    ) -> WeakCarving {
+        (**self).carve_weak(g, alive, eps, ledger)
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+impl<T: StrongCarver + ?Sized> StrongCarver for &T {
+    fn carve_strong(
+        &self,
+        g: &Graph,
+        alive: &NodeSet,
+        eps: f64,
+        ledger: &mut RoundLedger,
+    ) -> BallCarving {
+        (**self).carve_strong(g, alive, eps, ledger)
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SteinerForest;
+
+    /// A trivial carver: every alive node is its own cluster (valid for
+    /// edgeless alive sets; used here only to exercise the trait plumbing).
+    struct Trivial;
+
+    impl WeakCarver for Trivial {
+        fn carve_weak(
+            &self,
+            _g: &Graph,
+            alive: &NodeSet,
+            _eps: f64,
+            ledger: &mut RoundLedger,
+        ) -> WeakCarving {
+            ledger.charge_rounds(1);
+            let clusters: Vec<Vec<sdnd_graph::NodeId>> = alive.iter().map(|v| vec![v]).collect();
+            let forest = SteinerForest::from_trees(
+                alive.iter().map(crate::SteinerTree::singleton).collect(),
+            );
+            let carving = BallCarving::new(alive.clone(), clusters).unwrap();
+            WeakCarving::new(carving, forest).unwrap()
+        }
+
+        fn name(&self) -> &'static str {
+            "trivial"
+        }
+    }
+
+    #[test]
+    fn trait_objects_work() {
+        let g = Graph::empty(3);
+        let alive = NodeSet::full(3);
+        let mut ledger = RoundLedger::new();
+        let carver: &dyn WeakCarver = &Trivial;
+        let out = carver.carve_weak(&g, &alive, 0.5, &mut ledger);
+        assert_eq!(out.carving().num_clusters(), 3);
+        assert_eq!(carver.name(), "trivial");
+        assert_eq!(ledger.rounds(), 1);
+
+        // The blanket &T impl lets borrowed carvers be passed by value.
+        let by_ref = &Trivial;
+        let out2 = by_ref.carve_weak(&g, &alive, 0.5, &mut ledger);
+        assert_eq!(out2.carving().num_clusters(), 3);
+    }
+}

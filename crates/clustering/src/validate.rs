@@ -1,0 +1,452 @@
+//! Invariant validation for carvings and decompositions.
+//!
+//! The checkers verify every promise the paper's definitions make:
+//! disjointness and coverage (enforced at construction), pairwise
+//! non-adjacency of carving clusters, color separation in
+//! decompositions, connectivity and strong/weak diameters of clusters,
+//! Steiner-tree structure (terminals present, edges real, depth,
+//! congestion), and dead-fraction budgets. They power the unit,
+//! property, and integration tests as well as the experiment harness's
+//! self-checks.
+
+use crate::{metrics, BallCarving, NetworkDecomposition, WeakCarving};
+use sdnd_graph::{Graph, NodeSet};
+
+/// Validation report for a [`BallCarving`].
+#[derive(Debug, Clone)]
+pub struct CarvingReport {
+    /// No edge of `G` joins two distinct clusters.
+    pub clusters_nonadjacent: bool,
+    /// Every cluster induces a connected subgraph.
+    pub clusters_connected: bool,
+    /// Maximum exact strong diameter (`None` if some cluster is
+    /// disconnected).
+    pub max_strong_diameter: Option<u32>,
+    /// Maximum exact weak diameter (`None` if some pair of cluster
+    /// members is disconnected in `G`).
+    pub max_weak_diameter: Option<u32>,
+    /// Fraction of the input set left dead.
+    pub dead_fraction: f64,
+    /// Human-readable violations, empty when everything checks out.
+    pub violations: Vec<String>,
+}
+
+impl CarvingReport {
+    /// Whether the carving satisfies the *strong-diameter* contract:
+    /// non-adjacent, connected clusters, dead fraction at most `eps`.
+    pub fn is_valid_strong(&self, eps: f64) -> bool {
+        self.clusters_nonadjacent && self.clusters_connected && self.dead_fraction <= eps + 1e-9
+    }
+
+    /// Whether the carving satisfies the *weak-diameter* contract
+    /// (clusters may be internally disconnected).
+    pub fn is_valid_weak(&self, eps: f64) -> bool {
+        self.clusters_nonadjacent && self.dead_fraction <= eps + 1e-9
+    }
+}
+
+/// Validates a ball carving against `g`.
+///
+/// Diameters are computed exactly (one BFS per cluster member), so the
+/// cost is `O(Σ|C| · m)`; intended for tests and experiment self-checks.
+pub fn validate_carving(g: &Graph, carving: &BallCarving) -> CarvingReport {
+    let mut violations = Vec::new();
+
+    // Non-adjacency: an edge between two different clusters is forbidden.
+    let mut nonadjacent = true;
+    for (u, v) in g.edges() {
+        if let (Some(cu), Some(cv)) = (carving.cluster_of(u), carving.cluster_of(v)) {
+            if cu != cv {
+                nonadjacent = false;
+                violations.push(format!("edge ({u}, {v}) joins clusters {cu} and {cv}"));
+            }
+        }
+    }
+
+    // Connectivity and diameters.
+    let mut connected = true;
+    let mut max_strong = Some(0u32);
+    let mut max_weak = Some(0u32);
+    for (i, c) in carving.clusters().iter().enumerate() {
+        match metrics::strong_diameter_of(g, c) {
+            Some(d) => {
+                if let Some(m) = max_strong {
+                    max_strong = Some(m.max(d));
+                }
+            }
+            None => {
+                connected = false;
+                max_strong = None;
+                violations.push(format!("cluster {i} induces a disconnected subgraph"));
+            }
+        }
+        max_weak = match (max_weak, metrics::weak_diameter_of(g, c)) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            _ => None,
+        };
+    }
+
+    CarvingReport {
+        clusters_nonadjacent: nonadjacent,
+        clusters_connected: connected,
+        max_strong_diameter: max_strong,
+        max_weak_diameter: max_weak,
+        dead_fraction: carving.dead_fraction(),
+        violations,
+    }
+}
+
+/// Validation report for a [`WeakCarving`] (carving checks plus the
+/// Steiner-tree contract of Theorem 2.1).
+#[derive(Debug, Clone)]
+pub struct WeakCarvingReport {
+    /// The underlying carving report.
+    pub carving: CarvingReport,
+    /// All tree edges are edges of `G` and all tree nodes lie in the
+    /// input (alive) set.
+    pub trees_well_formed: bool,
+    /// Every cluster member appears in its cluster's tree.
+    pub terminals_covered: bool,
+    /// Maximum Steiner tree depth `R` (`None` if a tree is malformed).
+    pub max_depth: Option<u32>,
+    /// Edge congestion `L` across the forest.
+    pub congestion: u32,
+    /// Human-readable violations.
+    pub violations: Vec<String>,
+}
+
+impl WeakCarvingReport {
+    /// Whether the weak carving satisfies the full Theorem 2.1 interface
+    /// with boundary `eps`, depth bound `r_bound`, and congestion bound
+    /// `l_bound`.
+    pub fn satisfies_contract(&self, eps: f64, r_bound: u32, l_bound: u32) -> bool {
+        self.carving.is_valid_weak(eps)
+            && self.trees_well_formed
+            && self.terminals_covered
+            && self.max_depth.is_some_and(|d| d <= r_bound)
+            && self.congestion <= l_bound
+    }
+}
+
+/// Validates a weak carving: the carving itself plus its Steiner forest.
+pub fn validate_weak_carving(g: &Graph, wc: &WeakCarving) -> WeakCarvingReport {
+    let carving_report = validate_carving(g, wc.carving());
+    let mut violations = Vec::new();
+
+    let input = wc.carving().input();
+    let mut well_formed = true;
+    let mut terminals_covered = true;
+
+    for (i, tree) in wc.forest().trees().iter().enumerate() {
+        // Edges must exist in G; nodes must lie in the input set.
+        for (v, p) in tree.parent_pairs() {
+            if !g.has_edge(v, p) {
+                well_formed = false;
+                violations.push(format!("tree {i}: ({v}, {p}) is not an edge of G"));
+            }
+        }
+        for v in tree.nodes() {
+            if !input.contains(v) {
+                well_formed = false;
+                violations.push(format!("tree {i}: node {v} is outside the input set"));
+            }
+        }
+        // Terminals: every cluster member is in the tree.
+        let tree_nodes: NodeSet =
+            NodeSet::from_nodes(g.n(), tree.nodes().filter(|v| v.index() < g.n()));
+        for &m in &wc.carving().clusters()[i] {
+            if !tree_nodes.contains(m) {
+                terminals_covered = false;
+                violations.push(format!("tree {i}: member {m} is not a terminal"));
+            }
+        }
+    }
+
+    let max_depth = wc.forest().max_depth();
+    if max_depth.is_none() {
+        well_formed = false;
+        violations.push("a tree has cyclic or dangling parent pointers".to_string());
+    }
+
+    WeakCarvingReport {
+        carving: carving_report,
+        trees_well_formed: well_formed,
+        terminals_covered,
+        max_depth,
+        congestion: wc.forest().congestion(),
+        violations,
+    }
+}
+
+/// Validation report for a [`NetworkDecomposition`].
+#[derive(Debug, Clone)]
+pub struct DecompositionReport {
+    /// No edge joins two same-colored clusters.
+    pub colors_separate: bool,
+    /// Every cluster induces a connected subgraph.
+    pub clusters_connected: bool,
+    /// Maximum exact strong diameter (`None` if a cluster is internally
+    /// disconnected, as weak-diameter decompositions allow).
+    pub max_strong_diameter: Option<u32>,
+    /// Maximum exact weak diameter over clusters.
+    pub max_weak_diameter: Option<u32>,
+    /// Number of colors used.
+    pub colors: u32,
+    /// Human-readable violations.
+    pub violations: Vec<String>,
+}
+
+impl DecompositionReport {
+    /// Whether this is a valid *strong-diameter* decomposition (color
+    /// separation plus connected clusters).
+    pub fn is_valid(&self) -> bool {
+        self.colors_separate && self.clusters_connected
+    }
+
+    /// Whether this is a valid *weak-diameter* decomposition (color
+    /// separation only).
+    pub fn is_valid_weak(&self) -> bool {
+        self.colors_separate
+    }
+}
+
+/// Validates a network decomposition against `g`.
+pub fn validate_decomposition(g: &Graph, d: &NetworkDecomposition) -> DecompositionReport {
+    let mut violations = Vec::new();
+
+    let mut colors_separate = true;
+    for (u, v) in g.edges() {
+        if let (Some(cu), Some(cv)) = (d.cluster_of(u), d.cluster_of(v)) {
+            if cu != cv && d.color(cu) == d.color(cv) {
+                colors_separate = false;
+                violations.push(format!(
+                    "edge ({u}, {v}) joins same-colored clusters {} and {}",
+                    cu.0, cv.0
+                ));
+            }
+        }
+    }
+
+    let mut connected = true;
+    let mut max_strong = Some(0u32);
+    let mut max_weak = Some(0u32);
+    for (i, c) in d.clusters().iter().enumerate() {
+        match metrics::strong_diameter_of(g, c) {
+            Some(diam) => {
+                if let Some(m) = max_strong {
+                    max_strong = Some(m.max(diam));
+                }
+            }
+            None => {
+                connected = false;
+                max_strong = None;
+                violations.push(format!("cluster {i} induces a disconnected subgraph"));
+            }
+        }
+        max_weak = match (max_weak, metrics::weak_diameter_of(g, c)) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            _ => None,
+        };
+    }
+
+    DecompositionReport {
+        colors_separate,
+        clusters_connected: connected,
+        max_strong_diameter: max_strong,
+        max_weak_diameter: max_weak,
+        colors: d.num_colors(),
+        violations,
+    }
+}
+
+/// Asserts that `carving` is a valid strong-diameter carving with dead
+/// fraction at most `eps` and strong diameter at most `diam_bound`.
+///
+/// # Panics
+///
+/// Panics with the collected violations if any check fails (test
+/// helper).
+pub fn assert_strong_carving(g: &Graph, carving: &BallCarving, eps: f64, diam_bound: u32) {
+    let report = validate_carving(g, carving);
+    assert!(
+        report.is_valid_strong(eps),
+        "invalid strong carving (dead {:.3} vs eps {eps}): {:?}",
+        report.dead_fraction,
+        report.violations
+    );
+    let d = report
+        .max_strong_diameter
+        .expect("connected clusters have diameters");
+    assert!(
+        d <= diam_bound,
+        "strong diameter {d} exceeds bound {diam_bound}"
+    );
+}
+
+/// Asserts that `d` is a valid strong-diameter decomposition with at most
+/// `color_bound` colors and strong diameter at most `diam_bound`.
+///
+/// # Panics
+///
+/// Panics with the collected violations if any check fails (test
+/// helper).
+pub fn assert_strong_decomposition(
+    g: &Graph,
+    d: &NetworkDecomposition,
+    color_bound: u32,
+    diam_bound: u32,
+) {
+    let report = validate_decomposition(g, d);
+    assert!(
+        report.is_valid(),
+        "invalid decomposition: {:?}",
+        report.violations
+    );
+    assert!(
+        report.colors <= color_bound,
+        "colors {} exceed bound {color_bound}",
+        report.colors
+    );
+    let diam = report.max_strong_diameter.expect("connected clusters");
+    assert!(
+        diam <= diam_bound,
+        "strong diameter {diam} exceeds bound {diam_bound}"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SteinerForest, SteinerTree};
+    use sdnd_graph::{gen, NodeId};
+
+    fn ids(v: &[usize]) -> Vec<NodeId> {
+        v.iter().copied().map(NodeId::new).collect()
+    }
+
+    #[test]
+    fn valid_strong_carving_on_path() {
+        let g = gen::path(7);
+        // Clusters {0,1,2} and {4,5,6}; node 3 dead — non-adjacent, connected.
+        let carving =
+            BallCarving::new(NodeSet::full(7), vec![ids(&[0, 1, 2]), ids(&[4, 5, 6])]).unwrap();
+        let report = validate_carving(&g, &carving);
+        assert!(report.clusters_nonadjacent);
+        assert!(report.clusters_connected);
+        assert_eq!(report.max_strong_diameter, Some(2));
+        assert!(report.is_valid_strong(0.2));
+        assert!(!report.is_valid_strong(0.1), "dead fraction 1/7 > 0.1");
+    }
+
+    #[test]
+    fn adjacency_violation_detected() {
+        let g = gen::path(4);
+        let carving = BallCarving::new(NodeSet::full(4), vec![ids(&[0, 1]), ids(&[2, 3])]).unwrap();
+        let report = validate_carving(&g, &carving);
+        assert!(!report.clusters_nonadjacent);
+        assert!(!report.violations.is_empty());
+    }
+
+    #[test]
+    fn disconnected_cluster_detected() {
+        let g = gen::path(5);
+        let carving = BallCarving::new(NodeSet::full(5), vec![ids(&[0, 2, 1, 4])]).unwrap();
+        let report = validate_carving(&g, &carving);
+        assert!(!report.clusters_connected);
+        assert_eq!(report.max_strong_diameter, None);
+        assert_eq!(report.max_weak_diameter, Some(4));
+        assert!(
+            report.is_valid_weak(0.5),
+            "weak contract tolerates disconnection"
+        );
+    }
+
+    #[test]
+    fn weak_carving_contract() {
+        let g = gen::path(5);
+        // Cluster {0, 2} with a Steiner tree through helper node 1.
+        let carving = BallCarving::new(NodeSet::full(5), vec![ids(&[0, 2])]).unwrap();
+        let tree = SteinerTree::from_parents(
+            NodeId::new(0),
+            vec![
+                (NodeId::new(1), NodeId::new(0)),
+                (NodeId::new(2), NodeId::new(1)),
+            ],
+        );
+        let wc = WeakCarving::new(carving, SteinerForest::from_trees(vec![tree])).unwrap();
+        let report = validate_weak_carving(&g, &wc);
+        assert!(report.trees_well_formed);
+        assert!(report.terminals_covered);
+        assert_eq!(report.max_depth, Some(2));
+        assert_eq!(report.congestion, 1);
+        assert!(report.satisfies_contract(0.7, 2, 1));
+        assert!(
+            !report.satisfies_contract(0.7, 1, 1),
+            "depth bound violated"
+        );
+    }
+
+    #[test]
+    fn weak_carving_detects_missing_terminal() {
+        let g = gen::path(3);
+        let carving = BallCarving::new(NodeSet::full(3), vec![ids(&[0, 1])]).unwrap();
+        let tree = SteinerTree::singleton(NodeId::new(0)); // member 1 missing
+        let wc = WeakCarving::new(carving, SteinerForest::from_trees(vec![tree])).unwrap();
+        let report = validate_weak_carving(&g, &wc);
+        assert!(!report.terminals_covered);
+    }
+
+    #[test]
+    fn weak_carving_detects_fake_edge() {
+        let g = gen::path(4);
+        let carving = BallCarving::new(NodeSet::full(4), vec![ids(&[0, 3])]).unwrap();
+        let tree =
+            SteinerTree::from_parents(NodeId::new(0), vec![(NodeId::new(3), NodeId::new(0))]);
+        let wc = WeakCarving::new(carving, SteinerForest::from_trees(vec![tree])).unwrap();
+        let report = validate_weak_carving(&g, &wc);
+        assert!(!report.trees_well_formed);
+    }
+
+    #[test]
+    fn decomposition_color_separation() {
+        let g = gen::path(4);
+        let good = NetworkDecomposition::new(
+            &NodeSet::full(4),
+            vec![(ids(&[0, 1]), 0), (ids(&[2, 3]), 1)],
+        )
+        .unwrap();
+        assert!(validate_decomposition(&g, &good).is_valid());
+
+        let bad = NetworkDecomposition::new(
+            &NodeSet::full(4),
+            vec![(ids(&[0, 1]), 0), (ids(&[2, 3]), 0)],
+        )
+        .unwrap();
+        let report = validate_decomposition(&g, &bad);
+        assert!(!report.colors_separate);
+        assert!(!report.is_valid());
+    }
+
+    #[test]
+    fn assert_helpers_pass_on_valid_input() {
+        let g = gen::path(7);
+        let carving =
+            BallCarving::new(NodeSet::full(7), vec![ids(&[0, 1, 2]), ids(&[4, 5, 6])]).unwrap();
+        assert_strong_carving(&g, &carving, 0.2, 2);
+
+        let d = NetworkDecomposition::new(
+            &NodeSet::full(4),
+            vec![(ids(&[0, 1]), 0), (ids(&[2, 3]), 1)],
+        )
+        .unwrap();
+        assert_strong_decomposition(&gen::path(4), &d, 2, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "strong diameter")]
+    fn assert_helper_panics_on_big_diameter() {
+        let g = gen::path(8);
+        let carving = BallCarving::new(NodeSet::full(8), vec![ids(&[0, 1, 2, 3, 4])]).unwrap();
+        assert_strong_carving(&g, &carving, 0.5, 2);
+    }
+}

@@ -1,0 +1,93 @@
+//! Weak-diameter carvings in the edge version.
+
+use crate::edge::EdgeCarving;
+use crate::{ClusteringError, SteinerForest};
+use sdnd_congest::RoundLedger;
+use sdnd_graph::{Graph, NodeSet};
+use serde::{Deserialize, Serialize};
+
+/// An edge-version weak-diameter carving: every node clustered, at most
+/// an `eps` fraction of edges cut, clusters non-adjacent after the cuts,
+/// and each cluster carrying a Steiner tree (which, as in the node
+/// version, may use helper nodes — and, symmetrically, cut edges: the
+/// edges are removed from the *clustering*, not from the physical
+/// network).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WeakEdgeCarving {
+    carving: EdgeCarving,
+    forest: SteinerForest,
+}
+
+impl WeakEdgeCarving {
+    /// Pairs an edge carving with its Steiner forest.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusteringError::ForestSizeMismatch`] on a count
+    /// mismatch.
+    pub fn new(carving: EdgeCarving, forest: SteinerForest) -> Result<Self, ClusteringError> {
+        if carving.num_clusters() != forest.len() {
+            return Err(ClusteringError::ForestSizeMismatch {
+                trees: forest.len(),
+                clusters: carving.num_clusters(),
+            });
+        }
+        Ok(WeakEdgeCarving { carving, forest })
+    }
+
+    /// The underlying edge carving.
+    pub fn carving(&self) -> &EdgeCarving {
+        &self.carving
+    }
+
+    /// The Steiner forest (tree `i` serves cluster `i`).
+    pub fn forest(&self) -> &SteinerForest {
+        &self.forest
+    }
+
+    /// Splits into parts.
+    pub fn into_parts(self) -> (EdgeCarving, SteinerForest) {
+        (self.carving, self.forest)
+    }
+}
+
+/// An edge-version weak carver: the black box of the edge variant of
+/// Theorem 2.1.
+pub trait WeakEdgeCarver {
+    /// Carves `G[alive]`, cutting at most an `eps` fraction of edges.
+    fn carve_weak_edges(
+        &self,
+        g: &Graph,
+        alive: &NodeSet,
+        eps: f64,
+        ledger: &mut RoundLedger,
+    ) -> WeakEdgeCarving;
+
+    /// Human-readable algorithm name.
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SteinerTree;
+    use sdnd_graph::NodeId;
+
+    #[test]
+    fn pairs_and_rejects_mismatch() {
+        let v = |i: usize| NodeId::new(i);
+        let ec = EdgeCarving::new(
+            NodeSet::full(2),
+            vec![vec![v(0)], vec![v(1)]],
+            vec![(v(0), v(1))],
+        )
+        .unwrap();
+        let forest = SteinerForest::from_trees(vec![
+            SteinerTree::singleton(v(0)),
+            SteinerTree::singleton(v(1)),
+        ]);
+        let w = WeakEdgeCarving::new(ec.clone(), forest).unwrap();
+        assert_eq!(w.carving().num_clusters(), 2);
+        assert!(WeakEdgeCarving::new(ec, SteinerForest::new()).is_err());
+    }
+}

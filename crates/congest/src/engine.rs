@@ -1,0 +1,525 @@
+//! The message-passing kernel.
+//!
+//! A [`Protocol`] describes one node's behaviour; the [`Engine`] runs one
+//! instance per alive node, delivering messages synchronously. Per round,
+//! a node may send at most one message to each alive neighbor (the CONGEST
+//! rule); in [`ExecutionMode::Congest`](crate::ExecutionMode::Congest)
+//! the per-message bit budget is enforced.
+//!
+//! Execution is fully deterministic: inboxes are sorted by sender index,
+//! nodes step in index order, and messages sent in round `r` are delivered
+//! at the start of round `r + 1`. The engine stops at *quiescence* (a
+//! round in which no message was sent) or at `max_rounds`.
+
+use crate::{CostModel, RoundLedger};
+use sdnd_graph::{Adjacency, NodeId};
+use std::error::Error;
+use std::fmt;
+
+/// A distributed node program.
+///
+/// One `State` lives at every alive node; the engine calls
+/// [`init`](Protocol::init) once, then [`step`](Protocol::step) every
+/// round with the messages delivered from the previous round.
+pub trait Protocol {
+    /// Per-node state.
+    type State;
+    /// Message payload. `bits(msg)` declares its encoded size.
+    type Msg: Clone;
+
+    /// Creates the initial state of `node` and optionally emits the first
+    /// messages (delivered in round 1).
+    fn init(&self, node: NodeId, out: &mut Outbox<'_, Self::Msg>) -> Self::State;
+
+    /// Processes one round at `node`: `inbox` holds `(sender, message)`
+    /// pairs from the previous round, sorted by sender.
+    fn step(
+        &self,
+        node: NodeId,
+        state: &mut Self::State,
+        inbox: &[(NodeId, Self::Msg)],
+        out: &mut Outbox<'_, Self::Msg>,
+    );
+
+    /// Declared bit size of a message (for budget enforcement).
+    fn bits(&self, msg: &Self::Msg) -> u32;
+}
+
+/// Handle through which a node emits messages during one round.
+pub struct Outbox<'a, M> {
+    sends: &'a mut Vec<(NodeId, M)>,
+}
+
+impl<M> Outbox<'_, M> {
+    /// Sends `msg` to `to` (must be an alive neighbor; checked by the
+    /// engine after the step).
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        self.sends.push((to, msg));
+    }
+}
+
+/// Errors detected by the engine while running a protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EngineError {
+    /// A node sent a message larger than the CONGEST budget.
+    MessageTooLarge {
+        /// The sending node.
+        from: NodeId,
+        /// Declared message size in bits.
+        bits: u32,
+        /// The budget it exceeded.
+        budget: u32,
+    },
+    /// A node sent two messages along the same edge in one round.
+    DuplicateEdgeMessage {
+        /// The sending node.
+        from: NodeId,
+        /// The receiving node.
+        to: NodeId,
+    },
+    /// A node addressed a message to a non-neighbor or dead node.
+    NotANeighbor {
+        /// The sending node.
+        from: NodeId,
+        /// The invalid destination.
+        to: NodeId,
+    },
+    /// `max_rounds` elapsed before quiescence.
+    RoundLimitExceeded {
+        /// The limit that was hit.
+        max_rounds: u64,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::MessageTooLarge { from, bits, budget } => write!(
+                f,
+                "node {from} sent a {bits}-bit message exceeding the {budget}-bit budget"
+            ),
+            EngineError::DuplicateEdgeMessage { from, to } => {
+                write!(f, "node {from} sent two messages to {to} in one round")
+            }
+            EngineError::NotANeighbor { from, to } => {
+                write!(f, "node {from} sent a message to non-neighbor {to}")
+            }
+            EngineError::RoundLimitExceeded { max_rounds } => {
+                write!(f, "protocol did not quiesce within {max_rounds} rounds")
+            }
+        }
+    }
+}
+
+impl Error for EngineError {}
+
+/// Result of running a protocol to quiescence.
+#[derive(Debug)]
+pub struct RunOutcome<S> {
+    /// Final per-node states, indexed by node index. Nodes outside the
+    /// view keep `None`.
+    pub states: Vec<Option<S>>,
+    /// Number of rounds in which at least one message was delivered.
+    pub rounds: u64,
+    /// Cost accounting for the run.
+    pub ledger: RoundLedger,
+}
+
+/// The synchronous executor.
+#[derive(Debug, Clone)]
+pub struct Engine {
+    cost: CostModel,
+    max_rounds: u64,
+}
+
+impl Engine {
+    /// Creates an engine under the given cost model with a round limit of
+    /// one million (a safety net against non-quiescing protocols).
+    pub fn new(cost: CostModel) -> Self {
+        Engine {
+            cost,
+            max_rounds: 1_000_000,
+        }
+    }
+
+    /// Sets the round limit.
+    pub fn with_max_rounds(mut self, max_rounds: u64) -> Self {
+        self.max_rounds = max_rounds;
+        self
+    }
+
+    /// Runs `protocol` on every alive node of `view` until quiescence.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`EngineError`] on budget violations, invalid sends, or
+    /// if the round limit is exceeded.
+    pub fn run<A, P>(&self, view: &A, protocol: &P) -> Result<RunOutcome<P::State>, EngineError>
+    where
+        A: Adjacency,
+        P: Protocol,
+    {
+        let n = view.universe();
+        let mut states: Vec<Option<P::State>> = (0..n).map(|_| None).collect();
+        let mut ledger = RoundLedger::new();
+
+        // Pending messages for the *next* round, bucketed by recipient.
+        let mut pending: Vec<Vec<(NodeId, P::Msg)>> = (0..n).map(|_| Vec::new()).collect();
+        let mut any_pending = false;
+
+        let mut sends: Vec<(NodeId, P::Msg)> = Vec::new();
+        let alive: Vec<NodeId> = view.nodes().collect();
+
+        // Init phase (round 0): create states, collect first sends.
+        for &v in &alive {
+            let mut out = Outbox { sends: &mut sends };
+            let st = protocol.init(v, &mut out);
+            states[v.index()] = Some(st);
+            any_pending |=
+                self.dispatch::<A, P>(view, protocol, v, &mut sends, &mut pending, &mut ledger)?;
+        }
+
+        let mut rounds = 0u64;
+        while any_pending {
+            if rounds >= self.max_rounds {
+                return Err(EngineError::RoundLimitExceeded {
+                    max_rounds: self.max_rounds,
+                });
+            }
+            rounds += 1;
+            any_pending = false;
+
+            // Take this round's inboxes, leaving fresh buckets in place.
+            let mut inboxes: Vec<Vec<(NodeId, P::Msg)>> =
+                pending.iter_mut().map(std::mem::take).collect();
+
+            for &v in &alive {
+                let inbox = &mut inboxes[v.index()];
+                if inbox.is_empty() {
+                    continue;
+                }
+                inbox.sort_by_key(|&(from, _)| from);
+                let st = states[v.index()].as_mut().expect("alive node has state");
+                let mut out = Outbox { sends: &mut sends };
+                protocol.step(v, st, inbox, &mut out);
+                any_pending |= self.dispatch::<A, P>(
+                    view,
+                    protocol,
+                    v,
+                    &mut sends,
+                    &mut pending,
+                    &mut ledger,
+                )?;
+            }
+        }
+
+        ledger.charge_rounds(rounds);
+        Ok(RunOutcome {
+            states,
+            rounds,
+            ledger,
+        })
+    }
+
+    /// Validates and enqueues the messages a node just emitted.
+    /// Returns whether anything was sent.
+    fn dispatch<A, P>(
+        &self,
+        view: &A,
+        protocol: &P,
+        from: NodeId,
+        sends: &mut Vec<(NodeId, P::Msg)>,
+        pending: &mut [Vec<(NodeId, P::Msg)>],
+        ledger: &mut RoundLedger,
+    ) -> Result<bool, EngineError>
+    where
+        A: Adjacency,
+        P: Protocol,
+    {
+        if sends.is_empty() {
+            return Ok(false);
+        }
+        let mut seen: Vec<NodeId> = Vec::with_capacity(sends.len());
+        for (to, msg) in sends.drain(..) {
+            if !view.contains(to) || !view.neighbors(from).any(|u| u == to) {
+                return Err(EngineError::NotANeighbor { from, to });
+            }
+            if seen.contains(&to) {
+                return Err(EngineError::DuplicateEdgeMessage { from, to });
+            }
+            seen.push(to);
+            let bits = protocol.bits(&msg);
+            if !self.cost.fits(bits) {
+                return Err(EngineError::MessageTooLarge {
+                    from,
+                    bits,
+                    budget: self.cost.bits_per_message(),
+                });
+            }
+            ledger.record_messages(1, bits);
+            pending[to.index()].push((from, msg));
+        }
+        Ok(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdnd_graph::{gen, NodeSet};
+
+    /// Flooding protocol that knows the graph, sending `dist + 1` tokens.
+    struct GraphFlood<'g> {
+        g: &'g sdnd_graph::Graph,
+        source: NodeId,
+    }
+
+    #[derive(Debug)]
+    struct GfState {
+        dist: Option<u64>,
+    }
+
+    impl Protocol for GraphFlood<'_> {
+        type State = GfState;
+        type Msg = u64;
+
+        fn init(&self, node: NodeId, out: &mut Outbox<'_, u64>) -> GfState {
+            if node == self.source {
+                for u in self.g.neighbors(node) {
+                    out.send(*u, 1);
+                }
+                GfState { dist: Some(0) }
+            } else {
+                GfState { dist: None }
+            }
+        }
+
+        fn step(
+            &self,
+            node: NodeId,
+            state: &mut GfState,
+            inbox: &[(NodeId, u64)],
+            out: &mut Outbox<'_, u64>,
+        ) {
+            if state.dist.is_some() {
+                return;
+            }
+            let d = inbox.iter().map(|&(_, h)| h).min().expect("nonempty inbox");
+            state.dist = Some(d);
+            for u in self.g.neighbors(node) {
+                out.send(*u, d + 1);
+            }
+        }
+
+        fn bits(&self, msg: &u64) -> u32 {
+            crate::bits_for_value(*msg)
+        }
+    }
+
+    #[test]
+    fn flood_computes_bfs_distances() {
+        let g = gen::grid(4, 4);
+        let engine = Engine::new(CostModel::congest_for(16));
+        let proto = GraphFlood {
+            g: &g,
+            source: NodeId::new(0),
+        };
+        let out = engine.run(&g.full_view(), &proto).unwrap();
+        // Distances match BFS; rounds = eccentricity + 1 (one quiet-check
+        // round of token deliveries to already-informed nodes).
+        let bfs = sdnd_graph::algo::bfs(&g.full_view(), [NodeId::new(0)]);
+        for v in g.nodes() {
+            assert_eq!(
+                out.states[v.index()].as_ref().unwrap().dist,
+                Some(bfs.dist(v) as u64)
+            );
+        }
+        assert_eq!(out.rounds, bfs.eccentricity().unwrap() as u64 + 1);
+        assert!(out.ledger.messages() > 0);
+    }
+
+    #[test]
+    fn respects_view() {
+        let g = gen::path(5);
+        let alive = NodeSet::from_nodes(5, [0, 1, 3, 4].map(NodeId::new));
+        struct ViewFlood<'a> {
+            view: sdnd_graph::SubsetView<'a>,
+            source: NodeId,
+        }
+        impl Protocol for ViewFlood<'_> {
+            type State = Option<u64>;
+            type Msg = u64;
+            fn init(&self, node: NodeId, out: &mut Outbox<'_, u64>) -> Option<u64> {
+                if node == self.source {
+                    for u in self.view.neighbors(node) {
+                        out.send(u, 1);
+                    }
+                    Some(0)
+                } else {
+                    None
+                }
+            }
+            fn step(
+                &self,
+                node: NodeId,
+                state: &mut Option<u64>,
+                inbox: &[(NodeId, u64)],
+                out: &mut Outbox<'_, u64>,
+            ) {
+                if state.is_none() {
+                    *state = inbox.iter().map(|&(_, h)| h).min();
+                    for u in self.view.neighbors(node) {
+                        out.send(u, state.unwrap() + 1);
+                    }
+                }
+            }
+            fn bits(&self, _msg: &u64) -> u32 {
+                8
+            }
+        }
+        let view = g.view(&alive);
+        let engine = Engine::new(CostModel::local());
+        let out = engine
+            .run(
+                &view,
+                &ViewFlood {
+                    view,
+                    source: NodeId::new(0),
+                },
+            )
+            .unwrap();
+        assert_eq!(out.states[1].as_ref().unwrap(), &Some(1));
+        assert_eq!(out.states[2], None, "dead node has no state");
+        assert_eq!(
+            out.states[3].as_ref().unwrap(),
+            &None,
+            "unreachable across dead node"
+        );
+    }
+
+    #[test]
+    fn oversized_message_rejected() {
+        let g = gen::path(2);
+        struct Big;
+        impl Protocol for Big {
+            type State = ();
+            type Msg = ();
+            fn init(&self, node: NodeId, out: &mut Outbox<'_, ()>) {
+                if node.index() == 0 {
+                    out.send(NodeId::new(1), ());
+                }
+            }
+            fn step(&self, _: NodeId, _: &mut (), _: &[(NodeId, ())], _: &mut Outbox<'_, ()>) {}
+            fn bits(&self, _: &()) -> u32 {
+                1_000_000
+            }
+        }
+        let engine = Engine::new(CostModel::congest(32));
+        let err = engine.run(&g.full_view(), &Big).unwrap_err();
+        assert!(matches!(err, EngineError::MessageTooLarge { .. }));
+        // The same protocol is fine in LOCAL mode.
+        assert!(Engine::new(CostModel::local())
+            .run(&g.full_view(), &Big)
+            .is_ok());
+    }
+
+    #[test]
+    fn duplicate_edge_message_rejected() {
+        let g = gen::path(2);
+        struct Dup;
+        impl Protocol for Dup {
+            type State = ();
+            type Msg = u8;
+            fn init(&self, node: NodeId, out: &mut Outbox<'_, u8>) {
+                if node.index() == 0 {
+                    out.send(NodeId::new(1), 1);
+                    out.send(NodeId::new(1), 2);
+                }
+            }
+            fn step(&self, _: NodeId, _: &mut (), _: &[(NodeId, u8)], _: &mut Outbox<'_, u8>) {}
+            fn bits(&self, _: &u8) -> u32 {
+                8
+            }
+        }
+        let err = Engine::new(CostModel::local())
+            .run(&g.full_view(), &Dup)
+            .unwrap_err();
+        assert!(matches!(err, EngineError::DuplicateEdgeMessage { .. }));
+    }
+
+    #[test]
+    fn non_neighbor_send_rejected() {
+        let g = gen::path(3);
+        struct Skip;
+        impl Protocol for Skip {
+            type State = ();
+            type Msg = u8;
+            fn init(&self, node: NodeId, out: &mut Outbox<'_, u8>) {
+                if node.index() == 0 {
+                    out.send(NodeId::new(2), 1); // not adjacent on a path
+                }
+            }
+            fn step(&self, _: NodeId, _: &mut (), _: &[(NodeId, u8)], _: &mut Outbox<'_, u8>) {}
+            fn bits(&self, _: &u8) -> u32 {
+                8
+            }
+        }
+        let err = Engine::new(CostModel::local())
+            .run(&g.full_view(), &Skip)
+            .unwrap_err();
+        assert!(matches!(err, EngineError::NotANeighbor { .. }));
+    }
+
+    #[test]
+    fn round_limit_detects_livelock() {
+        let g = gen::path(2);
+        struct PingPong;
+        impl Protocol for PingPong {
+            type State = ();
+            type Msg = u8;
+            fn init(&self, node: NodeId, out: &mut Outbox<'_, u8>) {
+                let other = NodeId::new(1 - node.index());
+                out.send(other, 0);
+            }
+            fn step(&self, node: NodeId, _: &mut (), _: &[(NodeId, u8)], out: &mut Outbox<'_, u8>) {
+                let other = NodeId::new(1 - node.index());
+                out.send(other, 0);
+            }
+            fn bits(&self, _: &u8) -> u32 {
+                1
+            }
+        }
+        let err = Engine::new(CostModel::local())
+            .with_max_rounds(50)
+            .run(&g.full_view(), &PingPong)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::RoundLimitExceeded { max_rounds: 50 }
+        ));
+    }
+
+    #[test]
+    fn silent_protocol_quiesces_immediately() {
+        let g = gen::grid(3, 3);
+        struct Silent;
+        impl Protocol for Silent {
+            type State = u8;
+            type Msg = u8;
+            fn init(&self, _: NodeId, _: &mut Outbox<'_, u8>) -> u8 {
+                7
+            }
+            fn step(&self, _: NodeId, _: &mut u8, _: &[(NodeId, u8)], _: &mut Outbox<'_, u8>) {}
+            fn bits(&self, _: &u8) -> u32 {
+                1
+            }
+        }
+        let out = Engine::new(CostModel::local())
+            .run(&g.full_view(), &Silent)
+            .unwrap();
+        assert_eq!(out.rounds, 0);
+        assert_eq!(out.ledger.messages(), 0);
+        assert!(out.states.iter().all(|s| *s == Some(7)));
+    }
+}

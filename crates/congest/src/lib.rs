@@ -1,0 +1,58 @@
+//! Synchronous CONGEST/LOCAL round simulator.
+//!
+//! This crate is the distributed-computing substrate of the SDND project:
+//! the model of Section 1.1 of the Chang–Ghaffari paper. The network is an
+//! `n`-node graph; computation proceeds in synchronous rounds; per round,
+//! each node may send one `B`-bit message to each neighbor
+//! (`B = Theta(log n)` in CONGEST, unbounded in LOCAL).
+//!
+//! Two execution levels are provided, cross-validated by the test suite:
+//!
+//! 1. **Kernel** ([`engine`]): a literal message-passing engine. Node
+//!    programs implement [`Protocol`]; the engine delivers messages round
+//!    by round, enforces the one-message-per-edge rule and the `B`-bit
+//!    budget, and reports the number of rounds used.
+//! 2. **Fast path** ([`primitives`]): direct computations of the same
+//!    primitives (BFS, layer census, tree aggregation/broadcast, leader
+//!    election, DFS numbering) that charge the *same* round counts and
+//!    message statistics to a [`RoundLedger`] without materializing every
+//!    message. Higher-level algorithms (the carving and decomposition
+//!    crates) compose these.
+//!
+//! Independent connected components run simultaneously in the model; the
+//! ledger mirrors this with [`RoundLedger::merge_parallel`], which adds
+//! the *maximum* of the branch round counts (and the sum of their message
+//! traffic).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cost;
+pub mod engine;
+pub mod primitives;
+
+pub use cost::{CostModel, ExecutionMode, RoundLedger};
+pub use engine::{Engine, EngineError, Outbox, Protocol, RunOutcome};
+
+/// Number of bits needed to transmit a value in `0..=max_value`
+/// (at least 1).
+///
+/// Used by message types to declare realistic CONGEST encodings.
+pub fn bits_for_value(max_value: u64) -> u32 {
+    (64 - max_value.leading_zeros()).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_for_value_edges() {
+        assert_eq!(bits_for_value(0), 1);
+        assert_eq!(bits_for_value(1), 1);
+        assert_eq!(bits_for_value(2), 2);
+        assert_eq!(bits_for_value(255), 8);
+        assert_eq!(bits_for_value(256), 9);
+        assert_eq!(bits_for_value(u64::MAX), 64);
+    }
+}

@@ -1,0 +1,369 @@
+//! Distributed breadth-first search.
+//!
+//! BFS tokens carry the hop count, so a message costs
+//! `bits_for_value(universe)` bits — comfortably within the CONGEST
+//! budget. A node at distance `d < r_max` forwards the token to all its
+//! neighbors in the round after it is discovered; discovery of layer `d`
+//! therefore happens in round `d`, and the run quiesces one round after
+//! the last forwarding layer.
+
+use crate::{bits_for_value, Outbox, Protocol, RoundLedger};
+use sdnd_graph::{Adjacency, NodeId};
+use std::collections::VecDeque;
+
+/// Output of a (bounded) distributed BFS.
+#[derive(Debug, Clone)]
+pub struct BfsOutcome {
+    dist: Vec<u32>,
+    parent: Vec<Option<NodeId>>,
+    order: Vec<NodeId>,
+    layer_sizes: Vec<usize>,
+}
+
+/// Distance marker for unreached nodes.
+pub(crate) const UNREACHED: u32 = u32::MAX;
+
+impl BfsOutcome {
+    /// Distance from the source set, or `u32::MAX` if unreached.
+    #[inline]
+    pub fn dist(&self, v: NodeId) -> u32 {
+        self.dist[v.index()]
+    }
+
+    /// Whether `v` was reached.
+    #[inline]
+    pub fn reached(&self, v: NodeId) -> bool {
+        self.dist[v.index()] != UNREACHED
+    }
+
+    /// BFS-tree parent: the *minimum-index* neighbor one layer closer
+    /// (the deterministic tie-break the kernel applies). `None` for
+    /// sources and unreached nodes.
+    #[inline]
+    pub fn parent(&self, v: NodeId) -> Option<NodeId> {
+        self.parent[v.index()]
+    }
+
+    /// The full parent vector, indexed by node.
+    pub fn parents(&self) -> &[Option<NodeId>] {
+        &self.parent
+    }
+
+    /// Reached nodes in non-decreasing distance order.
+    pub fn order(&self) -> &[NodeId] {
+        &self.order
+    }
+
+    /// Number of reached nodes.
+    pub fn reached_count(&self) -> usize {
+        self.order.len()
+    }
+
+    /// `layer_sizes()[d]` = number of nodes at distance exactly `d`.
+    pub fn layer_sizes(&self) -> &[usize] {
+        &self.layer_sizes
+    }
+
+    /// Cumulative ball sizes `|B_r|` for `r = 0..`.
+    pub fn ball_sizes(&self) -> Vec<usize> {
+        let mut acc = 0;
+        self.layer_sizes
+            .iter()
+            .map(|&s| {
+                acc += s;
+                acc
+            })
+            .collect()
+    }
+
+    /// Largest distance reached (`None` if nothing was reached).
+    pub fn eccentricity(&self) -> Option<u32> {
+        (!self.layer_sizes.is_empty()).then(|| self.layer_sizes.len() as u32 - 1)
+    }
+
+    /// Nodes within distance `r`, in BFS order.
+    pub fn ball(&self, r: u32) -> impl Iterator<Item = NodeId> + '_ {
+        self.order
+            .iter()
+            .copied()
+            .take_while(move |&v| self.dist(v) <= r)
+    }
+}
+
+/// Runs a distributed BFS from `sources` over `view`, truncated at
+/// distance `r_max` (inclusive), charging rounds and messages to
+/// `ledger`.
+///
+/// Round charge: every node at distance `d < r_max` with at least one
+/// alive neighbor forwards the token in round `d + 1`; the charge is the
+/// last such delivery round (0 if nobody forwards).
+pub fn bfs<A, I>(view: &A, sources: I, r_max: u32, ledger: &mut RoundLedger) -> BfsOutcome
+where
+    A: Adjacency,
+    I: IntoIterator<Item = NodeId>,
+{
+    let n = view.universe();
+    let mut dist = vec![UNREACHED; n];
+    let mut order = Vec::new();
+    let mut layer_sizes = Vec::new();
+    let mut queue = VecDeque::new();
+
+    for s in sources {
+        if view.contains(s) && dist[s.index()] == UNREACHED {
+            dist[s.index()] = 0;
+            queue.push_back(s);
+            order.push(s);
+        }
+    }
+    if !order.is_empty() {
+        layer_sizes.push(order.len());
+    }
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u.index()];
+        if du >= r_max {
+            continue;
+        }
+        for v in view.neighbors(u) {
+            if dist[v.index()] == UNREACHED {
+                dist[v.index()] = du + 1;
+                if layer_sizes.len() <= (du + 1) as usize {
+                    layer_sizes.push(0);
+                }
+                layer_sizes[(du + 1) as usize] += 1;
+                order.push(v);
+                queue.push_back(v);
+            }
+        }
+    }
+
+    // Kernel-consistent parents: minimum-index neighbor one layer closer.
+    let mut parent: Vec<Option<NodeId>> = vec![None; n];
+    for &v in &order {
+        let dv = dist[v.index()];
+        if dv == 0 {
+            continue;
+        }
+        parent[v.index()] = view
+            .neighbors(v)
+            .filter(|u| dist[u.index()] == dv - 1)
+            .min();
+    }
+
+    // Cost accounting: each reached node at distance d < r_max sends one
+    // token to every alive neighbor in round d + 1.
+    let token_bits = bits_for_value(n.max(2) as u64 - 1);
+    let mut last_delivery = 0u64;
+    let mut sends = 0u64;
+    for &v in &order {
+        let dv = dist[v.index()];
+        if dv >= r_max {
+            continue;
+        }
+        let deg = view.neighbors(v).count() as u64;
+        if deg > 0 {
+            sends += deg;
+            last_delivery = last_delivery.max(dv as u64 + 1);
+        }
+    }
+    ledger.charge_rounds(last_delivery);
+    ledger.record_messages(sends, token_bits);
+
+    BfsOutcome {
+        dist,
+        parent,
+        order,
+        layer_sizes,
+    }
+}
+
+/// Kernel node program computing the same BFS on the
+/// [`Engine`](crate::Engine); used by the cross-validation tests.
+pub struct BfsKernel<'a, A> {
+    view: &'a A,
+    is_source: Vec<bool>,
+    r_max: u32,
+    token_bits: u32,
+}
+
+impl<'a, A: Adjacency> BfsKernel<'a, A> {
+    /// Creates the kernel program for the given sources and radius bound.
+    pub fn new<I: IntoIterator<Item = NodeId>>(view: &'a A, sources: I, r_max: u32) -> Self {
+        let mut is_source = vec![false; view.universe()];
+        for s in sources {
+            if view.contains(s) {
+                is_source[s.index()] = true;
+            }
+        }
+        let token_bits = bits_for_value(view.universe().max(2) as u64 - 1);
+        BfsKernel {
+            view,
+            is_source,
+            r_max,
+            token_bits,
+        }
+    }
+}
+
+/// Per-node state of [`BfsKernel`].
+#[derive(Debug, Clone)]
+pub struct BfsKernelState {
+    /// Discovered distance, if any.
+    pub dist: Option<u32>,
+    /// Minimum-index sender that delivered the first token.
+    pub parent: Option<NodeId>,
+}
+
+impl<A: Adjacency> Protocol for BfsKernel<'_, A> {
+    type State = BfsKernelState;
+    type Msg = u32; // hop count of the sender + 1
+
+    fn init(&self, node: NodeId, out: &mut Outbox<'_, u32>) -> BfsKernelState {
+        if self.is_source[node.index()] {
+            if self.r_max > 0 {
+                for u in self.view.neighbors(node) {
+                    out.send(u, 1);
+                }
+            }
+            BfsKernelState {
+                dist: Some(0),
+                parent: None,
+            }
+        } else {
+            BfsKernelState {
+                dist: None,
+                parent: None,
+            }
+        }
+    }
+
+    fn step(
+        &self,
+        node: NodeId,
+        state: &mut BfsKernelState,
+        inbox: &[(NodeId, u32)],
+        out: &mut Outbox<'_, u32>,
+    ) {
+        if state.dist.is_some() {
+            return;
+        }
+        let d = inbox
+            .iter()
+            .map(|&(_, h)| h)
+            .min()
+            .expect("step with nonempty inbox");
+        state.dist = Some(d);
+        state.parent = inbox
+            .iter()
+            .filter(|&&(_, h)| h == d)
+            .map(|&(from, _)| from)
+            .min();
+        if d < self.r_max {
+            for u in self.view.neighbors(node) {
+                out.send(u, d + 1);
+            }
+        }
+    }
+
+    fn bits(&self, _msg: &u32) -> u32 {
+        self.token_bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CostModel, Engine};
+    use sdnd_graph::{gen, NodeSet};
+
+    fn cross_validate<A: Adjacency>(view: &A, sources: &[NodeId], r_max: u32) {
+        let mut ledger = RoundLedger::new();
+        let fast = bfs(view, sources.iter().copied(), r_max, &mut ledger);
+
+        let kernel = BfsKernel::new(view, sources.iter().copied(), r_max);
+        let engine = Engine::new(CostModel::congest_for(view.universe()));
+        let out = engine.run(view, &kernel).expect("kernel run succeeds");
+
+        for i in 0..view.universe() {
+            let v = NodeId::new(i);
+            let kdist = out.states[i].as_ref().and_then(|s| s.dist);
+            let fdist = fast.reached(v).then(|| fast.dist(v));
+            assert_eq!(kdist, fdist, "dist mismatch at {v:?}");
+            if view.contains(v) {
+                let kparent = out.states[i].as_ref().and_then(|s| s.parent);
+                assert_eq!(kparent, fast.parent(v), "parent mismatch at {v:?}");
+            }
+        }
+        assert_eq!(out.rounds, ledger.rounds(), "round charge mismatch");
+        assert_eq!(
+            out.ledger.messages(),
+            ledger.messages(),
+            "message count mismatch"
+        );
+        assert_eq!(
+            out.ledger.total_bits(),
+            ledger.total_bits(),
+            "bit count mismatch"
+        );
+    }
+
+    #[test]
+    fn cross_validate_grid() {
+        let g = gen::grid(5, 6);
+        cross_validate(&g.full_view(), &[NodeId::new(0)], u32::MAX);
+    }
+
+    #[test]
+    fn cross_validate_multi_source() {
+        let g = gen::cycle(17);
+        cross_validate(&g.full_view(), &[NodeId::new(0), NodeId::new(8)], u32::MAX);
+    }
+
+    #[test]
+    fn cross_validate_bounded() {
+        let g = gen::path(12);
+        cross_validate(&g.full_view(), &[NodeId::new(0)], 4);
+        cross_validate(&g.full_view(), &[NodeId::new(5)], 0);
+    }
+
+    #[test]
+    fn cross_validate_subset_view() {
+        let g = gen::grid(4, 4);
+        let alive = NodeSet::from_nodes(16, (0..16).filter(|&i| i != 5 && i != 6).map(NodeId::new));
+        let view = g.view(&alive);
+        cross_validate(&view, &[NodeId::new(0)], u32::MAX);
+    }
+
+    #[test]
+    fn cross_validate_random() {
+        for seed in 0..4 {
+            let g = gen::gnp_connected(40, 0.08, seed);
+            cross_validate(&g.full_view(), &[NodeId::new(3)], u32::MAX);
+            cross_validate(&g.full_view(), &[NodeId::new(3)], 2);
+        }
+    }
+
+    #[test]
+    fn ball_and_layers() {
+        let g = gen::path(8);
+        let mut ledger = RoundLedger::new();
+        let r = bfs(&g.full_view(), [NodeId::new(0)], u32::MAX, &mut ledger);
+        assert_eq!(r.ball_sizes(), vec![1, 2, 3, 4, 5, 6, 7, 8]);
+        assert_eq!(r.ball(3).count(), 4);
+        assert_eq!(r.eccentricity(), Some(7));
+        assert_eq!(
+            ledger.rounds(),
+            8,
+            "layer 6 forwards in round 7; node 7 forwards in round 8"
+        );
+    }
+
+    #[test]
+    fn isolated_source_charges_nothing() {
+        let g = sdnd_graph::Graph::empty(3);
+        let mut ledger = RoundLedger::new();
+        let r = bfs(&g.full_view(), [NodeId::new(1)], u32::MAX, &mut ledger);
+        assert_eq!(r.reached_count(), 1);
+        assert_eq!(ledger.rounds(), 0);
+        assert_eq!(ledger.messages(), 0);
+    }
+}

@@ -1,0 +1,127 @@
+//! Distributed DFS numbering of a marked subset along a tree.
+//!
+//! Lemma 3.1 splits a set `S` into two halves "according to the in-order
+//! traversal" of a BFS tree. In CONGEST this is done with two passes over
+//! the tree: a converge-cast in which every node learns how many members
+//! of `S` live in its subtree, followed by a broadcast of prefix offsets,
+//! after which every member knows its rank in the depth-first traversal
+//! (children in index order). Total cost: `2 · height` rounds and two
+//! messages per tree edge.
+//!
+//! The fast path computes ranks centrally and charges exactly that cost;
+//! its building blocks (converge-cast, broadcast) are kernel-validated in
+//! [`super::tree`], and the rank computation itself is pure tree algebra
+//! validated against [`sdnd_graph::algo::dfs_order_of_tree`].
+
+use super::tree::tree_shape;
+use crate::{bits_for_value, RoundLedger};
+use sdnd_graph::{algo, Adjacency, NodeId, NodeSet};
+
+/// Computes, for every member of `members` that lies in the tree rooted
+/// at `root`, its 0-based rank in the DFS pre-order of the tree
+/// restricted to `members`. Non-members and nodes outside the tree get
+/// `None`.
+///
+/// Charges `2 · height` rounds and `2 · (tree size - 1)` messages of
+/// `2 log n` bits (subtree count up, prefix offset down).
+pub fn subset_dfs_ranks<A: Adjacency>(
+    view: &A,
+    root: NodeId,
+    parent: &[Option<NodeId>],
+    members: &NodeSet,
+    ledger: &mut RoundLedger,
+) -> Vec<Option<u32>> {
+    let n = view.universe();
+    let shape = tree_shape(n, root, parent);
+    let msg_bits = 2 * bits_for_value(n.max(2) as u64 - 1);
+    ledger.charge_rounds(2 * shape.height as u64);
+    ledger.record_messages(2 * (shape.order.len() as u64 - 1), msg_bits);
+
+    let order = algo::dfs_order_of_tree(n, root, parent);
+    let mut ranks = vec![None; n];
+    let mut next = 0u32;
+    for &v in order.order() {
+        if members.contains(v) {
+            ranks[v.index()] = Some(next);
+            next += 1;
+        }
+    }
+    ranks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdnd_graph::gen;
+
+    #[test]
+    fn ranks_follow_dfs_order() {
+        // Star rooted at center 0: children visited in index order.
+        let g = gen::star(5);
+        let parent: Vec<Option<NodeId>> = vec![
+            None,
+            Some(NodeId::new(0)),
+            Some(NodeId::new(0)),
+            Some(NodeId::new(0)),
+            Some(NodeId::new(0)),
+        ];
+        let members = NodeSet::from_nodes(5, [0, 2, 4].map(NodeId::new));
+        let mut ledger = RoundLedger::new();
+        let ranks = subset_dfs_ranks(
+            &g.full_view(),
+            NodeId::new(0),
+            &parent,
+            &members,
+            &mut ledger,
+        );
+        assert_eq!(ranks[0], Some(0));
+        assert_eq!(ranks[1], None);
+        assert_eq!(ranks[2], Some(1));
+        assert_eq!(ranks[4], Some(2));
+        // Star has height 1: 2 rounds, 8 messages.
+        assert_eq!(ledger.rounds(), 2);
+        assert_eq!(ledger.messages(), 8);
+    }
+
+    #[test]
+    fn full_membership_gives_preorder_positions() {
+        let g = gen::path(6);
+        let mut bfs_ledger = RoundLedger::new();
+        let bfs = super::super::bfs(&g.full_view(), [NodeId::new(0)], u32::MAX, &mut bfs_ledger);
+        let members = NodeSet::full(6);
+        let mut ledger = RoundLedger::new();
+        let ranks = subset_dfs_ranks(
+            &g.full_view(),
+            NodeId::new(0),
+            bfs.parents(),
+            &members,
+            &mut ledger,
+        );
+        for i in 0..6 {
+            assert_eq!(ranks[i], Some(i as u32));
+        }
+        assert_eq!(ledger.rounds(), 2 * 5);
+    }
+
+    #[test]
+    fn splitting_by_rank_halves_members() {
+        let g = gen::grid(5, 5);
+        let mut l0 = RoundLedger::new();
+        let bfs = super::super::bfs(&g.full_view(), [NodeId::new(12)], u32::MAX, &mut l0);
+        let members = NodeSet::from_nodes(25, (0..25).step_by(2).map(NodeId::new));
+        let mut ledger = RoundLedger::new();
+        let ranks = subset_dfs_ranks(
+            &g.full_view(),
+            NodeId::new(12),
+            bfs.parents(),
+            &members,
+            &mut ledger,
+        );
+        let total = members.len() as u32;
+        let first_half: Vec<NodeId> = members
+            .iter()
+            .filter(|&v| ranks[v.index()].is_some_and(|r| r < total / 2))
+            .collect();
+        assert_eq!(first_half.len(), (total / 2) as usize);
+    }
+}

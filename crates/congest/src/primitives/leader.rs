@@ -1,0 +1,313 @@
+//! Leader election by minimum-identifier flooding, with a BFS tree.
+//!
+//! Every node floods the best `(id, dist)` pair it knows; improvements
+//! propagate one hop per round. After `ecc(leader) + 1` delivery rounds
+//! the network quiesces: every node knows the minimum identifier, its
+//! distance to that leader, and a parent pointer toward it — i.e. a BFS
+//! tree rooted at the leader, as used by Lemma 3.1 and the cluster-local
+//! computations.
+//!
+//! The fast path runs the identical synchronous relaxation (it *is* the
+//! kernel schedule, executed without engine overhead), so round and
+//! message counts agree exactly with [`LeaderKernel`] by construction.
+
+use crate::{bits_for_value, Outbox, Protocol, RoundLedger};
+use sdnd_graph::{Adjacency, NodeId};
+
+/// Outcome of leader election over one connected view.
+///
+/// If the view is disconnected, each component elects its own leader;
+/// per-node fields refer to the component-local leader.
+#[derive(Debug, Clone)]
+pub struct LeaderInfo {
+    best_id: Vec<u64>,
+    dist: Vec<u32>,
+    parent: Vec<Option<NodeId>>,
+}
+
+impl LeaderInfo {
+    /// The elected leader of the component containing `v` (the alive node
+    /// with minimum identifier), or `None` if `v` is not in the view.
+    pub fn leader_id_at(&self, v: NodeId) -> Option<u64> {
+        (self.dist[v.index()] != u32::MAX).then(|| self.best_id[v.index()])
+    }
+
+    /// Distance from `v` to its component leader (`u32::MAX` outside).
+    pub fn dist(&self, v: NodeId) -> u32 {
+        self.dist[v.index()]
+    }
+
+    /// Parent of `v` in the BFS tree rooted at its leader.
+    pub fn parent(&self, v: NodeId) -> Option<NodeId> {
+        self.parent[v.index()]
+    }
+
+    /// Parent pointers, indexed by node.
+    pub fn parents(&self) -> &[Option<NodeId>] {
+        &self.parent
+    }
+}
+
+/// Relaxation entry: smaller `(id, dist)` wins; parent breaks ties by
+/// minimum index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Best {
+    id: u64,
+    dist: u32,
+    parent: Option<NodeId>,
+}
+
+/// Elects the minimum-identifier node of every component of `view` and
+/// builds BFS trees rooted at the leaders, charging the flooding cost.
+pub fn elect_leader<A: Adjacency>(view: &A, ledger: &mut RoundLedger) -> LeaderInfo {
+    let n = view.universe();
+    let msg_bits = 2 * bits_for_value(n.max(2) as u64 - 1) + 2;
+    let mut best: Vec<Option<Best>> = vec![None; n];
+    // Nodes whose best improved last round (they send this round).
+    let mut frontier: Vec<NodeId> = Vec::new();
+    for v in view.nodes() {
+        best[v.index()] = Some(Best {
+            id: view.id_of(v),
+            dist: 0,
+            parent: None,
+        });
+        frontier.push(v);
+    }
+
+    let mut rounds = 0u64;
+    let mut messages = 0u64;
+    while !frontier.is_empty() {
+        // Deliveries from the current frontier.
+        let mut delivered = false;
+        let mut improved: Vec<NodeId> = Vec::new();
+        // Collect candidate improvements; process deterministically.
+        let mut candidates: Vec<(NodeId, Best)> = Vec::new();
+        for &u in &frontier {
+            let bu = best[u.index()].expect("frontier node has state");
+            for v in view.neighbors(u) {
+                delivered = true;
+                messages += 1;
+                candidates.push((
+                    v,
+                    Best {
+                        id: bu.id,
+                        dist: bu.dist + 1,
+                        parent: Some(u),
+                    },
+                ));
+            }
+        }
+        if delivered {
+            rounds += 1;
+        }
+        // Apply: a node adopts the lexicographically smallest (id, dist),
+        // breaking parent ties by minimum sender index — identical to the
+        // kernel, which sees the whole round's inbox at once.
+        candidates.sort_by_key(|&(v, c)| (v, c.id, c.dist, c.parent));
+        for (v, c) in candidates {
+            let cur = best[v.index()].expect("alive node has state");
+            if (c.id, c.dist) < (cur.id, cur.dist) {
+                best[v.index()] = Some(c);
+                if improved.last() != Some(&v) {
+                    improved.push(v);
+                }
+            }
+        }
+        improved.sort_unstable();
+        improved.dedup();
+        frontier = improved;
+    }
+
+    ledger.charge_rounds(rounds);
+    ledger.record_messages(messages, msg_bits);
+
+    let mut best_id = vec![u64::MAX; n];
+    let mut dist = vec![u32::MAX; n];
+    let mut parent = vec![None; n];
+    for v in view.nodes() {
+        let b = best[v.index()].expect("alive node has state");
+        best_id[v.index()] = b.id;
+        dist[v.index()] = b.dist;
+        parent[v.index()] = b.parent;
+    }
+    LeaderInfo {
+        best_id,
+        dist,
+        parent,
+    }
+}
+
+/// Kernel program for [`elect_leader`].
+pub struct LeaderKernel<'a, A> {
+    view: &'a A,
+    msg_bits: u32,
+}
+
+impl<'a, A: Adjacency> LeaderKernel<'a, A> {
+    /// Creates the flooding program.
+    pub fn new(view: &'a A) -> Self {
+        let msg_bits = 2 * bits_for_value(view.universe().max(2) as u64 - 1) + 2;
+        LeaderKernel { view, msg_bits }
+    }
+}
+
+/// Per-node state of [`LeaderKernel`].
+#[derive(Debug, Clone)]
+pub struct LeaderState {
+    /// Best identifier heard so far.
+    pub id: u64,
+    /// Distance to that identifier's origin.
+    pub dist: u32,
+    /// Neighbor that delivered the best pair.
+    pub parent: Option<NodeId>,
+}
+
+impl<A: Adjacency> Protocol for LeaderKernel<'_, A> {
+    type State = LeaderState;
+    type Msg = (u64, u32); // (best id, dist of sender to it)
+
+    fn init(&self, node: NodeId, out: &mut Outbox<'_, (u64, u32)>) -> LeaderState {
+        let id = self.view.id_of(node);
+        for u in self.view.neighbors(node) {
+            out.send(u, (id, 0));
+        }
+        LeaderState {
+            id,
+            dist: 0,
+            parent: None,
+        }
+    }
+
+    fn step(
+        &self,
+        node: NodeId,
+        state: &mut LeaderState,
+        inbox: &[(NodeId, (u64, u32))],
+        out: &mut Outbox<'_, (u64, u32)>,
+    ) {
+        let mut improved = false;
+        for &(from, (id, d)) in inbox {
+            let cand = (id, d + 1);
+            if cand < (state.id, state.dist) {
+                state.id = id;
+                state.dist = d + 1;
+                state.parent = Some(from);
+                improved = true;
+            } else if cand == (state.id, state.dist)
+                && improved
+                && state.parent.is_some_and(|p| from < p)
+            {
+                state.parent = Some(from);
+            }
+        }
+        if improved {
+            for u in self.view.neighbors(node) {
+                out.send(u, (state.id, state.dist));
+            }
+        }
+    }
+
+    fn bits(&self, _msg: &(u64, u32)) -> u32 {
+        self.msg_bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CostModel, Engine};
+    use sdnd_graph::{gen, NodeSet};
+
+    fn cross_validate<A: Adjacency>(view: &A) {
+        let mut ledger = RoundLedger::new();
+        let fast = elect_leader(view, &mut ledger);
+
+        let kernel = LeaderKernel::new(view);
+        let out = Engine::new(CostModel::congest_for(view.universe()))
+            .run(view, &kernel)
+            .unwrap();
+
+        for v in view.nodes() {
+            let ks = out.states[v.index()].as_ref().unwrap();
+            assert_eq!(Some(ks.id), fast.leader_id_at(v), "id at {v:?}");
+            assert_eq!(ks.dist, fast.dist(v), "dist at {v:?}");
+            assert_eq!(ks.parent, fast.parent(v), "parent at {v:?}");
+        }
+        assert_eq!(out.rounds, ledger.rounds(), "round mismatch");
+        assert_eq!(out.ledger.messages(), ledger.messages(), "message mismatch");
+    }
+
+    #[test]
+    fn elects_min_id() {
+        let g = gen::cycle(9)
+            .with_ids(vec![5, 3, 8, 1, 9, 0, 7, 2, 6])
+            .unwrap();
+        let mut ledger = RoundLedger::new();
+        let info = elect_leader(&g.full_view(), &mut ledger);
+        for v in g.nodes() {
+            assert_eq!(info.leader_id_at(v), Some(0));
+        }
+        // Node 5 has id 0; distances follow the cycle metric.
+        assert_eq!(info.dist(NodeId::new(5)), 0);
+        assert_eq!(info.dist(NodeId::new(1)), 4);
+        assert!(ledger.rounds() > 0);
+    }
+
+    #[test]
+    fn bfs_tree_parents_point_to_leader() {
+        let g = gen::grid(4, 4);
+        let mut ledger = RoundLedger::new();
+        let info = elect_leader(&g.full_view(), &mut ledger);
+        // Default ids: leader is node 0. Walk parents from node 15.
+        let mut v = NodeId::new(15);
+        let mut hops = 0;
+        while let Some(p) = info.parent(v) {
+            assert_eq!(info.dist(p), info.dist(v) - 1);
+            v = p;
+            hops += 1;
+            assert!(hops <= 16);
+        }
+        assert_eq!(v, NodeId::new(0));
+        assert_eq!(hops, info.dist(NodeId::new(15)));
+    }
+
+    #[test]
+    fn per_component_leaders() {
+        let g = sdnd_graph::Graph::from_edges(5, [(0, 1), (2, 3), (3, 4)])
+            .unwrap()
+            .with_ids(vec![9, 4, 7, 2, 8])
+            .unwrap();
+        let mut ledger = RoundLedger::new();
+        let info = elect_leader(&g.full_view(), &mut ledger);
+        assert_eq!(info.leader_id_at(NodeId::new(0)), Some(4));
+        assert_eq!(info.leader_id_at(NodeId::new(2)), Some(2));
+    }
+
+    #[test]
+    fn cross_validate_various() {
+        cross_validate(&gen::grid(4, 5).full_view());
+        cross_validate(
+            &gen::cycle(11)
+                .with_ids(vec![5, 3, 8, 1, 9, 0, 7, 2, 6, 10, 4])
+                .unwrap()
+                .full_view(),
+        );
+        cross_validate(&gen::gnp_connected(30, 0.1, 3).full_view());
+
+        let g = gen::grid(4, 4);
+        let alive = NodeSet::from_nodes(16, (0..16).filter(|&i| i % 5 != 2).map(NodeId::new));
+        cross_validate(&g.view(&alive));
+    }
+
+    #[test]
+    fn isolated_nodes_self_elect_free() {
+        let g = sdnd_graph::Graph::empty(3);
+        let mut ledger = RoundLedger::new();
+        let info = elect_leader(&g.full_view(), &mut ledger);
+        assert_eq!(ledger.rounds(), 0);
+        for v in g.nodes() {
+            assert_eq!(info.leader_id_at(v), Some(v.index() as u64));
+            assert_eq!(info.dist(v), 0);
+        }
+    }
+}

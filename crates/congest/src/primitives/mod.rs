@@ -1,0 +1,32 @@
+//! Distributed primitives with round accounting.
+//!
+//! Each primitive exists in two forms that the test suite proves
+//! equivalent:
+//!
+//! - a **kernel** node program (suffix `Kernel`) run on the
+//!   message-passing [`Engine`](crate::Engine), and
+//! - a **fast path** (the plain function) that computes the same output
+//!   directly and charges the same rounds and message statistics to a
+//!   [`RoundLedger`](crate::RoundLedger).
+//!
+//! The cost formulas follow the standard CONGEST folklore the paper
+//! invokes: BFS costs one round per layer; a pipelined layer census costs
+//! `BFS + L` rounds for `L` layers; converge-casts and broadcasts over a
+//! tree cost its height; and operations over a *family* of Steiner trees
+//! with depth `R` and edge-congestion `L` cost `R · L` rounds (the bound
+//! used in Theorem 2.1's round analysis).
+
+mod bfs;
+mod census;
+mod dfs_order;
+mod leader;
+mod tree;
+
+pub use bfs::{bfs, BfsKernel, BfsOutcome};
+pub use census::{layer_census, CensusKernel, LayerCensus};
+pub use dfs_order::subset_dfs_ranks;
+pub use leader::{elect_leader, LeaderInfo, LeaderKernel};
+pub use tree::{
+    broadcast_from_root, charge_family_op, converge_cast_sum, tree_height, BroadcastKernel,
+    ConvergeCastKernel,
+};

@@ -1,0 +1,160 @@
+//! Property-based cross-validation of the simulator's two execution
+//! levels: on random graphs, random sources, and random radius bounds,
+//! the message-passing kernel and the fast path must agree **exactly** —
+//! same outputs, same round counts, same message statistics. This is
+//! the load-bearing guarantee that lets the algorithm crates compose
+//! fast paths without leaving the CONGEST model.
+
+use proptest::prelude::*;
+use sdnd_congest::{primitives, CostModel, Engine, RoundLedger};
+use sdnd_graph::{Graph, NodeId, NodeSet};
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (3usize..30).prop_flat_map(|n| {
+        let edges = prop::collection::vec((0..n, 0..n), 0..(n * 3));
+        edges.prop_map(move |raw| {
+            let filtered: Vec<(usize, usize)> = raw.into_iter().filter(|&(u, v)| u != v).collect();
+            Graph::from_edges(n, filtered).expect("valid edges")
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn bfs_kernel_matches_fast_path(g in arb_graph(), src in 0usize..30, r_max in 0u32..8) {
+        let src = NodeId::new(src % g.n());
+        let view = g.full_view();
+
+        let mut ledger = RoundLedger::new();
+        let fast = primitives::bfs(&view, [src], r_max, &mut ledger);
+
+        let kernel = primitives::BfsKernel::new(&view, [src], r_max);
+        let out = Engine::new(CostModel::congest_for(g.n()))
+            .run(&view, &kernel)
+            .expect("kernel run succeeds");
+
+        for i in 0..g.n() {
+            let v = NodeId::new(i);
+            let kdist = out.states[i].as_ref().and_then(|s| s.dist);
+            let fdist = fast.reached(v).then(|| fast.dist(v));
+            prop_assert_eq!(kdist, fdist, "dist at {}", v);
+            let kparent = out.states[i].as_ref().and_then(|s| s.parent);
+            prop_assert_eq!(kparent, fast.parent(v), "parent at {}", v);
+        }
+        prop_assert_eq!(out.rounds, ledger.rounds(), "rounds");
+        prop_assert_eq!(out.ledger.messages(), ledger.messages(), "messages");
+        prop_assert_eq!(out.ledger.total_bits(), ledger.total_bits(), "bits");
+    }
+
+    #[test]
+    fn leader_kernel_matches_fast_path(g in arb_graph(), scramble in prop::bool::ANY) {
+        let g = if scramble {
+            let ids: Vec<u64> = (0..g.n() as u64).map(|i| (g.n() as u64 - i) * 5 + 2).collect();
+            g.with_ids(ids).expect("injective")
+        } else {
+            g
+        };
+        let view = g.full_view();
+
+        let mut ledger = RoundLedger::new();
+        let fast = primitives::elect_leader(&view, &mut ledger);
+
+        let kernel = primitives::LeaderKernel::new(&view);
+        let out = Engine::new(CostModel::congest_for(g.n()))
+            .run(&view, &kernel)
+            .expect("kernel run succeeds");
+
+        for v in g.nodes() {
+            let ks = out.states[v.index()].as_ref().expect("alive");
+            prop_assert_eq!(Some(ks.id), fast.leader_id_at(v), "id at {}", v);
+            prop_assert_eq!(ks.dist, fast.dist(v), "dist at {}", v);
+            prop_assert_eq!(ks.parent, fast.parent(v), "parent at {}", v);
+        }
+        prop_assert_eq!(out.rounds, ledger.rounds());
+        prop_assert_eq!(out.ledger.messages(), ledger.messages());
+    }
+
+    #[test]
+    fn census_kernel_matches_fast_path(g in arb_graph(), src in 0usize..30) {
+        let src = NodeId::new(src % g.n());
+        let view = g.full_view();
+
+        let mut full = RoundLedger::new();
+        let census = primitives::layer_census(&view, src, u32::MAX, &mut full);
+
+        // Kernel: BFS first (validated above), then the pipelined upcast.
+        let mut bfs_ledger = RoundLedger::new();
+        let bfs = primitives::bfs(&view, [src], u32::MAX, &mut bfs_ledger);
+        let dists: Vec<u32> = (0..g.n())
+            .map(|i| {
+                let v = NodeId::new(i);
+                if bfs.reached(v) { bfs.dist(v) } else { u32::MAX }
+            })
+            .collect();
+        let kernel = primitives::CensusKernel::new(
+            &dists,
+            bfs.parents(),
+            sdnd_congest::bits_for_value(g.n() as u64),
+        );
+        let out = Engine::new(CostModel::congest_for(g.n()))
+            .run(&view, &kernel)
+            .expect("kernel run succeeds");
+
+        let root_counts = &out.states[src.index()].as_ref().expect("root alive").counts;
+        prop_assert_eq!(root_counts.as_slice(), census.layer_counts());
+        let upcast_rounds = full.rounds() - bfs_ledger.rounds();
+        prop_assert_eq!(out.rounds, upcast_rounds, "upcast rounds");
+    }
+
+    #[test]
+    fn converge_cast_kernel_matches_fast_path(g in arb_graph(), src in 0usize..30) {
+        let src = NodeId::new(src % g.n());
+        let view = g.full_view();
+        let mut scratch = RoundLedger::new();
+        let bfs = primitives::bfs(&view, [src], u32::MAX, &mut scratch);
+        let values: Vec<u64> = (0..g.n() as u64).map(|i| i % 5 + 1).collect();
+        let bits = sdnd_congest::bits_for_value(values.iter().sum());
+
+        let mut ledger = RoundLedger::new();
+        let fast = primitives::converge_cast_sum(&view, src, bfs.parents(), &values, bits, &mut ledger);
+
+        let kernel = primitives::ConvergeCastKernel::new(g.n(), src, bfs.parents(), &values, bits);
+        let out = Engine::new(CostModel::congest_for(g.n()))
+            .run(&view, &kernel)
+            .expect("kernel run succeeds");
+        let kernel_sum = out.states[src.index()].as_ref().expect("root alive").acc;
+
+        prop_assert_eq!(fast, kernel_sum);
+        prop_assert_eq!(out.rounds, ledger.rounds());
+        prop_assert_eq!(out.ledger.messages(), ledger.messages());
+    }
+
+    #[test]
+    fn kernel_agreement_holds_on_subset_views(g in arb_graph(), mask_seed in 0u64..64) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(mask_seed);
+        let alive = NodeSet::from_nodes(g.n(), g.nodes().filter(|_| rng.gen_bool(0.75)));
+        if alive.is_empty() {
+            return Ok(());
+        }
+        let view = g.view(&alive);
+        let src = alive.iter().next().expect("nonempty");
+
+        let mut ledger = RoundLedger::new();
+        let fast = primitives::bfs(&view, [src], u32::MAX, &mut ledger);
+
+        let kernel = primitives::BfsKernel::new(&view, [src], u32::MAX);
+        let out = Engine::new(CostModel::congest_for(g.n()))
+            .run(&view, &kernel)
+            .expect("kernel run succeeds");
+
+        for v in alive.iter() {
+            let kdist = out.states[v.index()].as_ref().and_then(|s| s.dist);
+            let fdist = fast.reached(v).then(|| fast.dist(v));
+            prop_assert_eq!(kdist, fdist);
+        }
+        prop_assert_eq!(out.rounds, ledger.rounds());
+    }
+}

@@ -1,0 +1,37 @@
+//! Error type for the top-level entry points.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from the top-level decomposition entry points.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// The boundary parameter must lie in `(0, 1)`.
+    InvalidEps {
+        /// The rejected value.
+        eps: f64,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidEps { eps } => {
+                write!(f, "boundary parameter eps = {eps} must lie in (0, 1)")
+            }
+        }
+    }
+}
+
+impl Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(CoreError::InvalidEps { eps: 2.0 }.to_string().contains("2"));
+    }
+}

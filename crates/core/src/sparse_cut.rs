@@ -1,0 +1,382 @@
+//! Lemma 3.1: balanced sparse cut or large small-diameter component.
+//!
+//! On a `D`-diameter graph the algorithm returns, in `O(D log n)`
+//! rounds, either
+//!
+//! - a **balanced sparse cut**: non-adjacent sets `V1, V2` with
+//!   `|V1|, |V2| >= n/3` separated by a middle layer of
+//!   `O(eps n / log n)` nodes, or
+//! - a **large small-diameter component**: `U` with `|U| >= n/3`,
+//!   diameter `O(log^2 n / eps)`, and only `O(eps n / log n)` outside
+//!   nodes adjacent to it.
+//!
+//! The search maintains a shrinking seed set `S` (initially everything).
+//! Let `a` / `b` be the smallest radii whose `S`-neighborhoods reach
+//! `n/3` / `2n/3` nodes. If the annulus `b - a` is wide, its thinnest
+//! layer is a balanced sparse cut. Otherwise `S` is split into two
+//! halves along the DFS order of a BFS tree (so both halves stay
+//! coherent), and the half whose `a`-radius is smaller is kept — the
+//! paper's observation `min(a1, a2) <= b` bounds the drift per
+//! iteration by `O(log n / eps)`. After `O(log n)` halvings `S` is a
+//! single node whose `n/3`-ball has radius `O(log^2 n / eps)`; growing
+//! it to the thinnest layer within one more window yields `U`.
+
+use crate::Params;
+use sdnd_congest::{bits_for_value, primitives, RoundLedger};
+use sdnd_graph::{Adjacency, Graph, NodeId, NodeSet};
+
+/// The two possible outcomes of Lemma 3.1.
+#[derive(Debug, Clone)]
+pub enum CutOrComponent {
+    /// Non-adjacent `v1`, `v2` (each at least a third of the nodes)
+    /// separated by the thin `middle` layer.
+    SparseCut {
+        /// One side of the cut (`B_{r*}(S)`).
+        v1: NodeSet,
+        /// The other side (`V \ B_{r*+1}(S)`).
+        v2: NodeSet,
+        /// The removed middle layer (distance exactly `r* + 1` from `S`).
+        middle: NodeSet,
+    },
+    /// A component `u` of at least a third of the nodes with small
+    /// diameter; `boundary` is the set of outside nodes adjacent to it.
+    Component {
+        /// The small-diameter set `B_{r*}(v)`.
+        u: NodeSet,
+        /// Nodes outside `u` adjacent to it (distance exactly `r* + 1`).
+        boundary: NodeSet,
+    },
+}
+
+impl CutOrComponent {
+    /// The nodes removed by this outcome (middle layer or boundary).
+    pub fn removed(&self) -> &NodeSet {
+        match self {
+            CutOrComponent::SparseCut { middle, .. } => middle,
+            CutOrComponent::Component { boundary, .. } => boundary,
+        }
+    }
+}
+
+/// Runs Lemma 3.1 on the connected set `alive` (diameter `D`), charging
+/// `O(D log n)` rounds.
+///
+/// # Panics
+///
+/// Panics if `eps` is not in `(0, 1)` or `alive` is empty. `alive`
+/// should induce a connected subgraph; if it does not, the multi-source
+/// structure still yields a valid outcome for the union, but the
+/// diameter guarantee applies per component.
+pub fn cut_or_component(
+    g: &Graph,
+    alive: &NodeSet,
+    eps: f64,
+    params: &Params,
+    ledger: &mut RoundLedger,
+) -> CutOrComponent {
+    assert!(eps > 0.0 && eps < 1.0, "eps must lie in (0,1), got {eps}");
+    assert!(!alive.is_empty(), "Lemma 3.1 needs a nonempty set");
+    let n = alive.len();
+    let view = g.view(alive);
+    let window = params.cut_window(eps, n);
+    let third = n.div_ceil(3);
+    let two_thirds = (2 * n).div_ceil(3);
+
+    // One leader election up front: gives the BFS tree used for both
+    // aggregation charges and the DFS-order splits.
+    let leader_info = primitives::elect_leader(&view, ledger);
+    let leader = view
+        .min_id_node()
+        .expect("nonempty view has a minimum-identifier node");
+    let tree_height = primitives::tree_height(g.n(), leader, leader_info.parents()) as u64;
+    let count_bits = bits_for_value(g.n().max(2) as u64);
+
+    let mut s: NodeSet = alive.clone();
+    let max_iters = Params::log2n(n) + 2;
+
+    for _ in 0..max_iters {
+        if s.len() <= 1 {
+            break;
+        }
+        // Layer census from the source set S.
+        let bfs = primitives::bfs(&view, s.iter(), u32::MAX, ledger);
+        let balls = bfs.ball_sizes();
+        // Aggregating the layer counts to the leader: pipelined over the
+        // leader's BFS tree.
+        ledger.charge_rounds(tree_height + balls.len() as u64);
+        ledger.record_messages(s.len() as u64 + balls.len() as u64, count_bits);
+
+        let a = smallest_radius_reaching(&balls, third);
+        let b = smallest_radius_reaching(&balls, two_thirds);
+
+        if b.saturating_sub(a) >= window {
+            // Wide annulus: cut along the thinnest layer in [a, b-2].
+            let r_star = thinnest_layer(&balls, a, b - 2);
+            let mut v1 = NodeSet::empty(g.n());
+            let mut middle = NodeSet::empty(g.n());
+            let mut v2 = NodeSet::empty(g.n());
+            for v in alive.iter() {
+                let d = bfs.dist(v);
+                if d <= r_star {
+                    v1.insert(v);
+                } else if d == r_star + 1 {
+                    middle.insert(v);
+                } else {
+                    v2.insert(v);
+                }
+            }
+            debug_assert!(
+                v1.len() >= third && v2.len() + middle.len() >= n - balls[b as usize - 1]
+            );
+            return CutOrComponent::SparseCut { v1, v2, middle };
+        }
+
+        // Narrow annulus: split S along the DFS order of the leader tree.
+        let ranks = primitives::subset_dfs_ranks(&view, leader, leader_info.parents(), &s, ledger);
+        let half = (s.len() as u32).div_ceil(2);
+        let mut s1 = NodeSet::empty(g.n());
+        let mut s2 = NodeSet::empty(g.n());
+        for v in s.iter() {
+            match ranks[v.index()] {
+                Some(r) if r < half => {
+                    s1.insert(v);
+                }
+                Some(_) => {
+                    s2.insert(v);
+                }
+                None => {
+                    // Outside the leader tree (disconnected remnant):
+                    // keep with the second half.
+                    s2.insert(v);
+                }
+            }
+        }
+        // Keep the half with the smaller a-radius.
+        let a1 = radius_to_third(&view, &s1, third, ledger);
+        let a2 = radius_to_third(&view, &s2, third, ledger);
+        ledger.charge_rounds(2 * tree_height);
+        s = if a1 <= a2 { s1 } else { s2 };
+    }
+
+    // S is a single seed: grow to the thinnest layer past the n/3 ball.
+    let seed = s.iter().next().expect("seed remains");
+    let bfs = primitives::bfs(&view, [seed], u32::MAX, ledger);
+    let balls = bfs.ball_sizes();
+    ledger.charge_rounds(tree_height + balls.len() as u64);
+    let a = smallest_radius_reaching(&balls, third);
+    let r_star = thinnest_layer(&balls, a, a + window);
+
+    let mut u = NodeSet::empty(g.n());
+    let mut boundary = NodeSet::empty(g.n());
+    for v in alive.iter() {
+        let d = bfs.dist(v);
+        if d <= r_star {
+            u.insert(v);
+        } else if d == r_star + 1 {
+            boundary.insert(v);
+        }
+    }
+    CutOrComponent::Component { u, boundary }
+}
+
+/// Smallest radius `r` with `balls[r] >= target` (or the last layer if
+/// never reached — only possible for disconnected inputs).
+fn smallest_radius_reaching(balls: &[usize], target: usize) -> u32 {
+    balls
+        .iter()
+        .position(|&c| c >= target)
+        .unwrap_or(balls.len().saturating_sub(1)) as u32
+}
+
+/// The radius `r` in `[lo, hi]` minimizing `balls[r+1] / balls[r]`
+/// (layers past the BFS frontier count as ratio 1).
+fn thinnest_layer(balls: &[usize], lo: u32, hi: u32) -> u32 {
+    let at = |r: u32| -> usize {
+        let idx = (r as usize).min(balls.len() - 1);
+        balls[idx]
+    };
+    let mut best = lo;
+    let mut best_ratio = f64::INFINITY;
+    for r in lo..=hi {
+        let ratio = at(r + 1) as f64 / at(r).max(1) as f64;
+        if ratio < best_ratio {
+            best_ratio = ratio;
+            best = r;
+        }
+    }
+    best
+}
+
+/// The smallest radius whose `seed`-neighborhood reaches `target` nodes.
+fn radius_to_third<A: Adjacency>(
+    view: &A,
+    seed: &NodeSet,
+    target: usize,
+    ledger: &mut RoundLedger,
+) -> u32 {
+    if seed.is_empty() {
+        return u32::MAX;
+    }
+    let bfs = primitives::bfs(view, seed.iter(), u32::MAX, ledger);
+    smallest_radius_reaching(&bfs.ball_sizes(), target)
+}
+
+/// Convenience wrapper verifying the Lemma 3.1 guarantees (used by tests
+/// and the barrier experiment): returns `(outcome, removed fraction,
+/// strong diameter of U if Component)`.
+pub fn cut_or_component_report(
+    g: &Graph,
+    alive: &NodeSet,
+    eps: f64,
+    params: &Params,
+    ledger: &mut RoundLedger,
+) -> (CutOrComponent, f64, Option<u32>) {
+    let outcome = cut_or_component(g, alive, eps, params, ledger);
+    let removed_fraction = outcome.removed().len() as f64 / alive.len() as f64;
+    let diam = match &outcome {
+        CutOrComponent::Component { u, .. } => {
+            let members: Vec<NodeId> = u.iter().collect();
+            sdnd_clustering::metrics::strong_diameter_of(g, &members)
+        }
+        CutOrComponent::SparseCut { .. } => None,
+    };
+    (outcome, removed_fraction, diam)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdnd_graph::gen;
+
+    fn run(g: &Graph, eps: f64) -> (CutOrComponent, usize) {
+        let alive = NodeSet::full(g.n());
+        let mut ledger = RoundLedger::new();
+        let out = cut_or_component(g, &alive, eps, &Params::default(), &mut ledger);
+        assert!(ledger.rounds() > 0);
+        (out, g.n())
+    }
+
+    fn assert_valid(g: &Graph, out: &CutOrComponent, n: usize) {
+        match out {
+            CutOrComponent::SparseCut { v1, v2, middle } => {
+                assert!(v1.len() >= n / 3, "v1 too small: {}", v1.len());
+                assert!(v2.len() >= n / 3, "v2 too small: {}", v2.len());
+                assert!(v1.is_disjoint(v2) && v1.is_disjoint(middle) && v2.is_disjoint(middle));
+                assert_eq!(v1.len() + v2.len() + middle.len(), n);
+                // Non-adjacency of v1 and v2.
+                for (a, b) in g.edges() {
+                    let cross =
+                        (v1.contains(a) && v2.contains(b)) || (v1.contains(b) && v2.contains(a));
+                    assert!(!cross, "edge ({a},{b}) crosses the cut");
+                }
+            }
+            CutOrComponent::Component { u, boundary } => {
+                assert!(u.len() >= n / 3, "component too small: {}", u.len());
+                assert!(u.is_disjoint(boundary));
+                // Every outside neighbor of u lies in boundary.
+                for (a, b) in g.edges() {
+                    if u.contains(a) && !u.contains(b) {
+                        assert!(boundary.contains(b), "neighbor {b} of u missed");
+                    }
+                    if u.contains(b) && !u.contains(a) {
+                        assert!(boundary.contains(a), "neighbor {a} of u missed");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn long_path_yields_sparse_cut() {
+        // A long path has a huge b - a annulus: must find a cut of a
+        // single node.
+        let g = gen::path(600);
+        let (out, n) = run(&g, 0.5);
+        assert_valid(&g, &out, n);
+        match &out {
+            CutOrComponent::SparseCut { middle, .. } => {
+                assert!(middle.len() <= 6, "middle layer of a path should be tiny");
+            }
+            CutOrComponent::Component { .. } => panic!("expected a sparse cut on a long path"),
+        }
+    }
+
+    #[test]
+    fn small_diameter_graph_yields_component() {
+        // A complete-ish graph has no wide annulus: must return a large
+        // small-diameter component.
+        let g = gen::complete(30);
+        let (out, n) = run(&g, 0.5);
+        assert_valid(&g, &out, n);
+        match &out {
+            CutOrComponent::Component { u, boundary } => {
+                assert_eq!(u.len() + boundary.len(), 30, "K30 ball swallows everything");
+            }
+            CutOrComponent::SparseCut { .. } => panic!("K30 has no balanced sparse cut"),
+        }
+    }
+
+    #[test]
+    fn grid_outcome_is_valid() {
+        for (r, c) in [(10, 10), (4, 50), (15, 7)] {
+            let g = gen::grid(r, c);
+            let (out, n) = run(&g, 0.5);
+            assert_valid(&g, &out, n);
+        }
+    }
+
+    #[test]
+    fn expander_yields_component_with_small_diameter() {
+        let g = gen::random_regular_connected(90, 4, 7).unwrap();
+        let alive = NodeSet::full(90);
+        let mut ledger = RoundLedger::new();
+        let (out, removed, diam) =
+            cut_or_component_report(&g, &alive, 0.5, &Params::default(), &mut ledger);
+        assert_valid(&g, &out, 90);
+        assert!(removed <= 1.0);
+        if let Some(d) = diam {
+            // O(log^2 n / eps) envelope with explicit constant.
+            let bound = (8.0 * (90f64).ln().powi(2) / 0.5) as u32 + 4;
+            assert!(d <= bound, "component diameter {d} vs {bound}");
+        }
+    }
+
+    #[test]
+    fn outcome_respects_eps_budget() {
+        let g = gen::grid(12, 12);
+        let alive = NodeSet::full(144);
+        let mut ledger = RoundLedger::new();
+        for eps in [0.5, 0.25] {
+            let out = cut_or_component(&g, &alive, eps, &Params::default(), &mut ledger);
+            let budget = (eps * 144.0 / (144f64).log2() * 8.0).ceil() as usize + 2;
+            assert!(
+                out.removed().len() <= budget,
+                "removed {} exceeds O(eps n / log n) envelope {budget}",
+                out.removed().len()
+            );
+        }
+    }
+
+    #[test]
+    fn singleton_input() {
+        let g = gen::path(3);
+        let alive = NodeSet::from_nodes(3, [NodeId::new(1)]);
+        let mut ledger = RoundLedger::new();
+        let out = cut_or_component(&g, &alive, 0.5, &Params::default(), &mut ledger);
+        match out {
+            CutOrComponent::Component { u, boundary } => {
+                assert_eq!(u.len(), 1);
+                assert!(boundary.is_empty());
+            }
+            _ => panic!("singleton must be a component"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "nonempty")]
+    fn empty_input_panics() {
+        let g = gen::path(3);
+        let mut ledger = RoundLedger::new();
+        let _ = cut_or_component(&g, &NodeSet::empty(3), 0.5, &Params::default(), &mut ledger);
+    }
+}

@@ -1,0 +1,377 @@
+//! Theorem 2.1: the weak→strong ball carving transformation.
+//!
+//! Given a black-box weak-diameter ball carving algorithm `A` (clusters
+//! with Steiner trees of depth `R` and congestion `L`), algorithm `B`
+//! computes a *strong*-diameter ball carving with diameter
+//! `2 R(n, eps / (2 log n)) + O(log n / eps)` — the core technical
+//! contribution of the paper.
+//!
+//! # The iteration (paper, Section 2)
+//!
+//! `B` runs `log n` iterations; at the start of iteration `i` every
+//! connected component of alive nodes has at most `n / 2^(i-1)` nodes,
+//! and each component `S` is processed independently and in parallel:
+//!
+//! 1. Run `A` on `G[S]` with boundary `eps' = eps / (2 log n)`.
+//! 2. **Case I** — every cluster has at most `n / 2^i` nodes: declare
+//!    `A`'s unclustered nodes dead and recurse on the connected
+//!    components of the alive nodes (each lies inside one cluster, so
+//!    the size bound holds).
+//! 3. **Case II** — some *giant* cluster `C` exceeds `n / 2^i` (at most
+//!    one can): let `a` be the root of `C`'s Steiner tree. Grow a ball
+//!    around `a` in the whole of `G[S]`, starting from radius `R` (which
+//!    covers `C`), until a radius `r*` with
+//!    `|B_r| / |B_{r+1}| >= 1 - eps/2` is found — at most
+//!    `O(log n / eps)` growth steps, since each failure multiplies the
+//!    ball size by `1/(1 - eps/2)`. Output `B_{r*}(a)` as a
+//!    strong-diameter cluster, kill the boundary layer `r* + 1`, and
+//!    recurse on the components of the remainder (`A`'s unclustered
+//!    nodes stay alive in this case).
+//!
+//! Dead nodes: at most `eps/2` from the `log n` invocations of `A` plus
+//! at most `eps/2` from ball boundaries (each boundary is an `eps/2`
+//! fraction of its removed ball, and removed balls are disjoint).
+
+use crate::Params;
+use sdnd_clustering::{BallCarving, WeakCarver};
+use sdnd_congest::{bits_for_value, primitives, RoundLedger};
+use sdnd_graph::{algo, Graph, NodeId, NodeSet};
+
+/// Runs the Theorem 2.1 transformation: a strong-diameter ball carving
+/// of `G[alive]` removing at most an `eps` fraction of `alive`, via
+/// black-box invocations of the weak carver `a`.
+///
+/// # Panics
+///
+/// Panics if `eps` is not in `(0, 1)` or if the iteration bound is
+/// exceeded (which would indicate a broken weak carver).
+pub fn weak_to_strong<A: WeakCarver + ?Sized>(
+    g: &Graph,
+    alive: &NodeSet,
+    eps: f64,
+    a: &A,
+    params: &Params,
+    ledger: &mut RoundLedger,
+) -> BallCarving {
+    assert!(eps > 0.0 && eps < 1.0, "eps must lie in (0,1), got {eps}");
+    let n0 = alive.len();
+    if n0 == 0 {
+        return BallCarving::new(alive.clone(), vec![]).expect("empty carving");
+    }
+
+    let log2n = Params::log2n(n0);
+    let eps_inner = params.inner_eps(eps, n0);
+    let window = params.growth_window(eps, n0);
+    let max_iter = log2n + 2;
+
+    let mut out_clusters: Vec<Vec<NodeId>> = Vec::new();
+    // Components to process this iteration.
+    let mut work: Vec<NodeSet> = {
+        let view = g.view(alive);
+        algo::connected_components(&view).into_sets()
+    };
+
+    for i in 1..=max_iter {
+        if work.is_empty() {
+            break;
+        }
+        assert!(
+            i <= max_iter,
+            "Theorem 2.1 iteration bound exceeded; weak carver is broken"
+        );
+        // Threshold for a giant cluster: |C| > n0 / 2^i.
+        let threshold = n0 as f64 / 2f64.powi(i as i32);
+        let mut next_work: Vec<NodeSet> = Vec::new();
+        let mut branch_ledgers: Vec<RoundLedger> = Vec::new();
+
+        for s in work {
+            let mut branch = RoundLedger::new();
+            process_component(
+                g,
+                &s,
+                eps,
+                eps_inner,
+                threshold,
+                window,
+                a,
+                &mut out_clusters,
+                &mut next_work,
+                &mut branch,
+            );
+            branch_ledgers.push(branch);
+        }
+        ledger.merge_parallel(branch_ledgers);
+        work = next_work;
+    }
+    assert!(
+        work.is_empty(),
+        "components remain after the iteration bound; weak carver is broken"
+    );
+
+    BallCarving::new(alive.clone(), out_clusters)
+        .expect("output balls are disjoint subsets of the alive set")
+}
+
+/// One component, one iteration: the Case I / Case II dichotomy.
+#[allow(clippy::too_many_arguments)]
+fn process_component<A: WeakCarver + ?Sized>(
+    g: &Graph,
+    s: &NodeSet,
+    eps: f64,
+    eps_inner: f64,
+    threshold: f64,
+    window: u32,
+    a: &A,
+    out_clusters: &mut Vec<Vec<NodeId>>,
+    next_work: &mut Vec<NodeSet>,
+    ledger: &mut RoundLedger,
+) {
+    if s.is_empty() {
+        return;
+    }
+    if s.len() == 1 {
+        out_clusters.push(s.iter().collect());
+        return;
+    }
+
+    // Step 1: the black-box weak carving on G[S].
+    let wc = a.carve_weak(g, s, eps_inner, ledger);
+
+    // Giant detection: sizes are gathered over the Steiner trees
+    // (depth x congestion rounds, one counter message per tree node).
+    let depth = wc
+        .forest()
+        .max_depth()
+        .expect("carver produced valid trees") as u64;
+    let congestion = wc.forest().congestion() as u64;
+    let tree_nodes: u64 = wc.forest().trees().iter().map(|t| t.len() as u64).sum();
+    let count_bits = bits_for_value(g.n().max(2) as u64);
+    primitives::charge_family_op(ledger, depth, congestion, tree_nodes, count_bits);
+
+    let giant = wc
+        .carving()
+        .clusters()
+        .iter()
+        .position(|c| c.len() as f64 > threshold);
+
+    match giant {
+        None => {
+            // Case I: drop the carver's dead nodes, recurse on components.
+            let mut remaining = s.clone();
+            remaining.subtract(wc.carving().dead());
+            if remaining.is_empty() {
+                return;
+            }
+            let view = g.view(&remaining);
+            next_work.extend(algo::connected_components(&view).into_sets());
+        }
+        Some(ci) => {
+            // Case II: ball-grow from the giant cluster's tree root over
+            // the whole component (the carver's dead stay alive here).
+            let root = wc.forest().tree(ci).root();
+            let tree_depth = wc.forest().tree(ci).depth().expect("valid tree");
+            let r_lo = tree_depth;
+            let r_hi = r_lo + window;
+
+            let view = g.view(s);
+            let census = primitives::layer_census(&view, root, r_hi + 1, ledger);
+            let balls = census.ball_sizes();
+            debug_assert!(
+                wc.carving().clusters()[ci]
+                    .iter()
+                    .all(|&m| census.bfs().reached(m) && census.bfs().dist(m) <= r_lo),
+                "tree depth bounds the root-to-member distance in G[S]"
+            );
+
+            let ball_at = |r: u32| -> u64 {
+                let idx = (r as usize).min(balls.len() - 1);
+                balls[idx]
+            };
+            let mut r_star = r_hi;
+            for r in r_lo..=r_hi {
+                if ball_at(r) as f64 >= (1.0 - eps / 2.0) * ball_at(r + 1) as f64 {
+                    r_star = r;
+                    break;
+                }
+            }
+            assert!(
+                ball_at(r_star) as f64 >= (1.0 - eps / 2.0) * ball_at(r_star + 1) as f64,
+                "no good radius in the growth window — ball sizes would exceed n"
+            );
+
+            let ball: Vec<NodeId> = census.bfs().ball(r_star).collect();
+            let boundary: Vec<NodeId> = census
+                .bfs()
+                .order()
+                .iter()
+                .copied()
+                .filter(|&v| census.bfs().dist(v) == r_star + 1)
+                .collect();
+
+            out_clusters.push(ball.clone());
+
+            let mut remaining = s.clone();
+            for v in ball.into_iter().chain(boundary) {
+                remaining.remove(v);
+            }
+            if !remaining.is_empty() {
+                let view = g.view(&remaining);
+                next_work.extend(algo::connected_components(&view).into_sets());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdnd_clustering::{validate_carving, WeakCarving};
+    use sdnd_graph::gen;
+    use sdnd_weak::{Ls93, Rg20};
+
+    fn check(g: &Graph, eps: f64, carver: &dyn WeakCarver) -> (BallCarving, RoundLedger) {
+        let alive = NodeSet::full(g.n());
+        let mut ledger = RoundLedger::new();
+        let out = weak_to_strong(g, &alive, eps, carver, &Params::default(), &mut ledger);
+        let report = validate_carving(g, &out);
+        assert!(
+            report.is_valid_strong(eps),
+            "strong contract violated (dead {:.3}): {:?}",
+            report.dead_fraction,
+            report.violations
+        );
+        (out, ledger)
+    }
+
+    #[test]
+    fn transforms_rg20_on_grid() {
+        let g = gen::grid(8, 8);
+        let (out, ledger) = check(&g, 0.5, &Rg20::ggr21());
+        assert!(out.num_clusters() >= 1);
+        assert!(ledger.rounds() > 0);
+    }
+
+    #[test]
+    fn transforms_rg20_on_path_and_cycle() {
+        check(&gen::path(64), 0.5, &Rg20::ggr21());
+        check(&gen::cycle(50), 0.5, &Rg20::ggr21());
+    }
+
+    #[test]
+    fn transforms_rg20_on_random_graphs() {
+        for seed in 0..3 {
+            let g = gen::gnp_connected(70, 0.06, seed);
+            check(&g, 0.5, &Rg20::ggr21());
+        }
+    }
+
+    #[test]
+    fn transforms_on_expander() {
+        let g = gen::random_regular_connected(64, 4, 5).unwrap();
+        check(&g, 0.5, &Rg20::ggr21());
+    }
+
+    #[test]
+    fn works_with_randomized_weak_carver_too() {
+        // Theorem 2.1 is black-box: plugging the LS93 carver also yields
+        // a valid strong carving (the resulting algorithm is randomized).
+        let g = gen::grid(7, 7);
+        check(&g, 0.5, &Ls93::new(3));
+    }
+
+    #[test]
+    fn small_eps_kills_fewer() {
+        let g = gen::grid(10, 10);
+        let (out, _) = check(&g, 0.25, &Rg20::ggr21());
+        assert!(out.dead_fraction() <= 0.25);
+    }
+
+    #[test]
+    fn diameter_within_theorem_bound() {
+        // Theorem 2.1: strong diameter <= 2 R(n, eps') + O(log n / eps).
+        // Measure R from a direct weak carving at the same eps' and
+        // compare.
+        let g = gen::grid(9, 9);
+        let alive = NodeSet::full(g.n());
+        let params = Params::default();
+        let eps = 0.5;
+        let carver = Rg20::ggr21();
+
+        let mut scratch = RoundLedger::new();
+        let wc: WeakCarving =
+            carver.carve_weak(&g, &alive, params.inner_eps(eps, 81), &mut scratch);
+        let r = wc.forest().max_depth().unwrap();
+
+        let mut ledger = RoundLedger::new();
+        let out = weak_to_strong(&g, &alive, eps, &carver, &params, &mut ledger);
+        let report = validate_carving(&g, &out);
+        let bound = 2 * r + params.growth_window(eps, 81) + 2;
+        let measured = report.max_strong_diameter.unwrap();
+        assert!(
+            measured <= 2 * bound,
+            "measured {measured} vs theorem-shaped bound {bound}"
+        );
+    }
+
+    #[test]
+    fn disconnected_input_processed_per_component() {
+        let mut b = Graph::builder(20);
+        // Two disjoint paths.
+        for i in 1..10 {
+            b.edge(i - 1, i);
+        }
+        for i in 11..20 {
+            b.edge(i - 1, i);
+        }
+        let g = b.build().unwrap();
+        check(&g, 0.5, &Rg20::ggr21());
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let g = gen::path(5);
+        let mut ledger = RoundLedger::new();
+        let empty = weak_to_strong(
+            &g,
+            &NodeSet::empty(5),
+            0.5,
+            &Rg20::rg20(),
+            &Params::default(),
+            &mut ledger,
+        );
+        assert_eq!(empty.num_clusters(), 0);
+
+        let one = NodeSet::from_nodes(5, [NodeId::new(2)]);
+        let out = weak_to_strong(
+            &g,
+            &one,
+            0.5,
+            &Rg20::rg20(),
+            &Params::default(),
+            &mut ledger,
+        );
+        assert_eq!(out.num_clusters(), 1);
+        assert_eq!(out.dead_fraction(), 0.0);
+    }
+
+    #[test]
+    fn congest_compliance() {
+        let g = gen::grid(7, 7);
+        let mut ledger = RoundLedger::new();
+        let _ = weak_to_strong(
+            &g,
+            &NodeSet::full(49),
+            0.5,
+            &Rg20::ggr21(),
+            &Params::default(),
+            &mut ledger,
+        );
+        let cost = sdnd_congest::CostModel::congest_for(49);
+        assert!(
+            ledger.complies_with(&cost),
+            "max message {} bits vs budget {}",
+            ledger.max_message_bits(),
+            cost.bits_per_message()
+        );
+    }
+}

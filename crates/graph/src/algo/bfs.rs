@@ -1,0 +1,224 @@
+//! Breadth-first search, single- and multi-source, with layer censuses.
+
+use crate::{Adjacency, NodeId};
+use std::collections::VecDeque;
+
+/// Distance value for nodes not reached by a BFS.
+pub const UNREACHED: u32 = u32::MAX;
+
+/// The result of a breadth-first search.
+///
+/// Distances are measured in the view the search ran on; nodes outside the
+/// view or in other components carry [`UNREACHED`].
+#[derive(Debug, Clone)]
+pub struct BfsResult {
+    dist: Vec<u32>,
+    parent: Vec<Option<NodeId>>,
+    order: Vec<NodeId>,
+    layer_sizes: Vec<usize>,
+}
+
+impl BfsResult {
+    /// Distance from the source set to `v`, or [`UNREACHED`].
+    #[inline]
+    pub fn dist(&self, v: NodeId) -> u32 {
+        self.dist[v.index()]
+    }
+
+    /// Whether `v` was reached.
+    #[inline]
+    pub fn reached(&self, v: NodeId) -> bool {
+        self.dist[v.index()] != UNREACHED
+    }
+
+    /// BFS-tree parent of `v` (`None` for sources and unreached nodes).
+    #[inline]
+    pub fn parent(&self, v: NodeId) -> Option<NodeId> {
+        self.parent[v.index()]
+    }
+
+    /// The reached nodes in non-decreasing distance order.
+    pub fn order(&self) -> &[NodeId] {
+        &self.order
+    }
+
+    /// Number of reached nodes.
+    pub fn reached_count(&self) -> usize {
+        self.order.len()
+    }
+
+    /// `layer_sizes()[d]` is the number of nodes at distance exactly `d`.
+    pub fn layer_sizes(&self) -> &[usize] {
+        &self.layer_sizes
+    }
+
+    /// Cumulative ball sizes: `ball_sizes()[r] = |B_r|`, the number of
+    /// nodes within distance `r` of the source set.
+    pub fn ball_sizes(&self) -> Vec<usize> {
+        let mut acc = 0;
+        self.layer_sizes
+            .iter()
+            .map(|&s| {
+                acc += s;
+                acc
+            })
+            .collect()
+    }
+
+    /// The largest distance reached, i.e. the eccentricity of the source
+    /// set within its component. `None` if nothing was reached.
+    pub fn eccentricity(&self) -> Option<u32> {
+        if self.layer_sizes.is_empty() {
+            None
+        } else {
+            Some(self.layer_sizes.len() as u32 - 1)
+        }
+    }
+
+    /// All reached nodes with distance at most `r`, in BFS order.
+    pub fn ball(&self, r: u32) -> impl Iterator<Item = NodeId> + '_ {
+        self.order
+            .iter()
+            .copied()
+            .take_while(move |&v| self.dist(v) <= r)
+    }
+}
+
+/// Runs a BFS from the given source set over `view`.
+///
+/// Sources not contained in the view are ignored. Runs until the whole
+/// reachable region is explored.
+pub fn bfs<A, I>(view: &A, sources: I) -> BfsResult
+where
+    A: Adjacency,
+    I: IntoIterator<Item = NodeId>,
+{
+    bfs_bounded(view, sources, u32::MAX)
+}
+
+/// Runs a BFS truncated at distance `max_dist` (inclusive).
+///
+/// Nodes farther than `max_dist` from every source are left [`UNREACHED`].
+pub fn bfs_bounded<A, I>(view: &A, sources: I, max_dist: u32) -> BfsResult
+where
+    A: Adjacency,
+    I: IntoIterator<Item = NodeId>,
+{
+    let n = view.universe();
+    let mut dist = vec![UNREACHED; n];
+    let mut parent: Vec<Option<NodeId>> = vec![None; n];
+    let mut order = Vec::new();
+    let mut layer_sizes = Vec::new();
+    let mut queue = VecDeque::new();
+
+    for s in sources {
+        if view.contains(s) && dist[s.index()] == UNREACHED {
+            dist[s.index()] = 0;
+            queue.push_back(s);
+            order.push(s);
+        }
+    }
+    if !order.is_empty() {
+        layer_sizes.push(order.len());
+    }
+
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u.index()];
+        if du >= max_dist {
+            continue;
+        }
+        for v in view.neighbors(u) {
+            if dist[v.index()] == UNREACHED {
+                dist[v.index()] = du + 1;
+                parent[v.index()] = Some(u);
+                if layer_sizes.len() <= (du + 1) as usize {
+                    layer_sizes.push(0);
+                }
+                layer_sizes[(du + 1) as usize] += 1;
+                order.push(v);
+                queue.push_back(v);
+            }
+        }
+    }
+
+    BfsResult {
+        dist,
+        parent,
+        order,
+        layer_sizes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{gen, Graph, NodeSet};
+
+    #[test]
+    fn single_source_path() {
+        let g = gen::path(5);
+        let r = bfs(&g.full_view(), [NodeId::new(0)]);
+        for v in 0..5 {
+            assert_eq!(r.dist(NodeId::new(v)), v as u32);
+        }
+        assert_eq!(r.eccentricity(), Some(4));
+        assert_eq!(r.layer_sizes(), &[1, 1, 1, 1, 1]);
+        assert_eq!(r.ball_sizes(), vec![1, 2, 3, 4, 5]);
+        assert_eq!(r.parent(NodeId::new(3)), Some(NodeId::new(2)));
+        assert_eq!(r.parent(NodeId::new(0)), None);
+    }
+
+    #[test]
+    fn multi_source() {
+        let g = gen::path(7);
+        let r = bfs(&g.full_view(), [NodeId::new(0), NodeId::new(6)]);
+        assert_eq!(r.dist(NodeId::new(3)), 3);
+        assert_eq!(r.dist(NodeId::new(5)), 1);
+        assert_eq!(r.eccentricity(), Some(3));
+        assert_eq!(r.layer_sizes(), &[2, 2, 2, 1]);
+    }
+
+    #[test]
+    fn respects_view() {
+        let g = gen::path(5);
+        let alive = NodeSet::from_nodes(5, [0, 1, 3, 4].map(NodeId::new));
+        let r = bfs(&g.view(&alive), [NodeId::new(0)]);
+        assert!(r.reached(NodeId::new(1)));
+        assert!(!r.reached(NodeId::new(2)));
+        assert!(!r.reached(NodeId::new(3)), "must not cross dead node 2");
+    }
+
+    #[test]
+    fn bounded_truncates() {
+        let g = gen::path(10);
+        let r = bfs_bounded(&g.full_view(), [NodeId::new(0)], 3);
+        assert_eq!(r.reached_count(), 4);
+        assert!(!r.reached(NodeId::new(4)));
+        assert_eq!(r.ball(2).count(), 3);
+    }
+
+    #[test]
+    fn disconnected_source_in_dead_set_ignored() {
+        let g = gen::path(4);
+        let alive = NodeSet::from_nodes(4, [1, 2, 3].map(NodeId::new));
+        let r = bfs(&g.view(&alive), [NodeId::new(0)]);
+        assert_eq!(r.reached_count(), 0);
+        assert_eq!(r.eccentricity(), None);
+    }
+
+    #[test]
+    fn order_is_nondecreasing_distance() {
+        let g = gen::grid(5, 5);
+        let r = bfs(&g.full_view(), [NodeId::new(12)]);
+        let dists: Vec<u32> = r.order().iter().map(|&v| r.dist(v)).collect();
+        assert!(dists.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(r.reached_count(), 25);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::empty(0);
+        let r = bfs(&g.full_view(), []);
+        assert_eq!(r.reached_count(), 0);
+    }
+}

@@ -1,0 +1,126 @@
+//! DFS numbering of rooted trees.
+//!
+//! Lemma 3.1 of the paper splits a node set `S` into two halves "according
+//! to the in-order traversal" of a BFS tree. For trees of arbitrary arity
+//! the natural analogue is the depth-first (pre-order) traversal, with
+//! children visited in index order; that is what the CONGEST primitive
+//! computes (via subtree-size converge-cast and prefix offsets), and this
+//! module is its centralized counterpart.
+
+use crate::NodeId;
+
+/// DFS pre-order of a rooted tree given by parent pointers.
+#[derive(Debug, Clone)]
+pub struct TreeOrder {
+    order: Vec<NodeId>,
+    position: Vec<u32>,
+}
+
+/// Marker for nodes not in the tree.
+const NOT_IN_TREE: u32 = u32::MAX;
+
+impl TreeOrder {
+    /// The visited nodes in DFS pre-order (root first).
+    pub fn order(&self) -> &[NodeId] {
+        &self.order
+    }
+
+    /// Position of `v` in the order, or `None` if `v` is not in the tree.
+    pub fn position(&self, v: NodeId) -> Option<usize> {
+        match self.position[v.index()] {
+            NOT_IN_TREE => None,
+            p => Some(p as usize),
+        }
+    }
+}
+
+/// Computes the DFS pre-order of the tree rooted at `root`, where
+/// `parent[v] = Some(p)` links `v` to its parent and the root has
+/// `parent[root] = None`. Children are visited in increasing index order.
+///
+/// Nodes whose parent chains never reach `root` are not visited.
+///
+/// # Panics
+///
+/// Panics if the parent pointers contain a cycle reachable from a child
+/// list (detected as a visit count exceeding `n`).
+pub fn dfs_order_of_tree(n: usize, root: NodeId, parent: &[Option<NodeId>]) -> TreeOrder {
+    assert_eq!(parent.len(), n, "parent vector must cover the index space");
+    // Build child lists.
+    let mut children: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    for i in 0..n {
+        if let Some(p) = parent[i] {
+            children[p.index()].push(NodeId::new(i));
+        }
+    }
+    for list in &mut children {
+        list.sort_unstable();
+    }
+
+    let mut order = Vec::new();
+    let mut position = vec![NOT_IN_TREE; n];
+    // Iterative DFS, children pushed in reverse so smallest pops first.
+    let mut stack = vec![root];
+    while let Some(v) = stack.pop() {
+        assert!(
+            position[v.index()] == NOT_IN_TREE,
+            "cycle in parent pointers at {v:?}"
+        );
+        position[v.index()] = order.len() as u32;
+        order.push(v);
+        assert!(order.len() <= n, "cycle in parent pointers");
+        for &c in children[v.index()].iter().rev() {
+            stack.push(c);
+        }
+    }
+    TreeOrder { order, position }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(v: usize) -> Option<NodeId> {
+        Some(NodeId::new(v))
+    }
+
+    #[test]
+    fn line_tree() {
+        // 0 -> 1 -> 2 -> 3 rooted at 0.
+        let parent = vec![None, p(0), p(1), p(2)];
+        let o = dfs_order_of_tree(4, NodeId::new(0), &parent);
+        assert_eq!(
+            o.order().iter().map(|v| v.index()).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
+        assert_eq!(o.position(NodeId::new(3)), Some(3));
+    }
+
+    #[test]
+    fn branching_tree_children_in_index_order() {
+        // Root 2 with children 0 and 4; 4 has children 1 and 3.
+        let parent = vec![p(2), p(4), None, p(4), p(2)];
+        let o = dfs_order_of_tree(5, NodeId::new(2), &parent);
+        assert_eq!(
+            o.order().iter().map(|v| v.index()).collect::<Vec<_>>(),
+            vec![2, 0, 4, 1, 3]
+        );
+    }
+
+    #[test]
+    fn nodes_outside_tree_have_no_position() {
+        let parent = vec![None, p(0), None, None];
+        let o = dfs_order_of_tree(4, NodeId::new(0), &parent);
+        assert_eq!(o.order().len(), 2);
+        assert_eq!(o.position(NodeId::new(2)), None);
+        assert_eq!(o.position(NodeId::new(3)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle")]
+    fn cycle_detected() {
+        // 0 <-> 1 cycle, with 0 nominally the root but 1's child chain loops.
+        let parent = vec![p(1), p(0)];
+        let _ = dfs_order_of_tree(2, NodeId::new(0), &parent);
+    }
+}

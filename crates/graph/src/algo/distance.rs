@@ -1,0 +1,133 @@
+//! Eccentricity, diameter, and pairwise distances.
+
+use crate::algo::{bfs, UNREACHED};
+use crate::{Adjacency, NodeId};
+
+/// Eccentricity of `v` within its component of `view` (max BFS distance).
+///
+/// Returns `None` if `v` is not in the view.
+pub fn eccentricity<A: Adjacency>(view: &A, v: NodeId) -> Option<u32> {
+    if !view.contains(v) {
+        return None;
+    }
+    bfs(view, [v]).eccentricity()
+}
+
+/// Exact diameter of `view` via an all-pairs sweep of BFS runs.
+///
+/// Cost is `O(n · (n + m))`; intended for validation and for the modest
+/// graph sizes of the experiment suite, not for huge inputs.
+///
+/// Returns `None` for an empty view and [`UNREACHED`]-free semantics
+/// otherwise: if the view is disconnected, the diameter of the *largest
+/// distance within any single component* is returned (distances across
+/// components are ignored).
+pub fn diameter_exact<A: Adjacency>(view: &A) -> Option<u32> {
+    let mut best: Option<u32> = None;
+    for v in view.nodes() {
+        let e = bfs(view, [v]).eccentricity()?;
+        best = Some(best.map_or(e, |b| b.max(e)));
+    }
+    best
+}
+
+/// Two-sweep lower bound on the diameter: BFS from an arbitrary node, then
+/// BFS from the farthest node found. Exact on trees; a lower bound in
+/// general, and a widely used estimator.
+///
+/// Returns `None` for an empty view.
+pub fn diameter_two_sweep<A: Adjacency>(view: &A) -> Option<u32> {
+    let start = view.nodes().next()?;
+    let first = bfs(view, [start]);
+    let far = *first.order().last()?;
+    bfs(view, [far]).eccentricity()
+}
+
+/// All-pairs distances (only for small graphs; `O(n^2)` memory).
+///
+/// `result[u][v]` is the distance from `u` to `v`, or [`UNREACHED`] when
+/// `v` is unreachable from `u` or either endpoint is outside the view.
+pub fn pairwise_distances<A: Adjacency>(view: &A) -> Vec<Vec<u32>> {
+    let n = view.universe();
+    let mut out = vec![vec![UNREACHED; n]; n];
+    for v in view.nodes() {
+        let r = bfs(view, [v]);
+        for u in view.nodes() {
+            out[v.index()][u.index()] = r.dist(u);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{gen, Graph, NodeSet};
+
+    #[test]
+    fn path_diameter() {
+        let g = gen::path(9);
+        assert_eq!(diameter_exact(&g.full_view()), Some(8));
+        assert_eq!(diameter_two_sweep(&g.full_view()), Some(8));
+    }
+
+    #[test]
+    fn cycle_diameter() {
+        let g = gen::cycle(10);
+        assert_eq!(diameter_exact(&g.full_view()), Some(5));
+    }
+
+    #[test]
+    fn grid_diameter() {
+        let g = gen::grid(4, 7);
+        assert_eq!(diameter_exact(&g.full_view()), Some(3 + 6));
+    }
+
+    #[test]
+    fn eccentricity_center_vs_leaf() {
+        let g = gen::path(9);
+        assert_eq!(eccentricity(&g.full_view(), NodeId::new(4)), Some(4));
+        assert_eq!(eccentricity(&g.full_view(), NodeId::new(0)), Some(8));
+    }
+
+    #[test]
+    fn eccentricity_outside_view() {
+        let g = gen::path(3);
+        let alive = NodeSet::from_nodes(3, [0, 1].map(NodeId::new));
+        assert_eq!(eccentricity(&g.view(&alive), NodeId::new(2)), None);
+    }
+
+    #[test]
+    fn two_sweep_is_lower_bound() {
+        let g = gen::gnp(60, 0.08, 7);
+        let exact = diameter_exact(&g.full_view()).unwrap();
+        let approx = diameter_two_sweep(&g.full_view()).unwrap();
+        assert!(approx <= exact);
+    }
+
+    #[test]
+    fn pairwise_matches_bfs() {
+        let g = gen::grid(3, 3);
+        let d = pairwise_distances(&g.full_view());
+        assert_eq!(d[0][8], 4);
+        assert_eq!(d[4][4], 0);
+        for u in 0..9 {
+            for v in 0..9 {
+                assert_eq!(d[u][v], d[v][u], "symmetry at ({u},{v})");
+            }
+        }
+    }
+
+    #[test]
+    fn disconnected_diameter_is_within_components() {
+        let g = Graph::from_edges(5, [(0, 1), (2, 3), (3, 4)]).unwrap();
+        assert_eq!(diameter_exact(&g.full_view()), Some(2));
+    }
+
+    #[test]
+    fn empty_view() {
+        let g = Graph::empty(0);
+        assert_eq!(diameter_exact(&g.full_view()), None);
+        assert_eq!(diameter_two_sweep(&g.full_view()), None);
+    }
+}

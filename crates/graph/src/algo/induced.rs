@@ -1,0 +1,114 @@
+//! Materialized induced subgraphs with index mappings.
+
+use crate::{Adjacency, Graph, NodeId};
+
+/// A materialized induced subgraph, with the mapping between the original
+/// and the compacted index spaces.
+///
+/// Views ([`crate::SubsetView`]) are preferred inside the algorithms; this
+/// type exists for handing a self-contained subproblem to code that wants
+/// a standalone [`Graph`] — for example recursive invocations with fresh
+/// round ledgers, or exporting a carved cluster.
+#[derive(Debug, Clone)]
+pub struct InducedSubgraph {
+    graph: Graph,
+    to_original: Vec<NodeId>,
+}
+
+impl InducedSubgraph {
+    /// The compacted graph. Node `i` corresponds to
+    /// [`to_original`](Self::to_original)`()[i]` in the source graph, and
+    /// inherits its identifier.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Consumes `self`, returning the compacted graph.
+    pub fn into_graph(self) -> Graph {
+        self.graph
+    }
+
+    /// Mapping from compacted indices to original node ids.
+    pub fn to_original(&self) -> &[NodeId] {
+        &self.to_original
+    }
+
+    /// Maps a compacted node back to the original graph.
+    pub fn original_of(&self, v: NodeId) -> NodeId {
+        self.to_original[v.index()]
+    }
+
+    /// Maps an original node into the compacted index space, if present.
+    pub fn compact_of(&self, original: NodeId) -> Option<NodeId> {
+        self.to_original
+            .binary_search(&original)
+            .ok()
+            .map(NodeId::new)
+    }
+}
+
+/// Materializes the induced subgraph of `view`.
+///
+/// Node identifiers are inherited from the base graph, so symmetry
+/// breaking behaves identically on the extracted instance.
+pub fn induced_subgraph<A: Adjacency>(view: &A) -> InducedSubgraph {
+    let to_original: Vec<NodeId> = view.nodes().collect();
+    debug_assert!(to_original.windows(2).all(|w| w[0] < w[1]));
+    let mut compact = vec![u32::MAX; view.universe()];
+    for (i, &v) in to_original.iter().enumerate() {
+        compact[v.index()] = i as u32;
+    }
+    let mut builder = Graph::builder(to_original.len());
+    for &v in &to_original {
+        for u in view.neighbors(v) {
+            if v < u {
+                builder.edge(compact[v.index()] as usize, compact[u.index()] as usize);
+            }
+        }
+    }
+    let ids: Vec<u64> = to_original.iter().map(|&v| view.id_of(v)).collect();
+    let graph = builder
+        .build()
+        .expect("induced subgraph construction cannot fail")
+        .with_ids(ids)
+        .expect("inherited ids remain unique");
+    InducedSubgraph { graph, to_original }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{gen, NodeSet};
+
+    #[test]
+    fn extracts_square_from_grid() {
+        let g = gen::grid(3, 3);
+        // Keep the top-left 2x2 square: indices 0,1,3,4.
+        let alive = NodeSet::from_nodes(9, [0, 1, 3, 4].map(NodeId::new));
+        let ind = induced_subgraph(&g.view(&alive));
+        assert_eq!(ind.graph().n(), 4);
+        assert_eq!(ind.graph().m(), 4);
+        assert_eq!(ind.original_of(NodeId::new(0)), NodeId::new(0));
+        assert_eq!(ind.original_of(NodeId::new(3)), NodeId::new(4));
+        assert_eq!(ind.compact_of(NodeId::new(3)), Some(NodeId::new(2)));
+        assert_eq!(ind.compact_of(NodeId::new(8)), None);
+    }
+
+    #[test]
+    fn inherits_ids() {
+        let g = gen::path(4).with_ids(vec![40, 30, 20, 10]).unwrap();
+        let alive = NodeSet::from_nodes(4, [1, 2].map(NodeId::new));
+        let ind = induced_subgraph(&g.view(&alive));
+        assert_eq!(ind.graph().id_of(NodeId::new(0)), 30);
+        assert_eq!(ind.graph().id_of(NodeId::new(1)), 20);
+        assert_eq!(ind.graph().min_id_node(), Some(NodeId::new(1)));
+    }
+
+    #[test]
+    fn full_view_round_trips() {
+        let g = gen::cycle(7);
+        let ind = induced_subgraph(&g.full_view());
+        assert_eq!(ind.graph().n(), 7);
+        assert_eq!(ind.graph().m(), 7);
+    }
+}

@@ -1,0 +1,18 @@
+//! Graph algorithms used by the decomposition stack.
+//!
+//! All traversals are generic over [`Adjacency`](crate::Adjacency) so they
+//! run unchanged on whole graphs and on induced alive-set views `G[S]`.
+
+mod bfs;
+mod components;
+mod dfs;
+mod distance;
+mod induced;
+mod power;
+
+pub use bfs::{bfs, bfs_bounded, BfsResult, UNREACHED};
+pub use components::{component_of, connected_components, is_connected, Components};
+pub use dfs::{dfs_order_of_tree, TreeOrder};
+pub use distance::{diameter_exact, diameter_two_sweep, eccentricity, pairwise_distances};
+pub use induced::{induced_subgraph, InducedSubgraph};
+pub use power::{graph_power, power_graph};

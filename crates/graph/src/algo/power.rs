@@ -1,0 +1,105 @@
+//! Power graphs `G^k`.
+//!
+//! The ABCP96 transformation (and many classic network-decomposition
+//! constructions) run a decomposition algorithm on the power graph
+//! `G^{2d}`, in which any two nodes at distance at most `2d` in `G` become
+//! adjacent. Simulating one round on `G^k` costs `k` rounds on `G` (and, in
+//! CONGEST, blows up message sizes — which is exactly the point of the
+//! paper's comparison).
+
+use crate::algo::bfs_bounded;
+use crate::{Adjacency, Graph};
+
+/// Builds the `k`-th power of `view`: nodes are the alive nodes of the
+/// view (in the same index space), and `{u, v}` is an edge iff
+/// `dist_view(u, v) <= k` and `u != v`.
+///
+/// Cost is one truncated BFS per node, `O(n · m_k)` where `m_k` is the size
+/// of the explored balls; fine for the moderate instance sizes the LOCAL
+/// baseline is evaluated on.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn power_graph<A: Adjacency>(view: &A, k: u32) -> Graph {
+    assert!(k > 0, "power k must be positive");
+    let n = view.universe();
+    let mut builder = Graph::builder(n);
+    for v in view.nodes() {
+        let r = bfs_bounded(view, [v], k);
+        for u in r.order() {
+            if u.index() > v.index() {
+                builder.edge(v.index(), u.index());
+            }
+        }
+    }
+    builder
+        .build()
+        .expect("power graph construction cannot fail")
+}
+
+/// Convenience: the `k`-th power of a whole graph, preserving identifiers.
+pub fn graph_power(g: &Graph, k: u32) -> Graph {
+    let ids: Vec<u64> = g.nodes().map(|v| g.id_of(v)).collect();
+    power_graph(&g.full_view(), k)
+        .with_ids(ids)
+        .expect("id assignment preserved from a valid graph")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{algo, gen, NodeId, NodeSet};
+
+    #[test]
+    fn path_square() {
+        let g = gen::path(5);
+        let g2 = power_graph(&g.full_view(), 2);
+        assert!(g2.has_edge(NodeId::new(0), NodeId::new(2)));
+        assert!(!g2.has_edge(NodeId::new(0), NodeId::new(3)));
+        assert_eq!(g2.m(), 4 + 3); // distance-1 plus distance-2 pairs
+    }
+
+    #[test]
+    fn power_one_is_identity() {
+        let g = gen::grid(3, 4);
+        let g1 = power_graph(&g.full_view(), 1);
+        assert_eq!(g1.m(), g.m());
+        for (u, v) in g.edges() {
+            assert!(g1.has_edge(u, v));
+        }
+    }
+
+    #[test]
+    fn large_power_is_complete_per_component() {
+        let g = gen::path(6);
+        let gk = power_graph(&g.full_view(), 10);
+        assert_eq!(gk.m(), 6 * 5 / 2);
+    }
+
+    #[test]
+    fn respects_view_boundaries() {
+        let g = gen::path(5);
+        let alive = NodeSet::from_nodes(5, [0, 1, 3, 4].map(NodeId::new));
+        let gk = power_graph(&g.view(&alive), 4);
+        // 2 is dead, so {0,1} and {3,4} stay separate cliques.
+        assert!(gk.has_edge(NodeId::new(0), NodeId::new(1)));
+        assert!(gk.has_edge(NodeId::new(3), NodeId::new(4)));
+        assert!(!gk.has_edge(NodeId::new(1), NodeId::new(3)));
+    }
+
+    #[test]
+    fn power_distances_contract() {
+        let g = gen::cycle(12);
+        let g3 = graph_power(&g, 3);
+        let d1 = algo::pairwise_distances(&g.full_view());
+        let d3 = algo::pairwise_distances(&g3.full_view());
+        for u in 0..12 {
+            for v in 0..12 {
+                if u != v {
+                    assert_eq!(d3[u][v], d1[u][v].div_ceil(3), "pair ({u},{v})");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,380 @@
+//! Compressed sparse row graph representation.
+
+use crate::{FullView, GraphError, NodeId, NodeSet, SubsetView};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A simple undirected graph in CSR form, with unique node identifiers.
+///
+/// Nodes are dense indices `0..n` (see [`NodeId`]). Each node additionally
+/// carries a unique `O(log n)`-bit *identifier* used by the distributed
+/// algorithms for symmetry breaking (leader election, the RG20 bit phases,
+/// and so on). By default the identifier of node `v` is `v` itself, but an
+/// arbitrary injection can be installed with [`Graph::with_ids`] — the
+/// property-based tests use this to check the algorithms under adversarial
+/// identifier assignments.
+///
+/// # Example
+///
+/// ```
+/// use sdnd_graph::Graph;
+///
+/// let g = Graph::from_edges(3, [(0, 1), (1, 2)])?;
+/// assert_eq!(g.n(), 3);
+/// assert_eq!(g.m(), 2);
+/// assert_eq!(g.degree(sdnd_graph::NodeId::new(1)), 2);
+/// # Ok::<(), sdnd_graph::GraphError>(())
+/// ```
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Graph {
+    offsets: Vec<usize>,
+    adj: Vec<NodeId>,
+    ids: Vec<u64>,
+}
+
+impl Graph {
+    /// Starts building a graph with `n` nodes.
+    pub fn builder(n: usize) -> GraphBuilder {
+        GraphBuilder {
+            n,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Builds a graph with `n` nodes from an edge list.
+    ///
+    /// Duplicate edges are collapsed; `(u, v)` and `(v, u)` denote the same
+    /// edge.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::SelfLoop`] or [`GraphError::NodeOutOfRange`]
+    /// for invalid edges.
+    pub fn from_edges<I>(n: usize, edges: I) -> Result<Graph, GraphError>
+    where
+        I: IntoIterator<Item = (usize, usize)>,
+    {
+        let mut b = Self::builder(n);
+        for (u, v) in edges {
+            b.edge(u, v);
+        }
+        b.build()
+    }
+
+    /// Creates the empty graph on `n` isolated nodes.
+    pub fn empty(n: usize) -> Graph {
+        Graph {
+            offsets: vec![0; n + 1],
+            adj: Vec::new(),
+            ids: (0..n as u64).collect(),
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.adj.len() / 2
+    }
+
+    /// Degree of node `v`.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.offsets[v.index() + 1] - self.offsets[v.index()]
+    }
+
+    /// Maximum degree over all nodes, or 0 for the empty graph.
+    pub fn max_degree(&self) -> usize {
+        (0..self.n())
+            .map(|v| self.degree(NodeId::new(v)))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The neighbors of `v`, sorted by index.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        &self.adj[self.offsets[v.index()]..self.offsets[v.index() + 1]]
+    }
+
+    /// Whether the edge `{u, v}` is present.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Iterates over all nodes.
+    pub fn nodes(&self) -> impl ExactSizeIterator<Item = NodeId> + '_ {
+        (0..self.n()).map(NodeId::new)
+    }
+
+    /// Iterates over each undirected edge once, as `(u, v)` with `u < v`.
+    pub fn edges(&self) -> EdgeIter<'_> {
+        EdgeIter {
+            g: self,
+            u: 0,
+            pos: 0,
+        }
+    }
+
+    /// The unique identifier of node `v`.
+    #[inline]
+    pub fn id_of(&self, v: NodeId) -> u64 {
+        self.ids[v.index()]
+    }
+
+    /// The node whose identifier is minimum (the canonical leader).
+    ///
+    /// Returns `None` for the empty graph.
+    pub fn min_id_node(&self) -> Option<NodeId> {
+        self.nodes().min_by_key(|&v| self.id_of(v))
+    }
+
+    /// Number of bits needed to write every identifier (at least 1).
+    pub fn id_bits(&self) -> u32 {
+        let max = self.ids.iter().copied().max().unwrap_or(0);
+        (64 - max.leading_zeros()).max(1)
+    }
+
+    /// Replaces the identifier assignment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::IdLengthMismatch`] if `ids.len() != n`, and
+    /// [`GraphError::DuplicateId`] if the assignment is not injective.
+    pub fn with_ids(mut self, ids: Vec<u64>) -> Result<Graph, GraphError> {
+        if ids.len() != self.n() {
+            return Err(GraphError::IdLengthMismatch {
+                got: ids.len(),
+                expected: self.n(),
+            });
+        }
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        if let Some(w) = sorted.windows(2).find(|w| w[0] == w[1]) {
+            return Err(GraphError::DuplicateId { id: w[0] });
+        }
+        self.ids = ids;
+        Ok(self)
+    }
+
+    /// A view of the whole graph (every node alive).
+    pub fn full_view(&self) -> FullView<'_> {
+        FullView::new(self)
+    }
+
+    /// The induced view `G[S]` of the alive set `S`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universe of `alive` differs from `n`.
+    pub fn view<'a>(&'a self, alive: &'a NodeSet) -> SubsetView<'a> {
+        SubsetView::new(self, alive)
+    }
+}
+
+impl fmt::Debug for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Graph(n={}, m={})", self.n(), self.m())
+    }
+}
+
+/// Iterator over the undirected edges of a [`Graph`], produced by
+/// [`Graph::edges`].
+pub struct EdgeIter<'a> {
+    g: &'a Graph,
+    u: usize,
+    pos: usize,
+}
+
+impl Iterator for EdgeIter<'_> {
+    type Item = (NodeId, NodeId);
+
+    fn next(&mut self) -> Option<(NodeId, NodeId)> {
+        while self.u < self.g.n() {
+            let end = self.g.offsets[self.u + 1];
+            while self.pos < end {
+                let v = self.g.adj[self.pos];
+                self.pos += 1;
+                if self.u < v.index() {
+                    return Some((NodeId::new(self.u), v));
+                }
+            }
+            self.u += 1;
+        }
+        None
+    }
+}
+
+/// Incremental builder for [`Graph`], following the builder pattern.
+///
+/// ```
+/// use sdnd_graph::Graph;
+///
+/// let mut b = Graph::builder(4);
+/// b.edge(0, 1).edge(1, 2).edge(2, 3);
+/// let g = b.build()?;
+/// assert_eq!(g.m(), 3);
+/// # Ok::<(), sdnd_graph::GraphError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<(usize, usize)>,
+}
+
+impl GraphBuilder {
+    /// Adds the undirected edge `{u, v}`. Duplicates are collapsed at
+    /// [`build`](Self::build) time.
+    pub fn edge(&mut self, u: usize, v: usize) -> &mut Self {
+        self.edges.push((u, v));
+        self
+    }
+
+    /// Adds every edge in the iterator.
+    pub fn edges<I: IntoIterator<Item = (usize, usize)>>(&mut self, it: I) -> &mut Self {
+        self.edges.extend(it);
+        self
+    }
+
+    /// Finalizes the graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::SelfLoop`] or [`GraphError::NodeOutOfRange`]
+    /// for invalid edges.
+    pub fn build(&self) -> Result<Graph, GraphError> {
+        let n = self.n;
+        for &(u, v) in &self.edges {
+            if u == v {
+                return Err(GraphError::SelfLoop { node: u });
+            }
+            if u >= n {
+                return Err(GraphError::NodeOutOfRange { node: u, n });
+            }
+            if v >= n {
+                return Err(GraphError::NodeOutOfRange { node: v, n });
+            }
+        }
+        // Normalize, dedup, and build CSR.
+        let mut dir: Vec<(u32, u32)> = Vec::with_capacity(self.edges.len() * 2);
+        for &(u, v) in &self.edges {
+            dir.push((u as u32, v as u32));
+            dir.push((v as u32, u as u32));
+        }
+        dir.sort_unstable();
+        dir.dedup();
+
+        let mut offsets = vec![0usize; n + 1];
+        for &(u, _) in &dir {
+            offsets[u as usize + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let adj: Vec<NodeId> = dir.iter().map(|&(_, v)| NodeId::new(v as usize)).collect();
+        Ok(Graph {
+            offsets,
+            adj,
+            ids: (0..n as u64).collect(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_sorts_neighbors() {
+        let g = Graph::from_edges(5, [(3, 1), (0, 3), (3, 4), (1, 0)]).unwrap();
+        assert_eq!(g.n(), 5);
+        assert_eq!(g.m(), 4);
+        let nbrs: Vec<usize> = g
+            .neighbors(NodeId::new(3))
+            .iter()
+            .map(|v| v.index())
+            .collect();
+        assert_eq!(nbrs, vec![0, 1, 4]);
+    }
+
+    #[test]
+    fn duplicate_edges_collapse() {
+        let g = Graph::from_edges(3, [(0, 1), (1, 0), (0, 1)]).unwrap();
+        assert_eq!(g.m(), 1);
+        assert_eq!(g.degree(NodeId::new(0)), 1);
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        assert_eq!(
+            Graph::from_edges(3, [(1, 1)]),
+            Err(GraphError::SelfLoop { node: 1 })
+        );
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        assert_eq!(
+            Graph::from_edges(3, [(0, 5)]),
+            Err(GraphError::NodeOutOfRange { node: 5, n: 3 })
+        );
+    }
+
+    #[test]
+    fn has_edge_is_symmetric() {
+        let g = Graph::from_edges(4, [(0, 2), (2, 3)]).unwrap();
+        assert!(g.has_edge(NodeId::new(0), NodeId::new(2)));
+        assert!(g.has_edge(NodeId::new(2), NodeId::new(0)));
+        assert!(!g.has_edge(NodeId::new(0), NodeId::new(3)));
+    }
+
+    #[test]
+    fn edges_iterates_each_once() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3), (0, 3)]).unwrap();
+        let edges: Vec<(usize, usize)> = g.edges().map(|(u, v)| (u.index(), v.index())).collect();
+        assert_eq!(edges, vec![(0, 1), (0, 3), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn default_ids_are_identity() {
+        let g = Graph::empty(4);
+        assert_eq!(g.id_of(NodeId::new(2)), 2);
+        assert_eq!(g.min_id_node(), Some(NodeId::new(0)));
+    }
+
+    #[test]
+    fn custom_ids() {
+        let g = Graph::empty(3).with_ids(vec![30, 10, 20]).unwrap();
+        assert_eq!(g.min_id_node(), Some(NodeId::new(1)));
+        assert_eq!(g.id_bits(), 5);
+    }
+
+    #[test]
+    fn bad_ids_rejected() {
+        assert!(matches!(
+            Graph::empty(3).with_ids(vec![1, 1, 2]),
+            Err(GraphError::DuplicateId { id: 1 })
+        ));
+        assert!(matches!(
+            Graph::empty(3).with_ids(vec![1, 2]),
+            Err(GraphError::IdLengthMismatch {
+                got: 2,
+                expected: 3
+            })
+        ));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::empty(0);
+        assert_eq!(g.n(), 0);
+        assert_eq!(g.m(), 0);
+        assert_eq!(g.min_id_node(), None);
+        assert_eq!(g.max_degree(), 0);
+    }
+}

@@ -1,0 +1,82 @@
+//! Error types for graph construction.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when building or transforming a [`Graph`](crate::Graph).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// An edge endpoint referenced a node index `>= n`.
+    NodeOutOfRange {
+        /// The offending node index.
+        node: usize,
+        /// The number of nodes in the graph under construction.
+        n: usize,
+    },
+    /// A self-loop `(v, v)` was supplied; SDND graphs are simple.
+    SelfLoop {
+        /// The node with the self-loop.
+        node: usize,
+    },
+    /// An identifier assignment was not injective.
+    DuplicateId {
+        /// The identifier that appeared more than once.
+        id: u64,
+    },
+    /// An identifier assignment had the wrong length.
+    IdLengthMismatch {
+        /// Number of identifiers supplied.
+        got: usize,
+        /// Number of nodes in the graph.
+        expected: usize,
+    },
+    /// A generator was asked for an impossible parameter combination
+    /// (for example a `d`-regular graph with `n * d` odd).
+    InvalidParameter {
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, n } => {
+                write!(f, "node index {node} out of range for graph with {n} nodes")
+            }
+            GraphError::SelfLoop { node } => write!(f, "self-loop at node {node}"),
+            GraphError::DuplicateId { id } => write!(f, "duplicate node identifier {id}"),
+            GraphError::IdLengthMismatch { got, expected } => {
+                write!(f, "identifier list has length {got}, expected {expected}")
+            }
+            GraphError::InvalidParameter { reason } => write!(f, "invalid parameter: {reason}"),
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_nonempty() {
+        let errs = [
+            GraphError::NodeOutOfRange { node: 9, n: 4 },
+            GraphError::SelfLoop { node: 1 },
+            GraphError::DuplicateId { id: 3 },
+            GraphError::IdLengthMismatch {
+                got: 2,
+                expected: 3,
+            },
+            GraphError::InvalidParameter {
+                reason: "nd odd".into(),
+            },
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

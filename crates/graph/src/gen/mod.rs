@@ -1,0 +1,17 @@
+//! Graph generators.
+//!
+//! Deterministic families (paths, cycles, grids, tori, hypercubes, trees)
+//! and seeded random families (`G(n, p)`, random regular, random trees),
+//! plus the *subdivided expander* barrier construction from Section 3 of
+//! the paper. All random generators take an explicit `seed` so experiments
+//! are reproducible.
+
+mod basic;
+mod expander;
+mod random;
+mod trees;
+
+pub use basic::{complete, cycle, grid, hypercube, path, star, torus};
+pub use expander::{barrier_graph, random_regular_connected, subdivide, BarrierGraph};
+pub use random::{gnp, gnp_connected, random_regular};
+pub use trees::{balanced_tree, caterpillar, random_tree};

@@ -1,0 +1,176 @@
+//! Seeded random graph generators.
+
+use crate::{Graph, GraphError};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Erdős–Rényi `G(n, p)`.
+pub fn gnp(n: usize, p: f64, seed: u64) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = Graph::builder(n);
+    if p >= 1.0 {
+        for u in 0..n {
+            for v in (u + 1)..n {
+                b.edge(u, v);
+            }
+        }
+        return b.build().expect("complete edges valid");
+    }
+    if p > 0.0 {
+        // Geometric skipping over the n-choose-2 pair sequence.
+        let ln_q = (1.0 - p).ln();
+        let mut u = 1usize;
+        let mut v: i64 = -1;
+        while u < n {
+            let r: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let skip = (r.ln() / ln_q).floor() as i64 + 1;
+            v += skip;
+            while u < n && v >= u as i64 {
+                v -= u as i64;
+                u += 1;
+            }
+            if u < n {
+                b.edge(u, v as usize);
+            }
+        }
+    }
+    b.build().expect("gnp edges are valid")
+}
+
+/// `G(n, p)` conditioned on connectivity: the sparse random remainder is
+/// joined up by adding a uniformly random spanning-tree edge between
+/// components (so the result is connected but statistically close to
+/// `G(n, p)` for `p` above the connectivity threshold).
+pub fn gnp_connected(n: usize, p: f64, seed: u64) -> Graph {
+    let g = gnp(n, p, seed);
+    let comps = crate::algo::connected_components(&g.full_view());
+    if comps.count() <= 1 {
+        return g;
+    }
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+    let mut b = Graph::builder(n);
+    b.edges(g.edges().map(|(u, v)| (u.index(), v.index())));
+    // Pick one representative per component and chain them in shuffled order.
+    let mut reps: Vec<usize> = Vec::with_capacity(comps.count());
+    let mut seen = vec![false; comps.count()];
+    for v in g.nodes() {
+        let c = comps.label(v).expect("full view labels every node");
+        if !seen[c] {
+            seen[c] = true;
+            reps.push(v.index());
+        }
+    }
+    reps.shuffle(&mut rng);
+    for w in reps.windows(2) {
+        b.edge(w[0], w[1]);
+    }
+    b.build().expect("augmented gnp edges are valid")
+}
+
+/// A random `d`-regular graph via the configuration model, retrying until
+/// the pairing is simple (no loops or multi-edges).
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `n * d` is odd, `d >= n`,
+/// or no simple pairing is found within the retry budget (only plausible
+/// for extreme parameters).
+pub fn random_regular(n: usize, d: usize, seed: u64) -> Result<Graph, GraphError> {
+    if n * d % 2 != 0 {
+        return Err(GraphError::InvalidParameter {
+            reason: format!("n*d = {} is odd", n * d),
+        });
+    }
+    if d >= n && n > 0 {
+        return Err(GraphError::InvalidParameter {
+            reason: format!("degree {d} >= n {n}"),
+        });
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    'attempt: for _ in 0..400 {
+        let mut stubs: Vec<usize> = (0..n * d).map(|s| s / d).collect();
+        stubs.shuffle(&mut rng);
+        let mut edges = Vec::with_capacity(n * d / 2);
+        let mut adj = std::collections::HashSet::new();
+        for pair in stubs.chunks_exact(2) {
+            let (u, v) = (pair[0], pair[1]);
+            if u == v {
+                continue 'attempt;
+            }
+            let key = (u.min(v), u.max(v));
+            if !adj.insert(key) {
+                continue 'attempt;
+            }
+            edges.push(key);
+        }
+        return Graph::from_edges(n, edges);
+    }
+    Err(GraphError::InvalidParameter {
+        reason: format!("no simple {d}-regular pairing found for n={n}"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo;
+
+    #[test]
+    fn gnp_extremes() {
+        let g0 = gnp(20, 0.0, 1);
+        assert_eq!(g0.m(), 0);
+        let g1 = gnp(10, 1.0, 1);
+        assert_eq!(g1.m(), 45);
+    }
+
+    #[test]
+    fn gnp_edge_count_is_plausible() {
+        let n = 300;
+        let p = 0.05;
+        let g = gnp(n, p, 42);
+        let expected = (n * (n - 1) / 2) as f64 * p;
+        let got = g.m() as f64;
+        assert!(
+            (got - expected).abs() < expected * 0.25,
+            "got {got}, expected about {expected}"
+        );
+    }
+
+    #[test]
+    fn gnp_deterministic_per_seed() {
+        assert_eq!(gnp(50, 0.1, 9), gnp(50, 0.1, 9));
+        assert_ne!(gnp(50, 0.1, 9), gnp(50, 0.1, 10));
+    }
+
+    #[test]
+    fn gnp_connected_connects() {
+        let g = gnp_connected(80, 0.01, 3);
+        assert!(algo::is_connected(&g.full_view()));
+    }
+
+    #[test]
+    fn regular_degrees() {
+        let g = random_regular(30, 4, 5).unwrap();
+        assert!(g.nodes().all(|v| g.degree(v) == 4));
+        assert_eq!(g.m(), 60);
+    }
+
+    #[test]
+    fn regular_rejects_odd_total() {
+        assert!(random_regular(5, 3, 1).is_err());
+    }
+
+    #[test]
+    fn regular_rejects_degree_too_large() {
+        assert!(random_regular(4, 4, 1).is_err());
+    }
+
+    #[test]
+    fn regular_deterministic_per_seed() {
+        let a = random_regular(24, 3, 11).unwrap();
+        let b = random_regular(24, 3, 11).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,144 @@
+//! Tree generators.
+
+use crate::Graph;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A balanced `arity`-ary tree with the given number of `levels`
+/// (a single root for `levels == 1`).
+///
+/// # Panics
+///
+/// Panics if `arity == 0` or `levels == 0`.
+pub fn balanced_tree(arity: usize, levels: u32) -> Graph {
+    assert!(arity > 0, "arity must be positive");
+    assert!(levels > 0, "levels must be positive");
+    let mut edges = Vec::new();
+    let mut next = 1usize;
+    let mut frontier = vec![0usize];
+    for _ in 1..levels {
+        let mut new_frontier = Vec::with_capacity(frontier.len() * arity);
+        for &p in &frontier {
+            for _ in 0..arity {
+                edges.push((p, next));
+                new_frontier.push(next);
+                next += 1;
+            }
+        }
+        frontier = new_frontier;
+    }
+    Graph::from_edges(next, edges).expect("tree edges are valid")
+}
+
+/// A caterpillar: a spine path of length `spine` with `legs` pendant
+/// nodes attached to each spine node.
+pub fn caterpillar(spine: usize, legs: usize) -> Graph {
+    let n = spine + spine * legs;
+    let mut b = Graph::builder(n);
+    for i in 1..spine {
+        b.edge(i - 1, i);
+    }
+    let mut next = spine;
+    for s in 0..spine {
+        for _ in 0..legs {
+            b.edge(s, next);
+            next += 1;
+        }
+    }
+    b.build().expect("caterpillar edges are valid")
+}
+
+/// A uniformly random labelled tree on `n` nodes (random Prüfer sequence).
+pub fn random_tree(n: usize, seed: u64) -> Graph {
+    if n <= 1 {
+        return Graph::empty(n);
+    }
+    if n == 2 {
+        return Graph::from_edges(2, [(0, 1)]).expect("valid edge");
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let prufer: Vec<usize> = (0..n - 2).map(|_| rng.gen_range(0..n)).collect();
+
+    let mut degree = vec![1usize; n];
+    for &v in &prufer {
+        degree[v] += 1;
+    }
+    let mut edges = Vec::with_capacity(n - 1);
+    // Min-leaf extraction via a pointer sweep (classic O(n log n)-free trick).
+    let mut ptr = 0usize;
+    while degree[ptr] != 1 {
+        ptr += 1;
+    }
+    let mut leaf = ptr;
+    for &v in &prufer {
+        edges.push((leaf, v));
+        degree[v] -= 1;
+        if degree[v] == 1 && v < ptr {
+            leaf = v;
+        } else {
+            ptr += 1;
+            while degree[ptr] != 1 {
+                ptr += 1;
+            }
+            leaf = ptr;
+        }
+    }
+    edges.push((leaf, n - 1));
+    Graph::from_edges(n, edges).expect("Prüfer decoding yields a valid tree")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo;
+
+    #[test]
+    fn balanced_tree_counts() {
+        let g = balanced_tree(2, 4); // 1 + 2 + 4 + 8 nodes
+        assert_eq!(g.n(), 15);
+        assert_eq!(g.m(), 14);
+        assert!(algo::is_connected(&g.full_view()));
+    }
+
+    #[test]
+    fn single_level_tree_is_one_node() {
+        let g = balanced_tree(3, 1);
+        assert_eq!((g.n(), g.m()), (1, 0));
+    }
+
+    #[test]
+    fn caterpillar_counts() {
+        let g = caterpillar(5, 2);
+        assert_eq!(g.n(), 15);
+        assert_eq!(g.m(), 14);
+        assert!(algo::is_connected(&g.full_view()));
+    }
+
+    #[test]
+    fn random_tree_is_tree() {
+        for seed in 0..5 {
+            let g = random_tree(40, seed);
+            assert_eq!(g.m(), 39, "seed {seed}");
+            assert!(algo::is_connected(&g.full_view()), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn random_tree_small_cases() {
+        assert_eq!(random_tree(0, 1).n(), 0);
+        assert_eq!(random_tree(1, 1).m(), 0);
+        assert_eq!(random_tree(2, 1).m(), 1);
+        let g = random_tree(3, 9);
+        assert_eq!(g.m(), 2);
+        assert!(algo::is_connected(&g.full_view()));
+    }
+
+    #[test]
+    fn random_tree_seed_determinism() {
+        let a = random_tree(25, 7);
+        let b = random_tree(25, 7);
+        assert_eq!(a, b);
+        let c = random_tree(25, 8);
+        assert_ne!(a, c, "different seeds should (generically) differ");
+    }
+}

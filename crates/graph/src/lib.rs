@@ -1,0 +1,44 @@
+//! Graph substrate for the SDND project.
+//!
+//! This crate provides the undirected, unweighted graphs on which the
+//! distributed algorithms of the Chang–Ghaffari strong-diameter network
+//! decomposition paper (PODC 2021) run, together with the graph machinery
+//! those algorithms rely on:
+//!
+//! - [`Graph`]: a compact CSR (compressed sparse row) representation of a
+//!   simple undirected graph with unique `O(log n)`-bit node identifiers.
+//! - [`NodeSet`] and [`SubsetView`]: alive-node masks and induced views
+//!   `G[S]`, the central object of the paper's iterative carving loops.
+//! - [`algo`]: BFS (single- and multi-source), connected components,
+//!   eccentricity/diameter, power graphs `G^k`, induced subgraph
+//!   extraction, and DFS numbering of trees.
+//! - [`gen`]: deterministic and seeded-random graph generators, including
+//!   the subdivided-expander *barrier construction* from Section 3 of the
+//!   paper.
+//!
+//! # Example
+//!
+//! ```
+//! use sdnd_graph::{gen, algo};
+//!
+//! let g = gen::grid(8, 8);
+//! let bfs = algo::bfs(&g.full_view(), [sdnd_graph::NodeId::new(0)]);
+//! assert_eq!(bfs.eccentricity(), Some(14)); // corner-to-corner in an 8x8 grid
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algo;
+mod csr;
+mod error;
+pub mod gen;
+mod node;
+mod nodeset;
+mod view;
+
+pub use csr::{EdgeIter, Graph, GraphBuilder};
+pub use error::GraphError;
+pub use node::NodeId;
+pub use nodeset::NodeSet;
+pub use view::{Adjacency, FullView, SubsetView};

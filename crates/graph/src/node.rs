@@ -1,0 +1,84 @@
+//! Node identity.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of a node in a [`Graph`](crate::Graph).
+///
+/// `NodeId` is a dense index in `0..n`; it is distinct from the node's
+/// unique `O(log n)`-bit *identifier* (see [`Graph::id_of`]), which
+/// distributed algorithms use for symmetry breaking and which may be an
+/// arbitrary permutation or injection.
+///
+/// [`Graph::id_of`]: crate::Graph::id_of
+#[derive(Copy, Clone, Eq, PartialEq, Ord, PartialOrd, Hash, Serialize, Deserialize)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node id from a dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in `u32`.
+    #[inline]
+    pub fn new(index: usize) -> Self {
+        NodeId(u32::try_from(index).expect("node index exceeds u32::MAX"))
+    }
+
+    /// Returns the dense index of this node.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for NodeId {
+    #[inline]
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+impl From<NodeId> for u32 {
+    #[inline]
+    fn from(v: NodeId) -> Self {
+        v.0
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let v = NodeId::new(42);
+        assert_eq!(v.index(), 42);
+        assert_eq!(u32::from(v), 42);
+        assert_eq!(NodeId::from(42u32), v);
+    }
+
+    #[test]
+    fn display_and_debug() {
+        let v = NodeId::new(7);
+        assert_eq!(format!("{v}"), "7");
+        assert_eq!(format!("{v:?}"), "v7");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(NodeId::new(3) < NodeId::new(5));
+    }
+}

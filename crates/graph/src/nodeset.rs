@@ -1,0 +1,309 @@
+//! Dense bitset over node indices.
+
+use crate::NodeId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A set of nodes, stored as a dense bitset over the index space `0..n`.
+///
+/// `NodeSet` is the "alive mask" used throughout the carving algorithms:
+/// the paper's iterations repeatedly zoom into induced subgraphs `G[S]`
+/// of alive nodes, and this type represents `S` with `O(1)` membership
+/// tests and cheap iteration.
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeSet {
+    words: Vec<u64>,
+    universe: usize,
+    len: usize,
+}
+
+impl NodeSet {
+    /// Creates an empty set over the index space `0..universe`.
+    pub fn empty(universe: usize) -> Self {
+        NodeSet {
+            words: vec![0; universe.div_ceil(64)],
+            universe,
+            len: 0,
+        }
+    }
+
+    /// Creates the full set `{0, .., universe - 1}`.
+    pub fn full(universe: usize) -> Self {
+        let mut s = Self::empty(universe);
+        for w in s.words.iter_mut() {
+            *w = !0;
+        }
+        if universe % 64 != 0 {
+            if let Some(last) = s.words.last_mut() {
+                *last = (1u64 << (universe % 64)) - 1;
+            }
+        }
+        s.len = universe;
+        s
+    }
+
+    /// Builds a set from an iterator of node ids.
+    pub fn from_nodes<I: IntoIterator<Item = NodeId>>(universe: usize, nodes: I) -> Self {
+        let mut s = Self::empty(universe);
+        for v in nodes {
+            s.insert(v);
+        }
+        s
+    }
+
+    /// Size of the index space this set ranges over.
+    #[inline]
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// Number of nodes in the set.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Membership test.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is outside the universe.
+    #[inline]
+    pub fn contains(&self, v: NodeId) -> bool {
+        let i = v.index();
+        assert!(
+            i < self.universe,
+            "node {i} outside universe {}",
+            self.universe
+        );
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Inserts a node; returns `true` if it was newly inserted.
+    #[inline]
+    pub fn insert(&mut self, v: NodeId) -> bool {
+        let i = v.index();
+        assert!(
+            i < self.universe,
+            "node {i} outside universe {}",
+            self.universe
+        );
+        let w = &mut self.words[i / 64];
+        let bit = 1u64 << (i % 64);
+        if *w & bit == 0 {
+            *w |= bit;
+            self.len += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes a node; returns `true` if it was present.
+    #[inline]
+    pub fn remove(&mut self, v: NodeId) -> bool {
+        let i = v.index();
+        assert!(
+            i < self.universe,
+            "node {i} outside universe {}",
+            self.universe
+        );
+        let w = &mut self.words[i / 64];
+        let bit = 1u64 << (i % 64);
+        if *w & bit != 0 {
+            *w &= !bit;
+            self.len -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes every node of `other` from `self`.
+    pub fn subtract(&mut self, other: &NodeSet) {
+        assert_eq!(self.universe, other.universe, "universe mismatch");
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w &= !o;
+        }
+        self.recount();
+    }
+
+    /// Intersects `self` with `other` in place.
+    pub fn intersect(&mut self, other: &NodeSet) {
+        assert_eq!(self.universe, other.universe, "universe mismatch");
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w &= o;
+        }
+        self.recount();
+    }
+
+    /// Unions `other` into `self`.
+    pub fn union_with(&mut self, other: &NodeSet) {
+        assert_eq!(self.universe, other.universe, "universe mismatch");
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w |= o;
+        }
+        self.recount();
+    }
+
+    /// Returns `true` if the sets share no node.
+    pub fn is_disjoint(&self, other: &NodeSet) -> bool {
+        assert_eq!(self.universe, other.universe, "universe mismatch");
+        self.words.iter().zip(&other.words).all(|(a, b)| a & b == 0)
+    }
+
+    /// Iterates over the members in increasing index order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter {
+            set: self,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    fn recount(&mut self) {
+        self.len = self.words.iter().map(|w| w.count_ones() as usize).sum();
+    }
+}
+
+impl fmt::Debug for NodeSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl FromIterator<NodeId> for NodeSet {
+    /// Builds a set whose universe is one past the maximum index seen.
+    fn from_iter<I: IntoIterator<Item = NodeId>>(iter: I) -> Self {
+        let nodes: Vec<NodeId> = iter.into_iter().collect();
+        let universe = nodes.iter().map(|v| v.index() + 1).max().unwrap_or(0);
+        Self::from_nodes(universe, nodes)
+    }
+}
+
+impl Extend<NodeId> for NodeSet {
+    fn extend<I: IntoIterator<Item = NodeId>>(&mut self, iter: I) {
+        for v in iter {
+            self.insert(v);
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a NodeSet {
+    type Item = NodeId;
+    type IntoIter = Iter<'a>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+/// Iterator over the members of a [`NodeSet`].
+pub struct Iter<'a> {
+    set: &'a NodeSet,
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                return Some(NodeId::new(self.word_idx * 64 + bit));
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.set.words.len() {
+                return None;
+            }
+            self.current = self.set.words[self.word_idx];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: &[usize]) -> Vec<NodeId> {
+        v.iter().copied().map(NodeId::new).collect()
+    }
+
+    #[test]
+    fn empty_and_full() {
+        let e = NodeSet::empty(100);
+        assert!(e.is_empty());
+        assert_eq!(e.len(), 0);
+        let f = NodeSet::full(100);
+        assert_eq!(f.len(), 100);
+        assert!(f.contains(NodeId::new(99)));
+        assert_eq!(f.iter().count(), 100);
+    }
+
+    #[test]
+    fn full_respects_partial_last_word() {
+        let f = NodeSet::full(65);
+        assert_eq!(f.len(), 65);
+        assert_eq!(f.iter().map(|v| v.index()).max(), Some(64));
+    }
+
+    #[test]
+    fn insert_remove() {
+        let mut s = NodeSet::empty(10);
+        assert!(s.insert(NodeId::new(3)));
+        assert!(!s.insert(NodeId::new(3)));
+        assert!(s.contains(NodeId::new(3)));
+        assert_eq!(s.len(), 1);
+        assert!(s.remove(NodeId::new(3)));
+        assert!(!s.remove(NodeId::new(3)));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn set_operations() {
+        let mut a = NodeSet::from_nodes(10, ids(&[1, 2, 3, 4]));
+        let b = NodeSet::from_nodes(10, ids(&[3, 4, 5]));
+        a.subtract(&b);
+        assert_eq!(a.iter().map(|v| v.index()).collect::<Vec<_>>(), vec![1, 2]);
+
+        let mut c = NodeSet::from_nodes(10, ids(&[1, 2, 3]));
+        c.intersect(&b);
+        assert_eq!(c.iter().map(|v| v.index()).collect::<Vec<_>>(), vec![3]);
+
+        let mut d = NodeSet::from_nodes(10, ids(&[1]));
+        d.union_with(&b);
+        assert_eq!(d.len(), 4);
+
+        assert!(NodeSet::from_nodes(10, ids(&[1])).is_disjoint(&b));
+        assert!(!NodeSet::from_nodes(10, ids(&[3])).is_disjoint(&b));
+    }
+
+    #[test]
+    fn iteration_order_is_sorted() {
+        let s = NodeSet::from_nodes(200, ids(&[150, 3, 64, 65, 199, 0]));
+        let got: Vec<usize> = s.iter().map(|v| v.index()).collect();
+        assert_eq!(got, vec![0, 3, 64, 65, 150, 199]);
+    }
+
+    #[test]
+    fn from_iterator_universe() {
+        let s: NodeSet = ids(&[5, 9]).into_iter().collect();
+        assert_eq!(s.universe(), 10);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside universe")]
+    fn out_of_range_panics() {
+        let s = NodeSet::empty(4);
+        let _ = s.contains(NodeId::new(4));
+    }
+}

@@ -1,0 +1,60 @@
+//! The Section 3 barrier: why `O(log^2 n / eps)` is the limit of the
+//! cut-or-component approach.
+//!
+//! Builds the paper's subdivided-expander witness and runs Lemma 3.1 on
+//! it and on a benign control graph, showing that on the barrier graph
+//! neither outcome beats its stated bound, while the control graph is
+//! cut by a single node.
+//!
+//! Run with: `cargo run --release --example barrier_demo`
+
+use sdnd::core::{barrier, Params};
+use sdnd::graph::gen;
+
+fn main() {
+    let params = Params::default();
+    let eps = 0.5;
+
+    // The barrier witness: a 4-regular expander with every edge
+    // subdivided into a path of length ~ log(n)/eps.
+    let bg = gen::barrier_graph(1200, eps, 4, 13).expect("feasible parameters");
+    let g = bg.graph();
+    println!(
+        "barrier graph: {} nodes ({} expander nodes, paths of length {})",
+        g.n(),
+        bg.base_n(),
+        bg.path_length()
+    );
+
+    let out = barrier::measure_on(g, eps, &params);
+    println!("lemma 3.1 outcome:   {}", out.case);
+    println!(
+        "removed fraction:    {:.4} (eps/log n scale: {:.4})",
+        out.removed_fraction, out.sparse_scale
+    );
+    if let Some(d) = out.component_diameter {
+        println!(
+            "component diameter:  {d} (log^2 n / eps scale: {:.0})",
+            out.diameter_scale
+        );
+    }
+    println!("rounds:              {}", out.rounds);
+
+    // Control: a long path — the easiest imaginable graph to cut.
+    let control = gen::path(g.n());
+    let out2 = barrier::measure_on(&control, eps, &params);
+    println!("\ncontrol path ({} nodes):", control.n());
+    println!("lemma 3.1 outcome:   {}", out2.case);
+    println!(
+        "removed fraction:    {:.4} — {}x below the barrier scale",
+        out2.removed_fraction,
+        (out2.sparse_scale / out2.removed_fraction.max(1e-9)).round()
+    );
+
+    println!(
+        "\nInterpretation: on the barrier graph, any balanced sparse cut needs\n\
+         Omega(eps n / log n) middle nodes and any n/3-sized component has diameter\n\
+         Omega(log^2 n / eps) — so Lemma 3.1's parameters are optimal, and improving\n\
+         the paper's O(log^2 n / eps) diameter needs a fundamentally different approach."
+    );
+}

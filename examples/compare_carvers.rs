@@ -1,0 +1,98 @@
+//! Head-to-head of every ball carver in the repository on one network,
+//! illustrating the trade-off space of Table 2: determinism vs
+//! randomness, strong vs weak diameter, rounds vs messages.
+//!
+//! Also demonstrates the *black-box* nature of Theorem 2.1: the same
+//! transformation is instantiated with two different weak carvers (the
+//! deterministic RG20 and the randomized shallow LS93), producing a
+//! deterministic and a randomized strong carver respectively.
+//!
+//! Run with: `cargo run --release --example compare_carvers`
+
+use sdnd::baselines::{Mpx13, SequentialGreedy};
+use sdnd::core::{transform, Params, Theorem22Carver};
+use sdnd::prelude::*;
+use sdnd::weak::{Ls93, Rg20};
+use sdnd_clustering::metrics;
+
+fn main() {
+    // A high-diameter network where carving actually has to chop: a cycle.
+    let g = sdnd::graph::gen::cycle(1024);
+    let alive = NodeSet::full(g.n());
+    let eps = 0.5;
+    let params = Params::default();
+    println!(
+        "network: cycle with {} nodes (diameter {}), eps = {eps}\n",
+        g.n(),
+        g.n() / 2
+    );
+    println!(
+        "{:<34} {:>7} {:>8} {:>8} {:>8} {:>10}",
+        "carver", "class", "clusters", "strongD", "dead", "rounds"
+    );
+
+    let report = |name: &str, class: &str, c: &sdnd_clustering::BallCarving, rounds: u64| {
+        let q = metrics::carving_quality(&g, c);
+        println!(
+            "{:<34} {:>7} {:>8} {:>8} {:>8.3} {:>10}",
+            name,
+            class,
+            q.clusters,
+            q.max_strong_diameter
+                .map(|d| d.to_string())
+                .unwrap_or_else(|| "—".into()),
+            q.dead_fraction,
+            rounds
+        );
+    };
+
+    // Weak carvers (diameter measured in G, clusters may be disconnected).
+    for (name, carver) in [
+        ("rg20 (det, weak)", Rg20::rg20()),
+        ("ggr21 (det, weak)", Rg20::ggr21()),
+    ] {
+        let mut l = RoundLedger::new();
+        let wc = carver.carve_weak(&g, &alive, eps, &mut l);
+        report(name, "weak", wc.carving(), l.rounds());
+    }
+    {
+        let mut l = RoundLedger::new();
+        let wc = Ls93::new(5).carve_weak(&g, &alive, eps, &mut l);
+        report("ls93 (rand, weak)", "weak", wc.carving(), l.rounds());
+    }
+
+    // Strong carvers.
+    {
+        let mut l = RoundLedger::new();
+        let c = Mpx13::new(5).carve_strong(&g, &alive, eps, &mut l);
+        report("mpx13 (rand, strong)", "strong", &c, l.rounds());
+    }
+    {
+        let mut l = RoundLedger::new();
+        let c = SequentialGreedy::new().carve_strong(&g, &alive, eps, &mut l);
+        report("ls93-sequential (strong)", "strong", &c, l.rounds());
+    }
+    {
+        let mut l = RoundLedger::new();
+        let c = Theorem22Carver::new(params.clone()).carve_strong(&g, &alive, eps, &mut l);
+        report("cg21-thm2.2 = T(rg20) (det)", "strong", &c, l.rounds());
+    }
+    {
+        // Theorem 2.1 is black-box: plug the shallow randomized LS93
+        // carving into the same transformation. The shallow Steiner trees
+        // make the strong clusters small even at this n.
+        let mut l = RoundLedger::new();
+        let ls = Ls93::new(5);
+        let c = transform::weak_to_strong(&g, &alive, eps, &ls, &params, &mut l);
+        report("cg21-thm2.1 over ls93 (rand)", "strong", &c, l.rounds());
+    }
+
+    println!(
+        "\nReading guide: the transformation rows are strong-diameter and never exceed the\n\
+         eps dead budget; instantiating Theorem 2.1 with a shallow weak carving yields\n\
+         small strong clusters, while the deep deterministic RG20 trees make its strong\n\
+         clusters as large as the component at this scale (the polylog bound exceeds the\n\
+         cycle's diameter). The sequential row shows the best-possible parameters at a\n\
+         round cost that grows linearly with n."
+    );
+}

@@ -1,0 +1,423 @@
+//! `sdnd` — command-line interface to the decomposition stack.
+//!
+//! A downstream-friendly entry point: generate graphs, run any of the
+//! carvers/decomposers on an edge-list file, validate the output, and
+//! export the clustering as CSV.
+//!
+//! ```console
+//! $ sdnd gen --family grid --n 256 > grid.edges
+//! $ sdnd decompose --algorithm thm2.3 --input grid.edges --output clusters.csv
+//! $ sdnd carve --algorithm mpx13 --eps 0.25 --input grid.edges
+//! ```
+//!
+//! Edge-list format: one `u v` pair per line (0-based indices);
+//! lines starting with `#` are ignored; node count is one past the
+//! largest index (or `--nodes`).
+
+use sdnd::baselines::{Abcp96, Mpx13, SequentialGreedy};
+use sdnd::core::Params;
+use sdnd::prelude::*;
+use sdnd::weak::{Ls93, Rg20};
+use sdnd_clustering::{metrics, StrongCarver, WeakCarver};
+use std::io::Write as _;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage: sdnd <command> [options]
+
+commands:
+  gen        --family <grid|cycle|path|tree|gnp|expander|barrier> --n <N> [--seed S]
+             writes an edge list to stdout
+  decompose  --algorithm <thm2.3|thm3.4|en16|sequential|abcp96|rg20|ls93>
+             --input <edges.txt> [--nodes N] [--seed S] [--output out.csv]
+             computes a network decomposition and prints its quality
+  carve      --algorithm <thm2.2|thm3.3|mpx13|rg20|ggr21|ls93|sequential|abcp96>
+             --eps <f> --input <edges.txt> [--nodes N] [--seed S] [--output out.csv]
+             computes a single ball carving
+  validate   --input <edges.txt> --clusters <out.csv> [--nodes N]
+             re-checks a previously exported clustering";
+
+fn run(args: &[String]) -> Result<(), String> {
+    let cmd = args.first().ok_or("missing command")?;
+    let opts = parse_opts(&args[1..])?;
+    match cmd.as_str() {
+        "gen" => cmd_gen(&opts),
+        "decompose" => cmd_decompose(&opts),
+        "carve" => cmd_carve(&opts),
+        "validate" => cmd_validate(&opts),
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+struct Opts {
+    map: std::collections::HashMap<String, String>,
+}
+
+impl Opts {
+    fn get(&self, key: &str) -> Option<&str> {
+        self.map.get(key).map(String::as_str)
+    }
+    fn require(&self, key: &str) -> Result<&str, String> {
+        self.get(key).ok_or_else(|| format!("missing --{key}"))
+    }
+    fn usize_or(&self, key: &str, default: usize) -> Result<usize, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key} wants an integer")),
+        }
+    }
+    fn f64_or(&self, key: &str, default: f64) -> Result<f64, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key} wants a number")),
+        }
+    }
+}
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut map = std::collections::HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i]
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected --option, got `{}`", args[i]))?;
+        let val = args
+            .get(i + 1)
+            .ok_or_else(|| format!("--{key} needs a value"))?;
+        map.insert(key.to_string(), val.clone());
+        i += 2;
+    }
+    Ok(Opts { map })
+}
+
+fn cmd_gen(opts: &Opts) -> Result<(), String> {
+    let family = opts.require("family")?;
+    let n = opts.usize_or("n", 256)?;
+    let seed = opts.usize_or("seed", 42)? as u64;
+    let g = match family {
+        "grid" => {
+            let side = (n as f64).sqrt().round().max(2.0) as usize;
+            sdnd::graph::gen::grid(side, side)
+        }
+        "cycle" => sdnd::graph::gen::cycle(n),
+        "path" => sdnd::graph::gen::path(n),
+        "tree" => sdnd::graph::gen::random_tree(n, seed),
+        "gnp" => sdnd::graph::gen::gnp_connected(n, 6.0 / n.max(7) as f64, seed),
+        "expander" => sdnd::graph::gen::random_regular_connected(n - n % 2, 4, seed)
+            .map_err(|e| e.to_string())?,
+        "barrier" => sdnd::graph::gen::barrier_graph(n, 0.5, 4, seed)
+            .map_err(|e| e.to_string())?
+            .into_graph(),
+        other => return Err(format!("unknown family `{other}`")),
+    };
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    writeln!(out, "# sdnd {family} n={} m={}", g.n(), g.m()).map_err(|e| e.to_string())?;
+    for (u, v) in g.edges() {
+        writeln!(out, "{u} {v}").map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}
+
+fn load_graph(opts: &Opts) -> Result<Graph, String> {
+    let path = opts.require("input")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    let mut max_node = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let parse = |tok: Option<&str>| -> Result<usize, String> {
+            tok.ok_or_else(|| format!("line {}: expected `u v`", lineno + 1))?
+                .parse()
+                .map_err(|_| format!("line {}: bad node index", lineno + 1))
+        };
+        let u = parse(it.next())?;
+        let v = parse(it.next())?;
+        max_node = max_node.max(u).max(v);
+        edges.push((u, v));
+    }
+    let n = opts.usize_or("nodes", max_node + 1)?;
+    Graph::from_edges(n, edges).map_err(|e| e.to_string())
+}
+
+fn write_clusters(
+    path: &str,
+    assignments: impl Iterator<Item = (NodeId, usize, u32)>,
+) -> Result<(), String> {
+    let mut s = String::from("node,cluster,color\n");
+    for (v, c, col) in assignments {
+        s.push_str(&format!("{v},{c},{col}\n"));
+    }
+    std::fs::write(path, s).map_err(|e| e.to_string())
+}
+
+fn cmd_decompose(opts: &Opts) -> Result<(), String> {
+    let g = load_graph(opts)?;
+    let algorithm = opts.require("algorithm")?;
+    let seed = opts.usize_or("seed", 42)? as u64;
+    let params = Params::default();
+    let mut ledger = RoundLedger::new();
+
+    let d = match algorithm {
+        "thm2.3" => sdnd::core::decompose_strong_with(&g, &params, &mut ledger),
+        "thm3.4" => sdnd::core::decompose_strong_improved_with(&g, &params, &mut ledger),
+        "en16" => sdnd::baselines::en16_decomposition(&g, seed, &mut ledger),
+        "sequential" => sdnd_clustering::decompose_with_strong_carver(
+            &g,
+            &SequentialGreedy::new(),
+            0.5,
+            &mut ledger,
+        ),
+        "abcp96" => {
+            sdnd_clustering::decompose_with_strong_carver(&g, &Abcp96::new(), 0.5, &mut ledger)
+        }
+        "rg20" => sdnd_clustering::decompose_with_weak_carver(&g, &Rg20::rg20(), 0.5, &mut ledger),
+        "ls93" => {
+            sdnd_clustering::decompose_with_weak_carver(&g, &Ls93::new(seed), 0.5, &mut ledger)
+        }
+        other => return Err(format!("unknown algorithm `{other}`")),
+    };
+
+    let q = metrics::decomposition_quality(&g, &d);
+    let report = sdnd_clustering::validate_decomposition(&g, &d);
+    println!("graph:          n = {}, m = {}", g.n(), g.m());
+    println!("algorithm:      {algorithm}");
+    println!("colors (C):     {}", q.colors);
+    println!("clusters:       {}", q.clusters);
+    println!(
+        "strong D:       {}",
+        q.max_strong_diameter.map_or("—".into(), |d| d.to_string())
+    );
+    println!(
+        "weak D:         {}",
+        q.max_weak_diameter.map_or("—".into(), |d| d.to_string())
+    );
+    println!("rounds:         {}", ledger.rounds());
+    println!("max msg bits:   {}", ledger.max_message_bits());
+    println!(
+        "color-valid:    {}",
+        if report.is_valid_weak() { "yes" } else { "NO" }
+    );
+    if let Some(path) = opts.get("output") {
+        write_clusters(
+            path,
+            g.nodes().map(|v| {
+                let c = d.cluster_of(v).expect("decomposition covers all nodes");
+                (v, c.0 as usize, d.color(c))
+            }),
+        )?;
+        println!("clusters csv:   {path}");
+    }
+    Ok(())
+}
+
+fn cmd_carve(opts: &Opts) -> Result<(), String> {
+    let g = load_graph(opts)?;
+    let algorithm = opts.require("algorithm")?;
+    let eps = opts.f64_or("eps", 0.5)?;
+    let seed = opts.usize_or("seed", 42)? as u64;
+    let alive = NodeSet::full(g.n());
+    let params = Params::default();
+    let mut ledger = RoundLedger::new();
+
+    let carving = match algorithm {
+        "thm2.2" => sdnd::core::strong_ball_carving(&g, &alive, eps, &params, &mut ledger),
+        "thm3.3" => sdnd::core::strong_ball_carving_improved(&g, &alive, eps, &params, &mut ledger),
+        "mpx13" => Mpx13::new(seed).carve_strong(&g, &alive, eps, &mut ledger),
+        "sequential" => SequentialGreedy::new().carve_strong(&g, &alive, eps, &mut ledger),
+        "abcp96" => Abcp96::new().carve_strong(&g, &alive, eps, &mut ledger),
+        "rg20" => {
+            Rg20::rg20()
+                .carve_weak(&g, &alive, eps, &mut ledger)
+                .into_parts()
+                .0
+        }
+        "ggr21" => {
+            Rg20::ggr21()
+                .carve_weak(&g, &alive, eps, &mut ledger)
+                .into_parts()
+                .0
+        }
+        "ls93" => {
+            Ls93::new(seed)
+                .carve_weak(&g, &alive, eps, &mut ledger)
+                .into_parts()
+                .0
+        }
+        other => return Err(format!("unknown algorithm `{other}`")),
+    };
+
+    let q = metrics::carving_quality(&g, &carving);
+    println!("graph:          n = {}, m = {}", g.n(), g.m());
+    println!("algorithm:      {algorithm} (eps = {eps})");
+    println!("clusters:       {}", q.clusters);
+    println!("dead fraction:  {:.4}", q.dead_fraction);
+    println!(
+        "strong D:       {}",
+        q.max_strong_diameter.map_or("—".into(), |d| d.to_string())
+    );
+    println!(
+        "weak D:         {}",
+        q.max_weak_diameter.map_or("—".into(), |d| d.to_string())
+    );
+    println!("rounds:         {}", ledger.rounds());
+    if let Some(path) = opts.get("output") {
+        write_clusters(
+            path,
+            g.nodes()
+                .filter_map(|v| carving.cluster_of(v).map(|c| (v, c, 0))),
+        )?;
+        println!("clusters csv:   {path}");
+    }
+    Ok(())
+}
+
+fn cmd_validate(opts: &Opts) -> Result<(), String> {
+    let g = load_graph(opts)?;
+    let path = opts.require("clusters")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut colored: std::collections::HashMap<usize, (Vec<NodeId>, u32)> = Default::default();
+    let mut covered = NodeSet::empty(g.n());
+    for line in text.lines().skip(1) {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut it = line.split(',');
+        let v: usize = it
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or("bad node column")?;
+        let c: usize = it
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or("bad cluster column")?;
+        let col: u32 = it.next().and_then(|t| t.parse().ok()).unwrap_or(0);
+        let e = colored.entry(c).or_insert_with(|| (Vec::new(), col));
+        e.0.push(NodeId::new(v));
+        covered.insert(NodeId::new(v));
+    }
+    let clusters: Vec<(Vec<NodeId>, u32)> = colored.into_values().collect();
+    let d = sdnd_clustering::NetworkDecomposition::new(&covered, clusters)
+        .map_err(|e| e.to_string())?;
+    let report = sdnd_clustering::validate_decomposition(&g, &d);
+    println!("clusters:       {}", d.num_clusters());
+    println!("colors:         {}", d.num_colors());
+    println!(
+        "color-valid:    {}",
+        if report.is_valid_weak() { "yes" } else { "NO" }
+    );
+    println!(
+        "connected:      {}",
+        if report.clusters_connected {
+            "yes"
+        } else {
+            "NO"
+        }
+    );
+    println!(
+        "strong D:       {}",
+        report
+            .max_strong_diameter
+            .map_or("—".into(), |d| d.to_string())
+    );
+    for v in report.violations.iter().take(5) {
+        println!("violation:      {v}");
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts(pairs: &[(&str, &str)]) -> Opts {
+        let mut map = std::collections::HashMap::new();
+        for (k, v) in pairs {
+            map.insert(k.to_string(), v.to_string());
+        }
+        Opts { map }
+    }
+
+    #[test]
+    fn parse_opts_accepts_pairs_and_rejects_stragglers() {
+        let ok =
+            parse_opts(&["--n".into(), "12".into(), "--family".into(), "grid".into()]).unwrap();
+        assert_eq!(ok.get("n"), Some("12"));
+        assert_eq!(ok.require("family").unwrap(), "grid");
+        assert!(parse_opts(&["--n".into()]).is_err(), "missing value");
+        assert!(
+            parse_opts(&["n".into(), "12".into()]).is_err(),
+            "missing dashes"
+        );
+    }
+
+    #[test]
+    fn numeric_options_validate() {
+        let o = opts(&[("eps", "0.25"), ("n", "100")]);
+        assert_eq!(o.f64_or("eps", 0.5).unwrap(), 0.25);
+        assert_eq!(o.usize_or("n", 7).unwrap(), 100);
+        assert_eq!(o.usize_or("missing", 7).unwrap(), 7);
+        let bad = opts(&[("eps", "abc")]);
+        assert!(bad.f64_or("eps", 0.5).is_err());
+    }
+
+    #[test]
+    fn load_graph_parses_edge_lists() {
+        let dir = std::env::temp_dir().join("sdnd_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("edges.txt");
+        std::fs::write(&path, "# comment\n0 1\n1 2\n\n2 3\n").unwrap();
+        let o = opts(&[("input", path.to_str().unwrap())]);
+        let g = load_graph(&o).unwrap();
+        assert_eq!(g.n(), 4);
+        assert_eq!(g.m(), 3);
+        // Explicit node count extends the universe.
+        let o2 = opts(&[("input", path.to_str().unwrap()), ("nodes", "10")]);
+        assert_eq!(load_graph(&o2).unwrap().n(), 10);
+    }
+
+    #[test]
+    fn load_graph_reports_bad_lines() {
+        let dir = std::env::temp_dir().join("sdnd_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.txt");
+        std::fs::write(&path, "0 x\n").unwrap();
+        let o = opts(&[("input", path.to_str().unwrap())]);
+        let err = load_graph(&o).unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+    }
+
+    #[test]
+    fn unknown_command_and_algorithm_error() {
+        assert!(run(&["frobnicate".into()]).is_err());
+        let dir = std::env::temp_dir().join("sdnd_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tiny.txt");
+        std::fs::write(&path, "0 1\n").unwrap();
+        let args = vec![
+            "carve".to_string(),
+            "--algorithm".into(),
+            "nope".into(),
+            "--input".into(),
+            path.to_str().unwrap().into(),
+        ];
+        assert!(run(&args).is_err());
+    }
+}

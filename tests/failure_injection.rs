@@ -1,0 +1,193 @@
+//! Failure-injection tests: the validators must *detect* corrupted
+//! outputs, not just accept correct ones. Each test takes a valid
+//! artifact, breaks one invariant deliberately, and asserts the checker
+//! flags it.
+
+use sdnd::core::Params;
+use sdnd::prelude::*;
+use sdnd_clustering::{
+    validate_carving, validate_decomposition, validate_edge_carving, validate_weak_carving,
+    BallCarving, EdgeCarving, NetworkDecomposition, SteinerForest, SteinerTree, WeakCarving,
+};
+use sdnd_graph::gen;
+
+#[test]
+fn carving_validator_catches_adjacent_clusters() {
+    let g = gen::path(6);
+    // Valid: {0,1,2} | dead 3 | {4,5}. Corrupt: move 3 into the first
+    // cluster, making clusters {0..3} and {4,5} adjacent.
+    let bad = BallCarving::new(
+        NodeSet::full(6),
+        vec![
+            vec![
+                NodeId::new(0),
+                NodeId::new(1),
+                NodeId::new(2),
+                NodeId::new(3),
+            ],
+            vec![NodeId::new(4), NodeId::new(5)],
+        ],
+    )
+    .unwrap();
+    let report = validate_carving(&g, &bad);
+    assert!(!report.clusters_nonadjacent);
+    assert!(!report.is_valid_strong(1.0));
+    assert!(report
+        .violations
+        .iter()
+        .any(|v| v.contains("joins clusters")));
+}
+
+#[test]
+fn carving_validator_catches_dead_budget() {
+    let g = gen::path(10);
+    // Only 2 of 10 nodes clustered: dead fraction 0.8 > eps 0.5.
+    let c = BallCarving::new(
+        NodeSet::full(10),
+        vec![vec![NodeId::new(0), NodeId::new(1)]],
+    )
+    .unwrap();
+    let report = validate_carving(&g, &c);
+    assert!(report.clusters_nonadjacent, "structurally fine");
+    assert!(!report.is_valid_strong(0.5), "but over the eps budget");
+    assert!(report.is_valid_strong(0.9));
+}
+
+#[test]
+fn weak_validator_catches_stolen_terminal() {
+    let g = gen::path(4);
+    // Cluster {0, 1} but the tree only contains node 0.
+    let carving =
+        BallCarving::new(NodeSet::full(4), vec![vec![NodeId::new(0), NodeId::new(1)]]).unwrap();
+    let forest = SteinerForest::from_trees(vec![SteinerTree::singleton(NodeId::new(0))]);
+    let wc = WeakCarving::new(carving, forest).unwrap();
+    let report = validate_weak_carving(&g, &wc);
+    assert!(!report.terminals_covered);
+    assert!(!report.satisfies_contract(1.0, 100, 100));
+}
+
+#[test]
+fn weak_validator_catches_phantom_edge_and_cycles() {
+    let g = gen::path(4);
+    let carving = BallCarving::new(NodeSet::full(4), vec![vec![NodeId::new(0)]]).unwrap();
+    // (a) a tree edge that does not exist in G.
+    let phantom = SteinerForest::from_trees(vec![SteinerTree::from_parents(
+        NodeId::new(0),
+        vec![(NodeId::new(2), NodeId::new(0))],
+    )]);
+    let wc = WeakCarving::new(carving.clone(), phantom).unwrap();
+    assert!(!validate_weak_carving(&g, &wc).trees_well_formed);
+
+    // (b) cyclic parent pointers.
+    let cyclic = SteinerForest::from_trees(vec![SteinerTree::from_parents(
+        NodeId::new(0),
+        vec![
+            (NodeId::new(1), NodeId::new(2)),
+            (NodeId::new(2), NodeId::new(1)),
+        ],
+    )]);
+    let wc = WeakCarving::new(carving, cyclic).unwrap();
+    let report = validate_weak_carving(&g, &wc);
+    assert!(!report.trees_well_formed);
+    assert!(report.max_depth.is_none());
+}
+
+#[test]
+fn decomposition_validator_catches_color_collision() {
+    let g = gen::path(4);
+    let bad = NetworkDecomposition::new(
+        &NodeSet::full(4),
+        vec![
+            (vec![NodeId::new(0), NodeId::new(1)], 0),
+            (vec![NodeId::new(2), NodeId::new(3)], 0), // same color, adjacent
+        ],
+    )
+    .unwrap();
+    let report = validate_decomposition(&g, &bad);
+    assert!(!report.colors_separate);
+    assert!(!report.is_valid());
+}
+
+#[test]
+fn decomposition_validator_catches_disconnected_cluster() {
+    let g = gen::path(5);
+    let bad = NetworkDecomposition::new(
+        &NodeSet::full(5),
+        vec![
+            (vec![NodeId::new(0), NodeId::new(2)], 0), // skips node 1
+            (vec![NodeId::new(1)], 1),
+            (vec![NodeId::new(3), NodeId::new(4)], 2),
+        ],
+    )
+    .unwrap();
+    let report = validate_decomposition(&g, &bad);
+    assert!(!report.clusters_connected);
+    assert!(report.max_strong_diameter.is_none());
+    assert!(report.is_valid_weak(), "weak contract tolerates it");
+    assert!(!report.is_valid(), "strong contract does not");
+}
+
+#[test]
+fn edge_validator_catches_uncut_boundary() {
+    let g = gen::cycle(6);
+    // Two arcs but only one of the two separating edges cut.
+    let bad = EdgeCarving::new(
+        NodeSet::full(6),
+        vec![
+            vec![NodeId::new(0), NodeId::new(1), NodeId::new(2)],
+            vec![NodeId::new(3), NodeId::new(4), NodeId::new(5)],
+        ],
+        vec![(NodeId::new(2), NodeId::new(3))], // missing (5, 0)
+    )
+    .unwrap();
+    let report = validate_edge_carving(&g, &bad);
+    assert!(!report.separation_ok);
+    assert!(report.violations.iter().any(|v| v.contains("uncut edge")));
+}
+
+#[test]
+fn edge_validator_counts_cut_budget() {
+    let g = gen::cycle(8);
+    // Cut every other edge: fraction 0.5.
+    let cut: Vec<(NodeId, NodeId)> = (0..8)
+        .step_by(2)
+        .map(|i| (NodeId::new(i), NodeId::new((i + 1) % 8)))
+        .collect();
+    let clusters: Vec<Vec<NodeId>> = (0..8)
+        .step_by(2)
+        .map(|i| vec![NodeId::new((i + 1) % 8), NodeId::new((i + 2) % 8)])
+        .collect();
+    let ec = EdgeCarving::new(NodeSet::full(8), clusters, cut).unwrap();
+    let report = validate_edge_carving(&g, &ec);
+    assert!(report.separation_ok, "{:?}", report.violations);
+    assert!((report.cut_fraction - 0.5).abs() < 1e-9);
+    assert!(report.is_valid(0.5));
+    assert!(!report.is_valid(0.4));
+}
+
+#[test]
+fn construction_rejects_malformed_inputs_outright() {
+    // The types themselves refuse overlaps/coverage gaps, so a corrupted
+    // pipeline cannot even produce an object to validate.
+    let overlap = BallCarving::new(
+        NodeSet::full(3),
+        vec![vec![NodeId::new(0), NodeId::new(1)], vec![NodeId::new(1)]],
+    );
+    assert!(overlap.is_err());
+
+    let gap = NetworkDecomposition::new(&NodeSet::full(3), vec![(vec![NodeId::new(0)], 0)]);
+    assert!(gap.is_err());
+
+    let uncovered_edge_carving =
+        EdgeCarving::new(NodeSet::full(2), vec![vec![NodeId::new(0)]], vec![]);
+    assert!(uncovered_edge_carving.is_err());
+}
+
+#[test]
+fn end_to_end_outputs_survive_reinjection() {
+    // Sanity: real outputs pass the same checkers the corrupted ones
+    // fail (guards against over-strict validators).
+    let g = gen::grid(6, 6);
+    let (d, _) = sdnd::core::decompose_strong(&g, &Params::default()).unwrap();
+    assert!(validate_decomposition(&g, &d).is_valid());
+}
