@@ -143,7 +143,13 @@ fn main() {
     // non-trivial chopping where the deep RG20 trees cannot.
     let cyc = gen::cycle(1024);
     let cyc_alive = NodeSet::full(cyc.n());
-    let mut t5 = Table::new(["black box A", "measured R", "clusters", "strong diameter", "dead"]);
+    let mut t5 = Table::new([
+        "black box A",
+        "measured R",
+        "clusters",
+        "strong diameter",
+        "dead",
+    ]);
     {
         let params = Params::default();
         let shallow = sdnd_weak::Ls93::new(5);

@@ -11,7 +11,7 @@
 //! sequential baseline is included to show a *non*-polylog row: its
 //! fitted exponent keeps growing with `n` (linear rounds).
 //!
-//! Usage: `cargo run --release -p sdnd-bench --bin scaling`
+//! Usage: `cargo run --release -p sdnd_bench --bin scaling`
 
 use sdnd_baselines::SequentialGreedy;
 use sdnd_bench::{env_seed, env_usize, ls_slope, Table};
@@ -19,6 +19,9 @@ use sdnd_clustering::{decompose_with_strong_carver, StrongCarver};
 use sdnd_congest::RoundLedger;
 use sdnd_core::{Params, Theorem22Carver, Theorem33Carver};
 use sdnd_graph::{gen, Graph, NodeSet};
+
+/// A boxed "run the algorithm, return the round count" closure.
+type AlgoFn = Box<dyn Fn(&Graph, &mut RoundLedger) -> u64>;
 
 fn rounds_of<F: FnOnce(&mut RoundLedger)>(f: F) -> u64 {
     let mut ledger = RoundLedger::new();
@@ -39,7 +42,7 @@ fn main() {
     let mut table = Table::new(["algorithm", "n", "rounds", "rounds/dominant-term"]);
     let mut series: Vec<(&str, Vec<f64>, Vec<f64>)> = Vec::new();
 
-    let algorithms: Vec<(&str, Box<dyn Fn(&Graph, &mut RoundLedger) -> u64>)> = vec![
+    let algorithms: Vec<(&str, AlgoFn)> = vec![
         ("cg21-thm2.2-carve", {
             let p = params.clone();
             Box::new(move |g: &Graph, l: &mut RoundLedger| {

@@ -97,8 +97,8 @@ mod tests {
             &members,
             &mut ledger,
         );
-        for i in 0..6 {
-            assert_eq!(ranks[i], Some(i as u32));
+        for (i, r) in ranks.iter().enumerate().take(6) {
+            assert_eq!(*r, Some(i as u32));
         }
         assert_eq!(ledger.rounds(), 2 * 5);
     }

@@ -26,8 +26,8 @@ pub(crate) struct TreeShape {
 pub(crate) fn tree_shape(universe: usize, root: NodeId, parent: &[Option<NodeId>]) -> TreeShape {
     assert_eq!(parent.len(), universe, "parent vector length mismatch");
     let mut children: Vec<Vec<NodeId>> = vec![Vec::new(); universe];
-    for i in 0..universe {
-        if let Some(p) = parent[i] {
+    for (i, p) in parent.iter().enumerate() {
+        if let Some(p) = p {
             children[p.index()].push(NodeId::new(i));
         }
     }

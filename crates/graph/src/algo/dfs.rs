@@ -48,8 +48,8 @@ pub fn dfs_order_of_tree(n: usize, root: NodeId, parent: &[Option<NodeId>]) -> T
     assert_eq!(parent.len(), n, "parent vector must cover the index space");
     // Build child lists.
     let mut children: Vec<Vec<NodeId>> = vec![Vec::new(); n];
-    for i in 0..n {
-        if let Some(p) = parent[i] {
+    for (i, p) in parent.iter().enumerate() {
+        if let Some(p) = p {
             children[p.index()].push(NodeId::new(i));
         }
     }

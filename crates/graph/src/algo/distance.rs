@@ -111,9 +111,9 @@ mod tests {
         let d = pairwise_distances(&g.full_view());
         assert_eq!(d[0][8], 4);
         assert_eq!(d[4][4], 0);
-        for u in 0..9 {
-            for v in 0..9 {
-                assert_eq!(d[u][v], d[v][u], "symmetry at ({u},{v})");
+        for (u, row) in d.iter().enumerate() {
+            for (v, &duv) in row.iter().enumerate() {
+                assert_eq!(duv, d[v][u], "symmetry at ({u},{v})");
             }
         }
     }

@@ -78,7 +78,7 @@ pub fn gnp_connected(n: usize, p: f64, seed: u64) -> Graph {
 /// or no simple pairing is found within the retry budget (only plausible
 /// for extreme parameters).
 pub fn random_regular(n: usize, d: usize, seed: u64) -> Result<Graph, GraphError> {
-    if n * d % 2 != 0 {
+    if !(n * d).is_multiple_of(2) {
         return Err(GraphError::InvalidParameter {
             reason: format!("n*d = {} is odd", n * d),
         });

@@ -33,7 +33,7 @@ impl NodeSet {
         for w in s.words.iter_mut() {
             *w = !0;
         }
-        if universe % 64 != 0 {
+        if !universe.is_multiple_of(64) {
             if let Some(last) = s.words.last_mut() {
                 *last = (1u64 << (universe % 64)) - 1;
             }

@@ -50,10 +50,10 @@ proptest! {
     fn pairwise_distances_are_a_metric(g in arb_graph()) {
         let d = algo::pairwise_distances(&g.full_view());
         let n = g.n();
-        for u in 0..n {
-            prop_assert_eq!(d[u][u], 0);
-            for v in 0..n {
-                prop_assert_eq!(d[u][v], d[v][u]);
+        for (u, row) in d.iter().enumerate() {
+            prop_assert_eq!(row[u], 0);
+            for (v, &duv) in row.iter().enumerate() {
+                prop_assert_eq!(duv, d[v][u]);
             }
         }
         // Triangle inequality through any finite intermediate.

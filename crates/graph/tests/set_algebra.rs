@@ -1,0 +1,204 @@
+//! Property suite for the set-algebra substrate: [`NodeSet`] against a
+//! reference `HashSet` model, and [`Adjacency`] views against the base
+//! graph. The carving loops lean on these operations for every alive-set
+//! update, so the laws here are load-bearing for all of the algorithm
+//! crates.
+
+use proptest::prelude::*;
+use sdnd_graph::{Adjacency, Graph, NodeId, NodeSet};
+use std::collections::HashSet;
+
+const UNIVERSE: usize = 64;
+
+/// Strategy: a node subset of `0..UNIVERSE` as both model and bitset.
+fn arb_set() -> impl Strategy<Value = (HashSet<usize>, NodeSet)> {
+    prop::collection::hash_set(0usize..UNIVERSE, 0..UNIVERSE).prop_map(|model| {
+        let set = NodeSet::from_nodes(UNIVERSE, model.iter().map(|&i| NodeId::new(i)));
+        (model, set)
+    })
+}
+
+/// Strategy: a random simple graph plus an alive mask over its nodes.
+fn arb_graph_and_mask() -> impl Strategy<Value = (Graph, NodeSet)> {
+    (4usize..40).prop_flat_map(|n| {
+        let edges = prop::collection::vec((0..n, 0..n), 0..(n * 2));
+        let mask = prop::collection::vec(prop::bool::ANY, n);
+        (edges, mask).prop_map(move |(raw, mask)| {
+            let filtered: Vec<(usize, usize)> = raw.into_iter().filter(|&(u, v)| u != v).collect();
+            let g = Graph::from_edges(n, filtered).expect("filtered edges are valid");
+            let alive = NodeSet::from_nodes(n, (0..n).filter(|&i| mask[i]).map(NodeId::new));
+            (g, alive)
+        })
+    })
+}
+
+fn to_model(s: &NodeSet) -> HashSet<usize> {
+    s.iter().map(|v| v.index()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn membership_matches_model(sets in arb_set()) {
+        let (model, set) = sets;
+        prop_assert_eq!(set.len(), model.len());
+        prop_assert_eq!(set.is_empty(), model.is_empty());
+        prop_assert_eq!(set.universe(), UNIVERSE);
+        for i in 0..UNIVERSE {
+            prop_assert_eq!(set.contains(NodeId::new(i)), model.contains(&i), "at {}", i);
+        }
+        // Iteration yields exactly the members, in increasing index order.
+        let iterated: Vec<usize> = set.iter().map(|v| v.index()).collect();
+        let mut expected: Vec<usize> = model.iter().copied().collect();
+        expected.sort_unstable();
+        prop_assert_eq!(iterated, expected);
+    }
+
+    #[test]
+    fn insert_and_remove_match_model(sets in arb_set(), idx in 0usize..UNIVERSE) {
+        let (mut model, mut set) = sets;
+        let v = NodeId::new(idx);
+        prop_assert_eq!(set.insert(v), model.insert(idx));
+        prop_assert_eq!(to_model(&set), model.clone());
+        // Double-insert reports false and is a no-op.
+        prop_assert!(!set.insert(v));
+        prop_assert_eq!(set.len(), model.len());
+        prop_assert_eq!(set.remove(v), model.remove(&idx));
+        prop_assert_eq!(to_model(&set), model.clone());
+        prop_assert!(!set.remove(v));
+    }
+
+    #[test]
+    fn binary_operations_match_model(a in arb_set(), b in arb_set()) {
+        let (ma, sa) = a;
+        let (mb, sb) = b;
+
+        let mut union = sa.clone();
+        union.union_with(&sb);
+        prop_assert_eq!(to_model(&union), ma.union(&mb).copied().collect::<HashSet<_>>());
+
+        let mut inter = sa.clone();
+        inter.intersect(&sb);
+        prop_assert_eq!(
+            to_model(&inter),
+            ma.intersection(&mb).copied().collect::<HashSet<_>>()
+        );
+
+        let mut diff = sa.clone();
+        diff.subtract(&sb);
+        prop_assert_eq!(
+            to_model(&diff),
+            ma.difference(&mb).copied().collect::<HashSet<_>>()
+        );
+
+        prop_assert_eq!(sa.is_disjoint(&sb), ma.is_disjoint(&mb));
+        // Inclusion–exclusion ties the three operations together.
+        prop_assert_eq!(union.len() + inter.len(), sa.len() + sb.len());
+    }
+
+    #[test]
+    fn algebraic_laws_hold(a in arb_set(), b in arb_set()) {
+        let (_, sa) = a;
+        let (_, sb) = b;
+
+        // Commutativity of union and intersection.
+        let mut ab = sa.clone();
+        ab.union_with(&sb);
+        let mut ba = sb.clone();
+        ba.union_with(&sa);
+        prop_assert_eq!(&ab, &ba);
+
+        let mut iab = sa.clone();
+        iab.intersect(&sb);
+        let mut iba = sb.clone();
+        iba.intersect(&sa);
+        prop_assert_eq!(&iab, &iba);
+
+        // Idempotence.
+        let mut self_union = sa.clone();
+        self_union.union_with(&sa);
+        prop_assert_eq!(&self_union, &sa);
+
+        // A \ B is disjoint from B, and (A \ B) ∪ (A ∩ B) = A.
+        let mut diff = sa.clone();
+        diff.subtract(&sb);
+        prop_assert!(diff.is_disjoint(&sb));
+        let mut rebuilt = diff.clone();
+        rebuilt.union_with(&iab);
+        prop_assert_eq!(&rebuilt, &sa);
+
+        // Complement laws against the full and empty sets.
+        let full = NodeSet::full(UNIVERSE);
+        let empty = NodeSet::empty(UNIVERSE);
+        let mut with_full = sa.clone();
+        with_full.union_with(&full);
+        prop_assert_eq!(&with_full, &full);
+        let mut with_empty = sa.clone();
+        with_empty.intersect(&empty);
+        prop_assert_eq!(&with_empty, &empty);
+    }
+
+    #[test]
+    fn subset_view_agrees_with_mask(input in arb_graph_and_mask()) {
+        let (g, alive) = input;
+        let view = g.view(&alive);
+
+        prop_assert_eq!(view.universe(), g.n());
+        prop_assert_eq!(view.len(), alive.len());
+        prop_assert_eq!(view.is_empty(), alive.is_empty());
+        prop_assert_eq!(view.to_node_set(), alive.clone());
+
+        // nodes() iterates exactly the alive set.
+        let nodes: Vec<NodeId> = view.nodes().collect();
+        let from_mask: Vec<NodeId> = alive.iter().collect();
+        prop_assert_eq!(nodes, from_mask);
+
+        for v in g.nodes() {
+            prop_assert_eq!(view.contains(v), alive.contains(v));
+        }
+    }
+
+    #[test]
+    fn subset_view_filters_adjacency(input in arb_graph_and_mask()) {
+        let (g, alive) = input;
+        let view = g.view(&alive);
+        let full = g.full_view();
+
+        for v in view.nodes() {
+            // Neighbors in the view are the alive neighbors of the graph.
+            let got: HashSet<usize> = view.neighbors(v).map(|u| u.index()).collect();
+            let want: HashSet<usize> = full
+                .neighbors(v)
+                .filter(|&u| alive.contains(u))
+                .map(|u| u.index())
+                .collect();
+            prop_assert_eq!(got, want, "neighbors of {}", v);
+        }
+
+        // Symmetry survives the mask.
+        for v in view.nodes() {
+            for u in view.neighbors(v) {
+                prop_assert!(
+                    view.neighbors(u).any(|w| w == v),
+                    "edge ({}, {}) not symmetric in the view",
+                    v,
+                    u
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn min_id_node_agrees_with_identifiers(input in arb_graph_and_mask()) {
+        let (g, alive) = input;
+        // Install adversarial (reverse-shifted, injective) identifiers so
+        // the property is not vacuous under the default id(v) = v.
+        let ids: Vec<u64> = (0..g.n() as u64).map(|i| (g.n() as u64 - i) * 5 + 3).collect();
+        let g = g.with_ids(ids).expect("injective ids");
+        let view = g.view(&alive);
+
+        let want = alive.iter().min_by_key(|&v| g.id_of(v));
+        prop_assert_eq!(view.min_id_node(), want);
+    }
+}

@@ -21,6 +21,9 @@ use sdnd_graph::{Graph, NodeId, NodeSet};
 use std::cell::Cell;
 use std::collections::HashMap;
 
+/// A node's winning center: `(center id, center, dist, parent toward center)`.
+type Winner = (u64, NodeId, u32, Option<NodeId>);
+
 /// The LS93 randomized weak-diameter carver.
 ///
 /// Each call to [`carve`](Self::carve) advances the internal seed so
@@ -89,7 +92,7 @@ impl Ls93 {
         // computed by truncated BFS per center (the distributed version
         // is a shifted BFS; rounds are charged below).
         // winner[u] = (id of center, center, dist, parent toward center).
-        let mut winner: Vec<Option<(u64, NodeId, u32, Option<NodeId>)>> = vec![None; g.n()];
+        let mut winner: Vec<Option<Winner>> = vec![None; g.n()];
         let mut explored_edges = 0u64;
         let mut max_used_radius = 0u32;
         for v in alive.iter() {

@@ -36,7 +36,11 @@
 use sdnd_clustering::{BallCarving, SteinerForest, SteinerTree, WeakCarver, WeakCarving};
 use sdnd_congest::{bits_for_value, RoundLedger};
 use sdnd_graph::{Graph, NodeId, NodeSet};
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
+
+/// One rebuilt Steiner tree: `(label, parent/depth entries, new depth)`.
+type TreeRebuild = (u64, HashMap<u32, (Option<NodeId>, u32)>, u32);
 
 /// Tuning knobs for [`Rg20`].
 #[derive(Debug, Clone, Copy)]
@@ -67,6 +71,9 @@ pub struct Rg20 {
 
 impl Rg20 {
     /// The plain RG20 algorithm.
+    // The constructor shares the type's name on purpose: call sites read
+    // as the algorithm row label (`Rg20::rg20()` vs `Rg20::ggr21()`).
+    #[allow(clippy::self_named_constructors)]
     pub fn rg20() -> Self {
         Rg20 {
             config: Rg20Config::default(),
@@ -298,9 +305,9 @@ impl<'g> Run<'g> {
         let w_depth = self.trees[&l].entries[&u32::from(w)].1;
         let t = self.trees.get_mut(&l).expect("target cluster exists");
         t.members += 1;
-        if !t.entries.contains_key(&u32::from(v)) {
+        if let Entry::Vacant(entry) = t.entries.entry(u32::from(v)) {
             let d = w_depth + 1;
-            t.entries.insert(u32::from(v), (Some(w), d));
+            entry.insert((Some(w), d));
             if d > t.depth {
                 t.depth = d;
             }
@@ -335,7 +342,7 @@ impl<'g> Run<'g> {
             return;
         }
         // Pass 1: compute the replacement trees (immutable borrows only).
-        let mut replacements: Vec<(u64, HashMap<u32, (Option<NodeId>, u32)>, u32)> = Vec::new();
+        let mut replacements: Vec<TreeRebuild> = Vec::new();
         {
             let view = self.g.view(&self.input);
             for &l in &labels {

@@ -16,6 +16,7 @@
 use sdnd_clustering::{EdgeCarving, SteinerForest, SteinerTree, WeakEdgeCarver, WeakEdgeCarving};
 use sdnd_congest::RoundLedger;
 use sdnd_graph::{Graph, NodeId, NodeSet};
+use std::collections::hash_map::Entry;
 use std::collections::{HashMap, HashSet};
 
 /// The edge-version RG20 carver.
@@ -216,9 +217,9 @@ impl<'g> EdgeRun<'g> {
         let t = self.trees.get_mut(&l).expect("target exists");
         t.members += 1;
         t.internal_edges += new_internal;
-        if !t.entries.contains_key(&u32::from(v)) {
+        if let Entry::Vacant(entry) = t.entries.entry(u32::from(v)) {
             let d = w_depth + 1;
-            t.entries.insert(u32::from(v), (Some(w), d));
+            entry.insert((Some(w), d));
             t.depth = t.depth.max(d);
             self.max_depth = self.max_depth.max(d);
         }

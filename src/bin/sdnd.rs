@@ -232,6 +232,9 @@ fn cmd_carve(opts: &Opts) -> Result<(), String> {
     let g = load_graph(opts)?;
     let algorithm = opts.require("algorithm")?;
     let eps = opts.f64_or("eps", 0.5)?;
+    if !(eps > 0.0 && eps < 1.0) {
+        return Err(format!("--eps must lie in (0, 1), got {eps}"));
+    }
     let seed = opts.usize_or("seed", 42)? as u64;
     let alive = NodeSet::full(g.n());
     let params = Params::default();

@@ -1,0 +1,114 @@
+//! Deterministic-seed smoke tests.
+//!
+//! The experiment harness, the cross-validation suites, and the paper's
+//! own claims (the CG21 algorithms are *deterministic*) all rely on
+//! bit-identical reruns: the same seed must produce the same graph, and
+//! the same graph must produce the same decomposition. These tests pin
+//! that contract across the seeded generators, both deterministic
+//! decomposition pipelines, and the seeded randomized baselines.
+
+use sdnd::baselines::Mpx13;
+use sdnd::core::{decompose_strong, decompose_strong_improved, Params};
+use sdnd::prelude::*;
+use sdnd::weak::Ls93;
+use sdnd_graph::gen;
+
+/// A spread of graph families, all at CI-friendly sizes.
+fn graph_families() -> Vec<(&'static str, Graph)> {
+    vec![
+        ("grid-6x7", gen::grid(6, 7)),
+        ("cycle-40", gen::cycle(40)),
+        ("hypercube-5", gen::hypercube(5)),
+        ("balanced-tree-3x3", gen::balanced_tree(3, 3)),
+        ("caterpillar-6x3", gen::caterpillar(6, 3)),
+        ("gnp-connected-48", gen::gnp_connected(48, 0.08, 11)),
+        ("random-tree-40", gen::random_tree(40, 5)),
+    ]
+}
+
+#[test]
+fn seeded_generators_are_deterministic() {
+    for seed in [0u64, 1, 42, u64::MAX] {
+        assert_eq!(
+            gen::gnp(32, 0.15, seed),
+            gen::gnp(32, 0.15, seed),
+            "gnp(seed={seed})"
+        );
+        assert_eq!(
+            gen::gnp_connected(32, 0.1, seed),
+            gen::gnp_connected(32, 0.1, seed),
+            "gnp_connected(seed={seed})"
+        );
+        assert_eq!(
+            gen::random_tree(33, seed),
+            gen::random_tree(33, seed),
+            "random_tree(seed={seed})"
+        );
+        let r1 = gen::random_regular(24, 3, seed).expect("3-regular on 24 nodes exists");
+        let r2 = gen::random_regular(24, 3, seed).expect("3-regular on 24 nodes exists");
+        assert_eq!(r1, r2, "random_regular(seed={seed})");
+    }
+}
+
+#[test]
+fn seeded_generators_vary_with_the_seed() {
+    // Not a correctness requirement per se, but if every seed collapsed
+    // to one output the determinism tests above would be vacuous.
+    assert_ne!(gen::gnp(32, 0.15, 1), gen::gnp(32, 0.15, 2));
+    assert_ne!(gen::random_tree(33, 1), gen::random_tree(33, 2));
+}
+
+#[test]
+fn decompose_strong_is_deterministic_across_families() {
+    let params = Params::default();
+    for (name, g) in graph_families() {
+        let (d1, l1) = decompose_strong(&g, &params).expect("decomposes");
+        let (d2, l2) = decompose_strong(&g, &params).expect("decomposes");
+        assert_eq!(d1, d2, "decomposition differs across reruns on {name}");
+        assert_eq!(l1, l2, "round ledger differs across reruns on {name}");
+    }
+}
+
+#[test]
+fn decompose_strong_improved_is_deterministic_across_families() {
+    let params = Params::default();
+    for (name, g) in graph_families() {
+        let (d1, l1) = decompose_strong_improved(&g, &params).expect("decomposes");
+        let (d2, l2) = decompose_strong_improved(&g, &params).expect("decomposes");
+        assert_eq!(d1, d2, "decomposition differs across reruns on {name}");
+        assert_eq!(l1, l2, "round ledger differs across reruns on {name}");
+    }
+}
+
+#[test]
+fn seeded_randomized_baselines_are_deterministic() {
+    for (name, g) in graph_families() {
+        let alive = NodeSet::full(g.n());
+        for seed in [0u64, 7, 1234] {
+            let mut l1 = RoundLedger::new();
+            let mut l2 = RoundLedger::new();
+            let c1 = StrongCarver::carve_strong(&Mpx13::new(seed), &g, &alive, 0.5, &mut l1);
+            let c2 = StrongCarver::carve_strong(&Mpx13::new(seed), &g, &alive, 0.5, &mut l2);
+            assert_eq!(c1, c2, "Mpx13(seed={seed}) differs on {name}");
+            assert_eq!(l1, l2, "Mpx13(seed={seed}) ledger differs on {name}");
+
+            let mut l1 = RoundLedger::new();
+            let mut l2 = RoundLedger::new();
+            let w1 = WeakCarver::carve_weak(&Ls93::new(seed), &g, &alive, 0.5, &mut l1);
+            let w2 = WeakCarver::carve_weak(&Ls93::new(seed), &g, &alive, 0.5, &mut l2);
+            assert_eq!(w1, w2, "Ls93(seed={seed}) differs on {name}");
+            assert_eq!(l1, l2, "Ls93(seed={seed}) ledger differs on {name}");
+        }
+    }
+}
+
+#[test]
+fn decompositions_survive_a_serde_round_trip() {
+    // Determinism extends to persistence: a decomposition written to JSON
+    // and read back must be the same decomposition.
+    let g = gen::gnp_connected(40, 0.1, 3);
+    let (d, _) = decompose_strong(&g, &Params::default()).expect("decomposes");
+    let json = serde_json::to_string(&d).expect("serializable");
+    let back: NetworkDecomposition = serde_json::from_str(&json).expect("deserializable");
+    assert_eq!(back, d);
+}
