@@ -134,6 +134,18 @@ impl RoundLedger {
         self.absorb_traffic(other);
     }
 
+    /// Adds another ledger's message traffic without touching rounds.
+    ///
+    /// This is the charging primitive of the engine's sharded stepping
+    /// lane: every shard of one round records its own traffic, and the
+    /// shard ledgers are folded in index order under a single round
+    /// structure. Message counts, bit totals, and the max-bits watermark
+    /// are order-independent, which is what keeps the parallel lane's
+    /// ledger bit-identical to the sequential lane's.
+    pub fn merge_traffic(&mut self, other: &RoundLedger) {
+        self.absorb_traffic(other);
+    }
+
     /// Merges ledgers of branches that executed simultaneously
     /// (rounds take the maximum; traffic adds).
     pub fn merge_parallel<I>(&mut self, branches: I)
@@ -238,6 +250,21 @@ mod tests {
         total.merge_parallel([a, b]);
         assert_eq!(total.rounds(), 11);
         assert_eq!(total.messages(), 4);
+    }
+
+    #[test]
+    fn merge_traffic_leaves_rounds_alone() {
+        let mut a = RoundLedger::new();
+        a.charge_rounds(3);
+        a.record_messages(2, 8);
+        let mut b = RoundLedger::new();
+        b.charge_rounds(99);
+        b.record_messages(1, 16);
+        a.merge_traffic(&b);
+        assert_eq!(a.rounds(), 3);
+        assert_eq!(a.messages(), 3);
+        assert_eq!(a.total_bits(), 2 * 8 + 16);
+        assert_eq!(a.max_message_bits(), 16);
     }
 
     #[test]

@@ -6,13 +6,53 @@
 //! rule); in [`ExecutionMode::Congest`](crate::ExecutionMode::Congest)
 //! the per-message bit budget is enforced.
 //!
-//! Execution is fully deterministic: inboxes are sorted by sender index,
-//! nodes step in index order, and messages sent in round `r` are delivered
-//! at the start of round `r + 1`. The engine stops at *quiescence* (a
-//! round in which no message was sent) or at `max_rounds`.
+//! # Edge-slot mailboxes
+//!
+//! The engine exploits the CONGEST invariant itself — one directed edge
+//! carries at most one message per round — to run allocation-free: the
+//! mailbox is a flat slot array indexed by the base graph's directed-edge
+//! ids ([`sdnd_graph::Graph::directed_edge`]), double-buffered so the
+//! slots written in round `r` are read in round `r + 1`. Each slot
+//! carries the round its message is addressed to, so neither buffer is
+//! ever cleared. The rule checks ride on the slot geometry:
+//!
+//! - **`NotANeighbor`** — resolving the send target to its slot walks the
+//!   sender's own CSR neighbor row with a cursor, `O(1)` amortized for
+//!   the dominant send-to-all-in-order pattern (`O(log deg)` worst case
+//!   via binary search), instead of the old `O(deg)` linear scan.
+//! - **`DuplicateEdgeMessage`** — an occupied-this-round stamp on the
+//!   slot, `O(1)` instead of the old `O(k^2)` seen-list scan.
+//!
+//! Inboxes are materialized into a reusable scratch buffer by scanning
+//! the receiver's in-slots in CSR neighbor order, so they arrive sorted
+//! by sender *by construction* — the per-round sort is gone.
+//!
+//! # Determinism and the parallel lane
+//!
+//! Execution is fully deterministic: nodes step in index order, and
+//! messages sent in round `r` are delivered at the start of round
+//! `r + 1`. The engine stops at *quiescence* (a round in which no message
+//! was sent) or at `max_rounds`.
+//!
+//! [`Engine::with_threads`] selects an opt-in parallel stepping lane
+//! (`std::thread::scope` over contiguous node shards) that is
+//! *bit-identical* to the sequential lane: a node writes only its own
+//! out-edge slots — a contiguous CSR range, so shards receive disjoint
+//! `&mut` sub-slices — and reads only the immutable front buffer, so no
+//! two threads ever touch the same memory mutably. Each node's step is a
+//! pure function of its state and its (deterministically gathered) inbox,
+//! hence the states, round count, and ledger cannot depend on the thread
+//! count. The `tests/determinism.rs` property suite pins this.
+//!
+//! # Error precedence
+//!
+//! Structural violations (`NotANeighbor`, `DuplicateEdgeMessage`) are
+//! detected at send time; budget violations (`MessageTooLarge`) after the
+//! node's step returns. Among erring nodes of one round, the error of the
+//! lowest-index node is reported (in both lanes).
 
 use crate::{CostModel, RoundLedger};
-use sdnd_graph::{Adjacency, NodeId};
+use sdnd_graph::{Adjacency, Graph, NodeId};
 use std::error::Error;
 use std::fmt;
 
@@ -45,16 +85,118 @@ pub trait Protocol {
     fn bits(&self, msg: &Self::Msg) -> u32;
 }
 
+/// One directed-edge mailbox slot: the round its message is addressed to
+/// (0 = never used) and the message itself.
+#[derive(Debug, Clone)]
+struct Slot<M> {
+    round: u64,
+    msg: Option<M>,
+}
+
+impl<M> Slot<M> {
+    fn empty() -> Self {
+        Slot {
+            round: 0,
+            msg: None,
+        }
+    }
+}
+
+fn slot_array<M>(len: usize) -> Vec<Slot<M>> {
+    (0..len).map(|_| Slot::empty()).collect()
+}
+
 /// Handle through which a node emits messages during one round.
+///
+/// Sends are validated eagerly against the edge-slot mailbox: the target
+/// must be an alive base-graph neighbor of the sender, and each directed
+/// edge carries at most one message per round. The first violation is
+/// latched (subsequent sends become no-ops) and reported by the engine
+/// when the step returns.
 pub struct Outbox<'a, M> {
-    sends: &'a mut Vec<(NodeId, M)>,
+    from: NodeId,
+    /// Base-graph neighbors of `from` (CSR row, sorted by index).
+    nbrs: &'a [NodeId],
+    /// First out-slot id of `from` (aligned with `nbrs`).
+    slot_start: usize,
+    /// Next expected rank — makes in-neighbor-order sends `O(1)`.
+    cursor: usize,
+    alive: &'a [bool],
+    /// Round the emitted messages are addressed to.
+    stamp: u64,
+    /// Global slot id of `slots[0]` (shard offset in the parallel lane).
+    slot_base: usize,
+    slots: &'a mut [Slot<M>],
+    sent: &'a mut Vec<usize>,
+    error: &'a mut Option<EngineError>,
 }
 
 impl<M> Outbox<'_, M> {
-    /// Sends `msg` to `to` (must be an alive neighbor; checked by the
-    /// engine after the step).
+    /// Sends `msg` to `to` (must be an alive neighbor; violations are
+    /// latched and reported by the engine after the step).
     pub fn send(&mut self, to: NodeId, msg: M) {
-        self.sends.push((to, msg));
+        if self.error.is_some() {
+            return;
+        }
+        let rank = if self.cursor < self.nbrs.len() && self.nbrs[self.cursor] == to {
+            self.cursor
+        } else {
+            match self.nbrs.binary_search(&to) {
+                Ok(rank) => rank,
+                Err(_) => {
+                    *self.error = Some(EngineError::NotANeighbor {
+                        from: self.from,
+                        to,
+                    });
+                    return;
+                }
+            }
+        };
+        self.cursor = rank + 1;
+        if !self.alive[to.index()] {
+            *self.error = Some(EngineError::NotANeighbor {
+                from: self.from,
+                to,
+            });
+            return;
+        }
+        self.write_slot(rank, to, msg);
+    }
+
+    /// Sends a copy of `msg` to every alive neighbor, in neighbor order —
+    /// the dominant flooding pattern, resolved without any rank lookups.
+    pub fn broadcast(&mut self, msg: M)
+    where
+        M: Clone,
+    {
+        if self.error.is_some() {
+            return;
+        }
+        for (rank, &to) in self.nbrs.iter().enumerate() {
+            if !self.alive[to.index()] {
+                continue;
+            }
+            self.write_slot(rank, to, msg.clone());
+            if self.error.is_some() {
+                return;
+            }
+        }
+        self.cursor = self.nbrs.len();
+    }
+
+    fn write_slot(&mut self, rank: usize, to: NodeId, msg: M) {
+        let e = self.slot_start + rank;
+        let slot = &mut self.slots[e - self.slot_base];
+        if slot.round == self.stamp {
+            *self.error = Some(EngineError::DuplicateEdgeMessage {
+                from: self.from,
+                to,
+            });
+            return;
+        }
+        slot.round = self.stamp;
+        slot.msg = Some(msg);
+        self.sent.push(e);
     }
 }
 
@@ -131,15 +273,18 @@ pub struct RunOutcome<S> {
 pub struct Engine {
     cost: CostModel,
     max_rounds: u64,
+    threads: usize,
 }
 
 impl Engine {
     /// Creates an engine under the given cost model with a round limit of
-    /// one million (a safety net against non-quiescing protocols).
+    /// one million (a safety net against non-quiescing protocols) and
+    /// sequential stepping.
     pub fn new(cost: CostModel) -> Self {
         Engine {
             cost,
             max_rounds: 1_000_000,
+            threads: 1,
         }
     }
 
@@ -149,7 +294,29 @@ impl Engine {
         self
     }
 
-    /// Runs `protocol` on every alive node of `view` until quiescence.
+    /// Selects the stepping lane: `threads <= 1` steps nodes sequentially;
+    /// larger values shard the nodes over that many scoped threads per
+    /// round. Both lanes produce bit-identical [`RunOutcome`]s (see the
+    /// module docs for the argument); the parallel lane pays a
+    /// thread-scope setup per round and earns it back on message-heavy
+    /// rounds.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The configured stepping-lane width (1 = sequential).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `protocol` on every alive node of `view` until quiescence,
+    /// on the lane selected by [`with_threads`](Self::with_threads).
+    ///
+    /// The `Send`/`Sync` bounds exist for the parallel lane; a protocol
+    /// that cannot satisfy them (interior mutability, `Rc`, ...) can
+    /// still run on [`run_sequential`](Self::run_sequential), which
+    /// relaxes them.
     ///
     /// # Errors
     ///
@@ -158,26 +325,128 @@ impl Engine {
     pub fn run<A, P>(&self, view: &A, protocol: &P) -> Result<RunOutcome<P::State>, EngineError>
     where
         A: Adjacency,
+        P: Protocol + Sync,
+        P::State: Send,
+        P::Msg: Send + Sync,
+    {
+        if self.threads > 1 {
+            self.run_parallel(view, protocol)
+        } else {
+            self.run_sequential(view, protocol)
+        }
+    }
+
+    /// Budget-checks and records the messages `from` just wrote into
+    /// `slots` (listed in `sent`), invoking `mark` with each recipient.
+    /// Returns whether anything was sent.
+    #[allow(clippy::too_many_arguments)]
+    fn account<P: Protocol>(
+        &self,
+        protocol: &P,
+        g: &Graph,
+        from: NodeId,
+        slot_base: usize,
+        slots: &[Slot<P::Msg>],
+        sent: &mut Vec<usize>,
+        error: &mut Option<EngineError>,
+        ledger: &mut RoundLedger,
+        mut mark: impl FnMut(NodeId),
+    ) -> Result<bool, EngineError> {
+        if let Some(e) = error.take() {
+            return Err(e);
+        }
+        if sent.is_empty() {
+            return Ok(false);
+        }
+        for &e in sent.iter() {
+            let msg = slots[e - slot_base]
+                .msg
+                .as_ref()
+                .expect("sent slot holds a message");
+            let bits = protocol.bits(msg);
+            if !self.cost.fits(bits) {
+                return Err(EngineError::MessageTooLarge {
+                    from,
+                    bits,
+                    budget: self.cost.bits_per_message(),
+                });
+            }
+            ledger.record_messages(1, bits);
+            mark(g.edge_head(e));
+        }
+        sent.clear();
+        Ok(true)
+    }
+
+    /// Runs `protocol` on the sequential lane regardless of the
+    /// configured thread count, without the thread-safety bounds that
+    /// [`run`](Self::run) imposes for the parallel lane.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`EngineError`] on budget violations, invalid sends, or
+    /// if the round limit is exceeded.
+    pub fn run_sequential<A, P>(
+        &self,
+        view: &A,
+        protocol: &P,
+    ) -> Result<RunOutcome<P::State>, EngineError>
+    where
+        A: Adjacency,
         P: Protocol,
     {
+        let g = view.graph();
         let n = view.universe();
+        let slots = g.directed_edges();
         let mut states: Vec<Option<P::State>> = (0..n).map(|_| None).collect();
         let mut ledger = RoundLedger::new();
 
-        // Pending messages for the *next* round, bucketed by recipient.
-        let mut pending: Vec<Vec<(NodeId, P::Msg)>> = (0..n).map(|_| Vec::new()).collect();
+        let alive_list: Vec<NodeId> = view.nodes().collect();
+        let mut alive = vec![false; n];
+        for &v in &alive_list {
+            alive[v.index()] = true;
+        }
+        let rev = g.reverse_edges();
+
+        // Double-buffered edge-slot mailboxes plus has-mail stamps; all
+        // buffers live for the whole run — rounds allocate nothing.
+        let mut cur: Vec<Slot<P::Msg>> = slot_array(slots);
+        let mut next: Vec<Slot<P::Msg>> = slot_array(slots);
+        let mut cur_mail: Vec<u64> = vec![0; n];
+        let mut next_mail: Vec<u64> = vec![0; n];
+
+        let mut sent: Vec<usize> = Vec::new();
+        let mut inbox: Vec<(NodeId, P::Msg)> = Vec::new();
+        let mut error: Option<EngineError> = None;
+
+        // Init phase (round 0): create states; first sends go to round 1.
         let mut any_pending = false;
-
-        let mut sends: Vec<(NodeId, P::Msg)> = Vec::new();
-        let alive: Vec<NodeId> = view.nodes().collect();
-
-        // Init phase (round 0): create states, collect first sends.
-        for &v in &alive {
-            let mut out = Outbox { sends: &mut sends };
+        for &v in &alive_list {
+            let mut out = Outbox {
+                from: v,
+                nbrs: g.neighbors(v),
+                slot_start: g.out_slot_range(v).start,
+                cursor: 0,
+                alive: &alive,
+                stamp: 1,
+                slot_base: 0,
+                slots: &mut next,
+                sent: &mut sent,
+                error: &mut error,
+            };
             let st = protocol.init(v, &mut out);
             states[v.index()] = Some(st);
-            any_pending |=
-                self.dispatch::<A, P>(view, protocol, v, &mut sends, &mut pending, &mut ledger)?;
+            any_pending |= self.account(
+                protocol,
+                g,
+                v,
+                0,
+                &next,
+                &mut sent,
+                &mut error,
+                &mut ledger,
+                |recv| next_mail[recv.index()] = 1,
+            )?;
         }
 
         let mut rounds = 0u64;
@@ -189,27 +458,53 @@ impl Engine {
             }
             rounds += 1;
             any_pending = false;
+            std::mem::swap(&mut cur, &mut next);
+            std::mem::swap(&mut cur_mail, &mut next_mail);
+            let r = rounds;
 
-            // Take this round's inboxes, leaving fresh buckets in place.
-            let mut inboxes: Vec<Vec<(NodeId, P::Msg)>> =
-                pending.iter_mut().map(std::mem::take).collect();
-
-            for &v in &alive {
-                let inbox = &mut inboxes[v.index()];
-                if inbox.is_empty() {
+            for &v in &alive_list {
+                if cur_mail[v.index()] != r {
                     continue;
                 }
-                inbox.sort_by_key(|&(from, _)| from);
+                // Gather the inbox: in-slots in CSR neighbor order, so it
+                // is sorted by sender by construction. This per-node body
+                // has a structural twin in `parallel_phase` (which clones
+                // from the shared front buffer instead of taking, and
+                // addresses shard-relative slot chunks) — any semantic
+                // change here must be mirrored there; the lane-equivalence
+                // property in tests/determinism.rs is the referee.
+                inbox.clear();
+                for (p, &u) in g.out_slot_range(v).zip(g.neighbors(v)) {
+                    let slot = &mut cur[rev[p]];
+                    if slot.round == r {
+                        let msg = slot.msg.take().expect("stamped slot holds a message");
+                        inbox.push((u, msg));
+                    }
+                }
                 let st = states[v.index()].as_mut().expect("alive node has state");
-                let mut out = Outbox { sends: &mut sends };
-                protocol.step(v, st, inbox, &mut out);
-                any_pending |= self.dispatch::<A, P>(
-                    view,
+                let mut out = Outbox {
+                    from: v,
+                    nbrs: g.neighbors(v),
+                    slot_start: g.out_slot_range(v).start,
+                    cursor: 0,
+                    alive: &alive,
+                    stamp: r + 1,
+                    slot_base: 0,
+                    slots: &mut next,
+                    sent: &mut sent,
+                    error: &mut error,
+                };
+                protocol.step(v, st, &inbox, &mut out);
+                any_pending |= self.account(
                     protocol,
+                    g,
                     v,
-                    &mut sends,
-                    &mut pending,
+                    0,
+                    &next,
+                    &mut sent,
+                    &mut error,
                     &mut ledger,
+                    |recv| next_mail[recv.index()] = r + 1,
                 )?;
             }
         }
@@ -222,45 +517,251 @@ impl Engine {
         })
     }
 
-    /// Validates and enqueues the messages a node just emitted.
-    /// Returns whether anything was sent.
-    fn dispatch<A, P>(
+    fn run_parallel<A, P>(
         &self,
         view: &A,
         protocol: &P,
-        from: NodeId,
-        sends: &mut Vec<(NodeId, P::Msg)>,
-        pending: &mut [Vec<(NodeId, P::Msg)>],
+    ) -> Result<RunOutcome<P::State>, EngineError>
+    where
+        A: Adjacency,
+        P: Protocol + Sync,
+        P::State: Send,
+        P::Msg: Send + Sync,
+    {
+        let g = view.graph();
+        let n = view.universe();
+        let slots = g.directed_edges();
+        let mut states: Vec<Option<P::State>> = (0..n).map(|_| None).collect();
+        let mut ledger = RoundLedger::new();
+
+        let mut alive = vec![false; n];
+        for v in view.nodes() {
+            alive[v.index()] = true;
+        }
+        let rev = g.reverse_edges();
+
+        // Contiguous node shards; a shard owns the matching contiguous
+        // range of out-edge slots, so the back buffer splits into
+        // disjoint `&mut` chunks. Boundaries balance *slot* (degree)
+        // mass, not node count — on degree-skewed graphs the hub's
+        // message work would otherwise serialize onto one thread. The
+        // bounds are a pure function of graph and thread count, so
+        // determinism is unaffected.
+        let threads = self.threads.min(n.max(1));
+        let offset_of = |b: usize| {
+            if b == n {
+                slots
+            } else {
+                g.out_slot_range(NodeId::new(b)).start
+            }
+        };
+        let mut node_bounds: Vec<usize> = Vec::with_capacity(threads + 1);
+        node_bounds.push(0);
+        for s in 1..threads {
+            let target = slots * s / threads;
+            let (mut lo, mut hi) = (*node_bounds.last().expect("nonempty"), n);
+            while lo < hi {
+                let mid = lo + (hi - lo) / 2;
+                if offset_of(mid) < target {
+                    lo = mid + 1;
+                } else {
+                    hi = mid;
+                }
+            }
+            node_bounds.push(lo);
+        }
+        node_bounds.push(n);
+        let slot_bounds: Vec<usize> = node_bounds.iter().map(|&b| offset_of(b)).collect();
+
+        let mut cur: Vec<Slot<P::Msg>> = slot_array(slots);
+        let mut next: Vec<Slot<P::Msg>> = slot_array(slots);
+        let mut cur_mail: Vec<u64> = vec![0; n];
+        let mut next_mail: Vec<u64> = vec![0; n];
+
+        let mut any_pending = self.parallel_phase(
+            view,
+            protocol,
+            0,
+            &alive,
+            &rev,
+            &node_bounds,
+            &slot_bounds,
+            &mut states,
+            &cur,
+            &mut next,
+            &cur_mail,
+            &mut next_mail,
+            &mut ledger,
+        )?;
+
+        let mut rounds = 0u64;
+        while any_pending {
+            if rounds >= self.max_rounds {
+                return Err(EngineError::RoundLimitExceeded {
+                    max_rounds: self.max_rounds,
+                });
+            }
+            rounds += 1;
+            std::mem::swap(&mut cur, &mut next);
+            std::mem::swap(&mut cur_mail, &mut next_mail);
+            any_pending = self.parallel_phase(
+                view,
+                protocol,
+                rounds,
+                &alive,
+                &rev,
+                &node_bounds,
+                &slot_bounds,
+                &mut states,
+                &cur,
+                &mut next,
+                &cur_mail,
+                &mut next_mail,
+                &mut ledger,
+            )?;
+        }
+
+        ledger.charge_rounds(rounds);
+        Ok(RunOutcome {
+            states,
+            rounds,
+            ledger,
+        })
+    }
+
+    /// One parallel phase: `r == 0` runs `init` on every alive node,
+    /// `r >= 1` delivers round-`r` messages and steps the recipients
+    /// (gated by the `cur_mail` stamps, like the sequential lane).
+    /// Workers collect their recipients; the mail stamps for round
+    /// `r + 1` are written at the join point, which also merges the
+    /// shard ledgers in index order — so ledger totals and the reported
+    /// error (the lowest-index erring node) match the sequential lane.
+    #[allow(clippy::too_many_arguments)]
+    fn parallel_phase<A, P>(
+        &self,
+        view: &A,
+        protocol: &P,
+        r: u64,
+        alive: &[bool],
+        rev: &[usize],
+        node_bounds: &[usize],
+        slot_bounds: &[usize],
+        states: &mut [Option<P::State>],
+        cur: &[Slot<P::Msg>],
+        next: &mut [Slot<P::Msg>],
+        cur_mail: &[u64],
+        next_mail: &mut [u64],
         ledger: &mut RoundLedger,
     ) -> Result<bool, EngineError>
     where
         A: Adjacency,
-        P: Protocol,
+        P: Protocol + Sync,
+        P::State: Send,
+        P::Msg: Send + Sync,
     {
-        if sends.is_empty() {
-            return Ok(false);
+        let g = view.graph();
+        let shards = node_bounds.len() - 1;
+
+        // Carve the back buffer and the state vector into per-shard
+        // mutable chunks (both are partitioned by the same node ranges).
+        let mut state_chunks: Vec<&mut [Option<P::State>]> = Vec::with_capacity(shards);
+        let mut slot_chunks: Vec<&mut [Slot<P::Msg>]> = Vec::with_capacity(shards);
+        let mut state_rest = states;
+        let mut slot_rest = next;
+        for s in 0..shards {
+            let (head, tail) = state_rest.split_at_mut(node_bounds[s + 1] - node_bounds[s]);
+            state_chunks.push(head);
+            state_rest = tail;
+            let (head, tail) = slot_rest.split_at_mut(slot_bounds[s + 1] - slot_bounds[s]);
+            slot_chunks.push(head);
+            slot_rest = tail;
         }
-        let mut seen: Vec<NodeId> = Vec::with_capacity(sends.len());
-        for (to, msg) in sends.drain(..) {
-            if !view.contains(to) || !view.neighbors(from).any(|u| u == to) {
-                return Err(EngineError::NotANeighbor { from, to });
+
+        type ShardResult = Result<(bool, RoundLedger, Vec<NodeId>), EngineError>;
+        let results: Vec<ShardResult> = std::thread::scope(|scope| {
+            let handles: Vec<_> = state_chunks
+                .into_iter()
+                .zip(slot_chunks)
+                .enumerate()
+                .map(|(s, (state_chunk, slot_chunk))| {
+                    let (node_lo, node_hi) = (node_bounds[s], node_bounds[s + 1]);
+                    let slot_base = slot_bounds[s];
+                    scope.spawn(move || {
+                        let mut shard_ledger = RoundLedger::new();
+                        let mut sent: Vec<usize> = Vec::new();
+                        let mut inbox: Vec<(NodeId, P::Msg)> = Vec::new();
+                        let mut recipients: Vec<NodeId> = Vec::new();
+                        let mut error: Option<EngineError> = None;
+                        let mut any = false;
+                        for i in node_lo..node_hi {
+                            if !alive[i] || (r > 0 && cur_mail[i] != r) {
+                                continue;
+                            }
+                            let v = NodeId::new(i);
+                            let mut out = Outbox {
+                                from: v,
+                                nbrs: g.neighbors(v),
+                                slot_start: g.out_slot_range(v).start,
+                                cursor: 0,
+                                alive,
+                                stamp: r + 1,
+                                slot_base,
+                                slots: &mut *slot_chunk,
+                                sent: &mut sent,
+                                error: &mut error,
+                            };
+                            // Structural twin of the per-node body in
+                            // `run_sequential` (see the comment there);
+                            // keep the two in lockstep.
+                            if r == 0 {
+                                state_chunk[i - node_lo] = Some(protocol.init(v, &mut out));
+                            } else {
+                                inbox.clear();
+                                for (p, &u) in g.out_slot_range(v).zip(g.neighbors(v)) {
+                                    let slot = &cur[rev[p]];
+                                    if slot.round == r {
+                                        let msg =
+                                            slot.msg.clone().expect("stamped slot holds a message");
+                                        inbox.push((u, msg));
+                                    }
+                                }
+                                let st = state_chunk[i - node_lo]
+                                    .as_mut()
+                                    .expect("alive node has state");
+                                protocol.step(v, st, &inbox, &mut out);
+                            }
+                            any |= self.account(
+                                protocol,
+                                g,
+                                v,
+                                slot_base,
+                                slot_chunk,
+                                &mut sent,
+                                &mut error,
+                                &mut shard_ledger,
+                                |recv| recipients.push(recv),
+                            )?;
+                        }
+                        Ok((any, shard_ledger, recipients))
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("engine worker thread panicked"))
+                .collect()
+        });
+
+        let mut any_pending = false;
+        for res in results {
+            let (any, shard_ledger, recipients) = res?;
+            any_pending |= any;
+            ledger.merge_traffic(&shard_ledger);
+            for recv in recipients {
+                next_mail[recv.index()] = r + 1;
             }
-            if seen.contains(&to) {
-                return Err(EngineError::DuplicateEdgeMessage { from, to });
-            }
-            seen.push(to);
-            let bits = protocol.bits(&msg);
-            if !self.cost.fits(bits) {
-                return Err(EngineError::MessageTooLarge {
-                    from,
-                    bits,
-                    budget: self.cost.bits_per_message(),
-                });
-            }
-            ledger.record_messages(1, bits);
-            pending[to.index()].push((from, msg));
         }
-        Ok(true)
+        Ok(any_pending)
     }
 }
 
@@ -297,7 +798,7 @@ mod tests {
 
         fn step(
             &self,
-            node: NodeId,
+            _node: NodeId,
             state: &mut GfState,
             inbox: &[(NodeId, u64)],
             out: &mut Outbox<'_, u64>,
@@ -307,9 +808,7 @@ mod tests {
             }
             let d = inbox.iter().map(|&(_, h)| h).min().expect("nonempty inbox");
             state.dist = Some(d);
-            for u in self.g.neighbors(node) {
-                out.send(*u, d + 1);
-            }
+            out.broadcast(d + 1);
         }
 
         fn bits(&self, msg: &u64) -> u32 {
@@ -337,6 +836,33 @@ mod tests {
         }
         assert_eq!(out.rounds, bfs.eccentricity().unwrap() as u64 + 1);
         assert!(out.ledger.messages() > 0);
+    }
+
+    #[test]
+    fn parallel_lane_is_bit_identical() {
+        let g = gen::gnp_connected(60, 0.08, 17);
+        let proto = GraphFlood {
+            g: &g,
+            source: NodeId::new(3),
+        };
+        let seq = Engine::new(CostModel::congest_for(60))
+            .run(&g.full_view(), &proto)
+            .unwrap();
+        for threads in [2, 3, 7, 64] {
+            let par = Engine::new(CostModel::congest_for(60))
+                .with_threads(threads)
+                .run(&g.full_view(), &proto)
+                .unwrap();
+            assert_eq!(par.rounds, seq.rounds, "rounds with {threads} threads");
+            assert_eq!(par.ledger, seq.ledger, "ledger with {threads} threads");
+            for v in g.nodes() {
+                assert_eq!(
+                    par.states[v.index()].as_ref().unwrap().dist,
+                    seq.states[v.index()].as_ref().unwrap().dist,
+                    "state at {v} with {threads} threads"
+                );
+            }
+        }
     }
 
     #[test]
@@ -396,6 +922,45 @@ mod tests {
             &None,
             "unreachable across dead node"
         );
+    }
+
+    #[test]
+    fn broadcast_skips_dead_neighbors() {
+        // Star center broadcasts; the dead leaf must be skipped, not
+        // rejected.
+        let g = gen::star(4);
+        let alive = NodeSet::from_nodes(4, [0, 1, 3].map(NodeId::new));
+        struct CenterCast;
+        impl Protocol for CenterCast {
+            type State = bool;
+            type Msg = u8;
+            fn init(&self, node: NodeId, out: &mut Outbox<'_, u8>) -> bool {
+                if node.index() == 0 {
+                    out.broadcast(7);
+                }
+                node.index() == 0
+            }
+            fn step(
+                &self,
+                _: NodeId,
+                state: &mut bool,
+                _: &[(NodeId, u8)],
+                _: &mut Outbox<'_, u8>,
+            ) {
+                *state = true;
+            }
+            fn bits(&self, _: &u8) -> u32 {
+                8
+            }
+        }
+        let view = g.view(&alive);
+        let out = Engine::new(CostModel::local())
+            .run(&view, &CenterCast)
+            .unwrap();
+        assert_eq!(out.ledger.messages(), 2, "only alive leaves are reached");
+        assert_eq!(out.states[1], Some(true));
+        assert_eq!(out.states[2], None);
+        assert_eq!(out.states[3], Some(true));
     }
 
     #[test]
@@ -472,6 +1037,70 @@ mod tests {
     }
 
     #[test]
+    fn send_to_dead_or_out_of_range_node_rejected() {
+        let g = gen::path(3);
+        let alive = NodeSet::from_nodes(3, [0, 1].map(NodeId::new));
+        struct SendTo(NodeId);
+        impl Protocol for SendTo {
+            type State = ();
+            type Msg = u8;
+            fn init(&self, node: NodeId, out: &mut Outbox<'_, u8>) {
+                if node.index() == 1 {
+                    out.send(self.0, 1);
+                }
+            }
+            fn step(&self, _: NodeId, _: &mut (), _: &[(NodeId, u8)], _: &mut Outbox<'_, u8>) {}
+            fn bits(&self, _: &u8) -> u32 {
+                8
+            }
+        }
+        // Node 2 is a base-graph neighbor of 1 but dead in the view.
+        let view = g.view(&alive);
+        let err = Engine::new(CostModel::local())
+            .run(&view, &SendTo(NodeId::new(2)))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            EngineError::NotANeighbor {
+                from: NodeId::new(1),
+                to: NodeId::new(2)
+            }
+        );
+        // A target outside the universe is a non-neighbor, not a panic.
+        let err = Engine::new(CostModel::local())
+            .run(&g.full_view(), &SendTo(NodeId::new(17)))
+            .unwrap_err();
+        assert!(matches!(err, EngineError::NotANeighbor { .. }));
+    }
+
+    #[test]
+    fn parallel_lane_reports_the_same_error() {
+        let g = gen::path(3);
+        struct Skip;
+        impl Protocol for Skip {
+            type State = ();
+            type Msg = u8;
+            fn init(&self, node: NodeId, out: &mut Outbox<'_, u8>) {
+                if node.index() == 0 {
+                    out.send(NodeId::new(2), 1);
+                }
+            }
+            fn step(&self, _: NodeId, _: &mut (), _: &[(NodeId, u8)], _: &mut Outbox<'_, u8>) {}
+            fn bits(&self, _: &u8) -> u32 {
+                8
+            }
+        }
+        let seq = Engine::new(CostModel::local())
+            .run(&g.full_view(), &Skip)
+            .unwrap_err();
+        let par = Engine::new(CostModel::local())
+            .with_threads(3)
+            .run(&g.full_view(), &Skip)
+            .unwrap_err();
+        assert_eq!(seq, par);
+    }
+
+    #[test]
     fn round_limit_detects_livelock() {
         let g = gen::path(2);
         struct PingPong;
@@ -490,14 +1119,17 @@ mod tests {
                 1
             }
         }
-        let err = Engine::new(CostModel::local())
-            .with_max_rounds(50)
-            .run(&g.full_view(), &PingPong)
-            .unwrap_err();
-        assert!(matches!(
-            err,
-            EngineError::RoundLimitExceeded { max_rounds: 50 }
-        ));
+        for threads in [1, 2] {
+            let err = Engine::new(CostModel::local())
+                .with_max_rounds(50)
+                .with_threads(threads)
+                .run(&g.full_view(), &PingPong)
+                .unwrap_err();
+            assert!(matches!(
+                err,
+                EngineError::RoundLimitExceeded { max_rounds: 50 }
+            ));
+        }
     }
 
     #[test]

@@ -178,16 +178,23 @@ where
 
 /// Kernel node program computing the same BFS on the
 /// [`Engine`](crate::Engine); used by the cross-validation tests.
-pub struct BfsKernel<'a, A> {
-    view: &'a A,
+///
+/// The program is view-independent: forwarding uses
+/// [`Outbox::broadcast`], which reaches exactly the alive neighbors, so
+/// the kernel only carries the source set and the radius bound.
+pub struct BfsKernel {
     is_source: Vec<bool>,
     r_max: u32,
     token_bits: u32,
 }
 
-impl<'a, A: Adjacency> BfsKernel<'a, A> {
+impl BfsKernel {
     /// Creates the kernel program for the given sources and radius bound.
-    pub fn new<I: IntoIterator<Item = NodeId>>(view: &'a A, sources: I, r_max: u32) -> Self {
+    pub fn new<A, I>(view: &A, sources: I, r_max: u32) -> Self
+    where
+        A: Adjacency,
+        I: IntoIterator<Item = NodeId>,
+    {
         let mut is_source = vec![false; view.universe()];
         for s in sources {
             if view.contains(s) {
@@ -196,7 +203,6 @@ impl<'a, A: Adjacency> BfsKernel<'a, A> {
         }
         let token_bits = bits_for_value(view.universe().max(2) as u64 - 1);
         BfsKernel {
-            view,
             is_source,
             r_max,
             token_bits,
@@ -205,7 +211,7 @@ impl<'a, A: Adjacency> BfsKernel<'a, A> {
 }
 
 /// Per-node state of [`BfsKernel`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BfsKernelState {
     /// Discovered distance, if any.
     pub dist: Option<u32>,
@@ -213,16 +219,14 @@ pub struct BfsKernelState {
     pub parent: Option<NodeId>,
 }
 
-impl<A: Adjacency> Protocol for BfsKernel<'_, A> {
+impl Protocol for BfsKernel {
     type State = BfsKernelState;
     type Msg = u32; // hop count of the sender + 1
 
     fn init(&self, node: NodeId, out: &mut Outbox<'_, u32>) -> BfsKernelState {
         if self.is_source[node.index()] {
             if self.r_max > 0 {
-                for u in self.view.neighbors(node) {
-                    out.send(u, 1);
-                }
+                out.broadcast(1);
             }
             BfsKernelState {
                 dist: Some(0),
@@ -238,7 +242,7 @@ impl<A: Adjacency> Protocol for BfsKernel<'_, A> {
 
     fn step(
         &self,
-        node: NodeId,
+        _node: NodeId,
         state: &mut BfsKernelState,
         inbox: &[(NodeId, u32)],
         out: &mut Outbox<'_, u32>,
@@ -258,9 +262,7 @@ impl<A: Adjacency> Protocol for BfsKernel<'_, A> {
             .map(|&(from, _)| from)
             .min();
         if d < self.r_max {
-            for u in self.view.neighbors(node) {
-                out.send(u, d + 1);
-            }
+            out.broadcast(d + 1);
         }
     }
 

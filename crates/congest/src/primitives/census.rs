@@ -109,7 +109,7 @@ impl<'a> CensusKernel<'a> {
 
 /// Per-node state of [`CensusKernel`]: the layer counts accumulated so
 /// far (only meaningful at the root).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CensusState {
     /// At the root: `counts[d]` = census of layer `d`. Elsewhere: empty.
     pub counts: Vec<u64>,

@@ -138,21 +138,27 @@ pub fn elect_leader<A: Adjacency>(view: &A, ledger: &mut RoundLedger) -> LeaderI
 }
 
 /// Kernel program for [`elect_leader`].
-pub struct LeaderKernel<'a, A> {
-    view: &'a A,
+///
+/// View-independent: flooding uses [`Outbox::broadcast`] (exactly the
+/// alive neighbors), so the kernel only carries the identifier table.
+pub struct LeaderKernel {
+    ids: Vec<u64>,
     msg_bits: u32,
 }
 
-impl<'a, A: Adjacency> LeaderKernel<'a, A> {
+impl LeaderKernel {
     /// Creates the flooding program.
-    pub fn new(view: &'a A) -> Self {
+    pub fn new<A: Adjacency>(view: &A) -> Self {
+        let ids = (0..view.universe())
+            .map(|i| view.id_of(NodeId::new(i)))
+            .collect();
         let msg_bits = 2 * bits_for_value(view.universe().max(2) as u64 - 1) + 2;
-        LeaderKernel { view, msg_bits }
+        LeaderKernel { ids, msg_bits }
     }
 }
 
 /// Per-node state of [`LeaderKernel`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LeaderState {
     /// Best identifier heard so far.
     pub id: u64,
@@ -162,15 +168,13 @@ pub struct LeaderState {
     pub parent: Option<NodeId>,
 }
 
-impl<A: Adjacency> Protocol for LeaderKernel<'_, A> {
+impl Protocol for LeaderKernel {
     type State = LeaderState;
     type Msg = (u64, u32); // (best id, dist of sender to it)
 
     fn init(&self, node: NodeId, out: &mut Outbox<'_, (u64, u32)>) -> LeaderState {
-        let id = self.view.id_of(node);
-        for u in self.view.neighbors(node) {
-            out.send(u, (id, 0));
-        }
+        let id = self.ids[node.index()];
+        out.broadcast((id, 0));
         LeaderState {
             id,
             dist: 0,
@@ -180,7 +184,7 @@ impl<A: Adjacency> Protocol for LeaderKernel<'_, A> {
 
     fn step(
         &self,
-        node: NodeId,
+        _node: NodeId,
         state: &mut LeaderState,
         inbox: &[(NodeId, (u64, u32))],
         out: &mut Outbox<'_, (u64, u32)>,
@@ -201,9 +205,7 @@ impl<A: Adjacency> Protocol for LeaderKernel<'_, A> {
             }
         }
         if improved {
-            for u in self.view.neighbors(node) {
-                out.send(u, (state.id, state.dist));
-            }
+            out.broadcast((state.id, state.dist));
         }
     }
 

@@ -161,7 +161,7 @@ impl<'a> ConvergeCastKernel<'a> {
 }
 
 /// Per-node state of [`ConvergeCastKernel`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CastState {
     /// Children yet to report.
     pub waiting: u32,

@@ -107,6 +107,68 @@ impl Graph {
         self.neighbors(u).binary_search(&v).is_ok()
     }
 
+    /// Number of *directed* edge slots (`2 m`): every undirected edge
+    /// `{u, v}` contributes the slots `u -> v` and `v -> u`.
+    ///
+    /// Directed edges are identified by their position in the CSR
+    /// adjacency array, so the slots of `v`'s out-edges form the
+    /// contiguous range [`out_slot_range`](Self::out_slot_range)`(v)`,
+    /// ordered by neighbor index.
+    #[inline]
+    pub fn directed_edges(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// The contiguous range of directed-edge ids leaving `v`, aligned
+    /// with [`neighbors`](Self::neighbors)`(v)`: the edge to the `k`-th
+    /// neighbor has id `out_slot_range(v).start + k`.
+    #[inline]
+    pub fn out_slot_range(&self, v: NodeId) -> std::ops::Range<usize> {
+        self.offsets[v.index()]..self.offsets[v.index() + 1]
+    }
+
+    /// The rank of `to` within `from`'s sorted neighbor list, or `None`
+    /// if the edge is absent. `O(log deg(from))`.
+    #[inline]
+    pub fn neighbor_rank(&self, from: NodeId, to: NodeId) -> Option<usize> {
+        self.neighbors(from).binary_search(&to).ok()
+    }
+
+    /// The directed-edge id of `from -> to`, or `None` if absent.
+    #[inline]
+    pub fn directed_edge(&self, from: NodeId, to: NodeId) -> Option<usize> {
+        self.neighbor_rank(from, to)
+            .map(|rank| self.offsets[from.index()] + rank)
+    }
+
+    /// The head (target) of directed edge `e`: for `e = directed_edge(u,
+    /// v)`, returns `v`.
+    #[inline]
+    pub fn edge_head(&self, e: usize) -> NodeId {
+        self.adj[e]
+    }
+
+    /// Builds the reverse-edge table: `rev[e]` is the directed-edge id of
+    /// the opposite orientation, so `rev[directed_edge(u, v)] ==
+    /// directed_edge(v, u)`. `O(n + m)`; callers that need it per
+    /// execution (the CONGEST engine) build it once per run.
+    pub fn reverse_edges(&self) -> Vec<usize> {
+        let mut rev = vec![0usize; self.adj.len()];
+        let n = self.n();
+        let mut cursor: Vec<usize> = self.offsets[..n].to_vec();
+        for u in 0..n {
+            let row = self.offsets[u]..self.offsets[u + 1];
+            for (rev_e, &v) in rev[row.clone()].iter_mut().zip(&self.adj[row]) {
+                // Scanning tails in ascending order visits each head's
+                // sorted in-row exactly in order, so `v`'s next unmatched
+                // row position is the slot of `v -> u`.
+                *rev_e = cursor[v.index()];
+                cursor[v.index()] += 1;
+            }
+        }
+        rev
+    }
+
     /// Iterates over all nodes.
     pub fn nodes(&self) -> impl ExactSizeIterator<Item = NodeId> + '_ {
         (0..self.n()).map(NodeId::new)
@@ -367,6 +429,37 @@ mod tests {
                 expected: 3
             })
         ));
+    }
+
+    #[test]
+    fn directed_edge_ids_align_with_csr() {
+        let g = Graph::from_edges(5, [(3, 1), (0, 3), (3, 4), (1, 0)]).unwrap();
+        assert_eq!(g.directed_edges(), 8);
+        // Node 3's neighbors are [0, 1, 4]; slots are contiguous, in
+        // neighbor order.
+        let r = g.out_slot_range(NodeId::new(3));
+        assert_eq!(r.len(), 3);
+        assert_eq!(g.neighbor_rank(NodeId::new(3), NodeId::new(4)), Some(2));
+        let e = g.directed_edge(NodeId::new(3), NodeId::new(4)).unwrap();
+        assert_eq!(e, r.start + 2);
+        assert_eq!(g.edge_head(e), NodeId::new(4));
+        assert_eq!(g.neighbor_rank(NodeId::new(3), NodeId::new(2)), None);
+        assert_eq!(g.directed_edge(NodeId::new(0), NodeId::new(4)), None);
+    }
+
+    #[test]
+    fn reverse_edges_invert() {
+        let g =
+            Graph::from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 0), (1, 4), (4, 5), (2, 5)]).unwrap();
+        let rev = g.reverse_edges();
+        assert_eq!(rev.len(), g.directed_edges());
+        for u in g.nodes() {
+            for (e, &v) in g.out_slot_range(u).zip(g.neighbors(u)) {
+                assert_eq!(rev[e], g.directed_edge(v, u).unwrap());
+                assert_eq!(rev[rev[e]], e);
+                assert_eq!(g.edge_head(rev[e]), u);
+            }
+        }
     }
 
     #[test]

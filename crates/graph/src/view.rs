@@ -46,6 +46,30 @@ pub trait Adjacency {
         self.graph().id_of(v)
     }
 
+    /// Number of directed-edge slots of the *base* graph (`2 m`).
+    ///
+    /// Directed-edge ids live in the index space of the base CSR, not the
+    /// view: an induced view keeps the ids of its base graph and simply
+    /// leaves the slots of dead-adjacent edges unused. This is what lets
+    /// the CONGEST engine address mailboxes in `O(1)` under any view.
+    fn directed_edges(&self) -> usize {
+        self.graph().directed_edges()
+    }
+
+    /// The rank of `to` within `from`'s *base-graph* neighbor list
+    /// (`O(log deg(from))`), or `None` if the base edge is absent.
+    /// Aliveness is not consulted; combine with
+    /// [`contains`](Self::contains) for view-level adjacency.
+    fn neighbor_rank(&self, from: NodeId, to: NodeId) -> Option<usize> {
+        self.graph().neighbor_rank(from, to)
+    }
+
+    /// The base-graph directed-edge id of `from -> to`, or `None` if the
+    /// base edge is absent (aliveness is not consulted).
+    fn directed_edge(&self, from: NodeId, to: NodeId) -> Option<usize> {
+        self.graph().directed_edge(from, to)
+    }
+
     /// The alive node with minimum identifier, or `None` if empty.
     fn min_id_node(&self) -> Option<NodeId> {
         self.nodes().min_by_key(|&v| self.id_of(v))

@@ -15,6 +15,7 @@
 //! largest index (or `--nodes`).
 
 use sdnd::baselines::{Abcp96, Mpx13, SequentialGreedy};
+use sdnd::congest::{primitives, Engine};
 use sdnd::core::Params;
 use sdnd::prelude::*;
 use sdnd::weak::{Ls93, Rg20};
@@ -27,11 +28,47 @@ fn main() -> ExitCode {
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("error: {e}");
-            eprintln!();
-            eprintln!("{USAGE}");
+            eprintln!("error: {}", e.msg);
+            if e.show_usage {
+                eprintln!();
+                eprintln!("{USAGE}");
+            }
             ExitCode::FAILURE
         }
+    }
+}
+
+/// A CLI failure. Argument and usage problems reprint the usage text;
+/// runtime diagnostics (I/O failures, engine errors such as
+/// `EngineError::RoundLimitExceeded`, round-budget violations) stand
+/// alone.
+#[derive(Debug)]
+struct CliError {
+    msg: String,
+    show_usage: bool,
+}
+
+impl CliError {
+    fn runtime(msg: impl Into<String>) -> Self {
+        CliError {
+            msg: msg.into(),
+            show_usage: false,
+        }
+    }
+}
+
+impl From<String> for CliError {
+    fn from(msg: String) -> Self {
+        CliError {
+            msg,
+            show_usage: true,
+        }
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(msg: &str) -> Self {
+        CliError::from(msg.to_string())
     }
 }
 
@@ -43,22 +80,30 @@ commands:
              writes an edge list to stdout
   decompose  --algorithm <thm2.3|thm3.4|en16|sequential|abcp96|rg20|ls93>
              --input <edges.txt> [--nodes N] [--seed S] [--output out.csv]
-             computes a network decomposition and prints its quality
+             [--max-rounds R]
+             computes a network decomposition and prints its quality;
+             fails cleanly if the simulated cost exceeds R rounds
+             (post-hoc: the local computation runs to completion)
   carve      --algorithm <thm2.2|thm3.3|mpx13|rg20|ggr21|ls93|sequential|abcp96>
              --eps <f> --input <edges.txt> [--nodes N] [--seed S] [--output out.csv]
              computes a single ball carving
+  simulate   --input <edges.txt> [--source V] [--threads T] [--max-rounds R]
+             [--nodes N]
+             runs a BFS flood on the message-passing engine (T > 1 selects
+             the deterministic parallel stepping lane)
   validate   --input <edges.txt> --clusters <out.csv> [--nodes N]
              re-checks a previously exported clustering";
 
-fn run(args: &[String]) -> Result<(), String> {
+fn run(args: &[String]) -> Result<(), CliError> {
     let cmd = args.first().ok_or("missing command")?;
     let opts = parse_opts(&args[1..])?;
     match cmd.as_str() {
         "gen" => cmd_gen(&opts),
         "decompose" => cmd_decompose(&opts),
         "carve" => cmd_carve(&opts),
+        "simulate" => cmd_simulate(&opts),
         "validate" => cmd_validate(&opts),
-        other => Err(format!("unknown command `{other}`")),
+        other => Err(format!("unknown command `{other}`").into()),
     }
 }
 
@@ -85,6 +130,14 @@ impl Opts {
             Some(v) => v.parse().map_err(|_| format!("--{key} wants a number")),
         }
     }
+    fn u64_or(&self, key: &str, default: u64) -> Result<u64, String> {
+        self.u64_opt(key).map(|v| v.unwrap_or(default))
+    }
+    fn u64_opt(&self, key: &str) -> Result<Option<u64>, String> {
+        self.get(key)
+            .map(|v| v.parse().map_err(|_| format!("--{key} wants an integer")))
+            .transpose()
+    }
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
@@ -103,7 +156,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
     Ok(Opts { map })
 }
 
-fn cmd_gen(opts: &Opts) -> Result<(), String> {
+fn cmd_gen(opts: &Opts) -> Result<(), CliError> {
     let family = opts.require("family")?;
     let n = opts.usize_or("n", 256)?;
     let seed = opts.usize_or("seed", 42)? as u64;
@@ -121,13 +174,14 @@ fn cmd_gen(opts: &Opts) -> Result<(), String> {
         "barrier" => sdnd::graph::gen::barrier_graph(n, 0.5, 4, seed)
             .map_err(|e| e.to_string())?
             .into_graph(),
-        other => return Err(format!("unknown family `{other}`")),
+        other => return Err(format!("unknown family `{other}`").into()),
     };
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
-    writeln!(out, "# sdnd {family} n={} m={}", g.n(), g.m()).map_err(|e| e.to_string())?;
+    writeln!(out, "# sdnd {family} n={} m={}", g.n(), g.m())
+        .map_err(|e| CliError::runtime(e.to_string()))?;
     for (u, v) in g.edges() {
-        writeln!(out, "{u} {v}").map_err(|e| e.to_string())?;
+        writeln!(out, "{u} {v}").map_err(|e| CliError::runtime(e.to_string()))?;
     }
     Ok(())
 }
@@ -168,8 +222,11 @@ fn write_clusters(
     std::fs::write(path, s).map_err(|e| e.to_string())
 }
 
-fn cmd_decompose(opts: &Opts) -> Result<(), String> {
-    let g = load_graph(opts)?;
+fn cmd_decompose(opts: &Opts) -> Result<(), CliError> {
+    // Validate the round budget up front — a bad flag must not cost a
+    // full decomposition run.
+    let round_budget = opts.u64_opt("max-rounds")?;
+    let g = load_graph(opts).map_err(CliError::runtime)?;
     let algorithm = opts.require("algorithm")?;
     let seed = opts.usize_or("seed", 42)? as u64;
     let params = Params::default();
@@ -192,8 +249,22 @@ fn cmd_decompose(opts: &Opts) -> Result<(), String> {
         "ls93" => {
             sdnd_clustering::decompose_with_weak_carver(&g, &Ls93::new(seed), 0.5, &mut ledger)
         }
-        other => return Err(format!("unknown algorithm `{other}`")),
+        other => return Err(format!("unknown algorithm `{other}`").into()),
     };
+
+    if let Some(limit) = round_budget {
+        if ledger.rounds() > limit {
+            // Post-hoc budget check: the local computation completed;
+            // only the *simulated* CONGEST cost is over budget (the
+            // genuine mid-run `EngineError::RoundLimitExceeded` path is
+            // exercised by `simulate`, which drives the real engine).
+            return Err(CliError::runtime(format!(
+                "round budget exceeded: the simulated CONGEST execution needs {} rounds, \
+                 over --max-rounds {limit}",
+                ledger.rounds()
+            )));
+        }
+    }
 
     let q = metrics::decomposition_quality(&g, &d);
     let report = sdnd_clustering::validate_decomposition(&g, &d);
@@ -222,18 +293,19 @@ fn cmd_decompose(opts: &Opts) -> Result<(), String> {
                 let c = d.cluster_of(v).expect("decomposition covers all nodes");
                 (v, c.0 as usize, d.color(c))
             }),
-        )?;
+        )
+        .map_err(CliError::runtime)?;
         println!("clusters csv:   {path}");
     }
     Ok(())
 }
 
-fn cmd_carve(opts: &Opts) -> Result<(), String> {
-    let g = load_graph(opts)?;
+fn cmd_carve(opts: &Opts) -> Result<(), CliError> {
+    let g = load_graph(opts).map_err(CliError::runtime)?;
     let algorithm = opts.require("algorithm")?;
     let eps = opts.f64_or("eps", 0.5)?;
     if !(eps > 0.0 && eps < 1.0) {
-        return Err(format!("--eps must lie in (0, 1), got {eps}"));
+        return Err(format!("--eps must lie in (0, 1), got {eps}").into());
     }
     let seed = opts.usize_or("seed", 42)? as u64;
     let alive = NodeSet::full(g.n());
@@ -264,7 +336,7 @@ fn cmd_carve(opts: &Opts) -> Result<(), String> {
                 .into_parts()
                 .0
         }
-        other => return Err(format!("unknown algorithm `{other}`")),
+        other => return Err(format!("unknown algorithm `{other}`").into()),
     };
 
     let q = metrics::carving_quality(&g, &carving);
@@ -286,16 +358,65 @@ fn cmd_carve(opts: &Opts) -> Result<(), String> {
             path,
             g.nodes()
                 .filter_map(|v| carving.cluster_of(v).map(|c| (v, c, 0))),
-        )?;
+        )
+        .map_err(CliError::runtime)?;
         println!("clusters csv:   {path}");
     }
     Ok(())
 }
 
-fn cmd_validate(opts: &Opts) -> Result<(), String> {
-    let g = load_graph(opts)?;
+fn cmd_simulate(opts: &Opts) -> Result<(), CliError> {
+    let g = load_graph(opts).map_err(CliError::runtime)?;
+    let source = opts.usize_or("source", 0)?;
+    if source >= g.n() {
+        return Err(format!("--source {source} out of range (n = {})", g.n()).into());
+    }
+    let threads = opts.usize_or("threads", 1)?;
+    let max_rounds = opts.u64_or("max-rounds", 1_000_000)?;
+
+    let view = g.full_view();
+    let kernel = primitives::BfsKernel::new(&view, [NodeId::new(source)], u32::MAX);
+    let cost = CostModel::congest_for(g.n());
+    let engine = Engine::new(cost)
+        .with_max_rounds(max_rounds)
+        .with_threads(threads);
+    let out = engine
+        .run(&view, &kernel)
+        .map_err(|e| CliError::runtime(e.to_string()))?;
+
+    let reached = out
+        .states
+        .iter()
+        .flatten()
+        .filter(|s| s.dist.is_some())
+        .count();
+    println!("graph:          n = {}, m = {}", g.n(), g.m());
+    println!("protocol:       bfs flood from node {source}");
+    println!(
+        "lane:           {}",
+        if threads > 1 {
+            format!("parallel x{threads}")
+        } else {
+            "sequential".into()
+        }
+    );
+    println!("rounds:         {}", out.rounds);
+    println!("messages:       {}", out.ledger.messages());
+    println!("total bits:     {}", out.ledger.total_bits());
+    println!(
+        "max msg bits:   {} (budget {})",
+        out.ledger.max_message_bits(),
+        cost.bits_per_message()
+    );
+    println!("reached:        {reached}");
+    Ok(())
+}
+
+fn cmd_validate(opts: &Opts) -> Result<(), CliError> {
+    let g = load_graph(opts).map_err(CliError::runtime)?;
     let path = opts.require("clusters")?;
-    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let text =
+        std::fs::read_to_string(path).map_err(|e| CliError::runtime(format!("{path}: {e}")))?;
     let mut colored: std::collections::HashMap<usize, (Vec<NodeId>, u32)> = Default::default();
     let mut covered = NodeSet::empty(g.n());
     for line in text.lines().skip(1) {
@@ -405,6 +526,91 @@ mod tests {
         let o = opts(&[("input", path.to_str().unwrap())]);
         let err = load_graph(&o).unwrap_err();
         assert!(err.contains("line 1"), "{err}");
+    }
+
+    #[test]
+    fn decompose_max_rounds_reports_clean_diagnostic() {
+        let dir = std::env::temp_dir().join("sdnd_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("budget.txt");
+        std::fs::write(&path, "0 1\n1 2\n2 3\n3 0\n").unwrap();
+        let args: Vec<String> = [
+            "decompose",
+            "--algorithm",
+            "thm2.3",
+            "--input",
+            path.to_str().unwrap(),
+            "--max-rounds",
+            "1",
+        ]
+        .map(String::from)
+        .to_vec();
+        let err = run(&args).unwrap_err();
+        assert!(
+            err.msg.contains("round budget exceeded") && err.msg.contains("--max-rounds 1"),
+            "{}",
+            err.msg
+        );
+        assert!(!err.show_usage, "round-limit is a runtime diagnostic");
+        // A generous budget passes.
+        let args: Vec<String> = [
+            "decompose",
+            "--algorithm",
+            "thm2.3",
+            "--input",
+            path.to_str().unwrap(),
+            "--max-rounds",
+            "1000000",
+        ]
+        .map(String::from)
+        .to_vec();
+        assert!(run(&args).is_ok());
+    }
+
+    #[test]
+    fn simulate_runs_on_both_lanes() {
+        let dir = std::env::temp_dir().join("sdnd_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sim.txt");
+        std::fs::write(&path, "0 1\n1 2\n2 3\n").unwrap();
+        for threads in ["1", "3"] {
+            let args: Vec<String> = [
+                "simulate",
+                "--input",
+                path.to_str().unwrap(),
+                "--source",
+                "0",
+                "--threads",
+                threads,
+            ]
+            .map(String::from)
+            .to_vec();
+            assert!(run(&args).is_ok(), "simulate with {threads} threads");
+        }
+        // Round budget violations surface the engine error cleanly.
+        let args: Vec<String> = [
+            "simulate",
+            "--input",
+            path.to_str().unwrap(),
+            "--max-rounds",
+            "1",
+        ]
+        .map(String::from)
+        .to_vec();
+        let err = run(&args).unwrap_err();
+        assert!(err.msg.contains("did not quiesce"), "{}", err.msg);
+        assert!(!err.show_usage);
+        // An out-of-range source is a usage problem.
+        let args: Vec<String> = [
+            "simulate",
+            "--input",
+            path.to_str().unwrap(),
+            "--source",
+            "99",
+        ]
+        .map(String::from)
+        .to_vec();
+        assert!(run(&args).unwrap_err().show_usage);
     }
 
     #[test]

@@ -7,7 +7,9 @@
 //! that contract across the seeded generators, both deterministic
 //! decomposition pipelines, and the seeded randomized baselines.
 
+use proptest::prelude::*;
 use sdnd::baselines::Mpx13;
+use sdnd::congest::{primitives, Engine};
 use sdnd::core::{decompose_strong, decompose_strong_improved, Params};
 use sdnd::prelude::*;
 use sdnd::weak::Ls93;
@@ -98,6 +100,82 @@ fn seeded_randomized_baselines_are_deterministic() {
             let w2 = WeakCarver::carve_weak(&Ls93::new(seed), &g, &alive, 0.5, &mut l2);
             assert_eq!(w1, w2, "Ls93(seed={seed}) differs on {name}");
             assert_eq!(l1, l2, "Ls93(seed={seed}) ledger differs on {name}");
+        }
+    }
+}
+
+/// Asserts that the engine's parallel stepping lane reproduces the
+/// sequential lane bit for bit: states, round count, and ledger.
+fn assert_lanes_agree<A, P>(view: &A, protocol: &P, threads: usize, label: &str)
+where
+    A: Adjacency,
+    P: sdnd::congest::Protocol + Sync,
+    P::State: Send + PartialEq + std::fmt::Debug,
+    P::Msg: Send + Sync,
+{
+    let cost = CostModel::congest_for(view.universe());
+    let seq = Engine::new(cost)
+        .run(view, protocol)
+        .expect("sequential lane runs");
+    let par = Engine::new(cost)
+        .with_threads(threads)
+        .run(view, protocol)
+        .expect("parallel lane runs");
+    assert_eq!(seq.rounds, par.rounds, "{label}: rounds");
+    assert_eq!(seq.ledger, par.ledger, "{label}: ledger");
+    assert_eq!(seq.states, par.states, "{label}: states");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The tentpole determinism property: on random graphs, random
+    /// sources, and every lane width, sequential and parallel engine
+    /// executions produce bit-identical `RunOutcome`s.
+    #[test]
+    fn engine_lanes_are_bit_identical(
+        n in 3usize..40,
+        raw_edges in prop::collection::vec((0usize..40, 0usize..40), 0..120),
+        src in 0usize..40,
+        threads in 2usize..9,
+    ) {
+        let edges: Vec<(usize, usize)> = raw_edges
+            .into_iter()
+            .map(|(u, v)| (u % n, v % n))
+            .filter(|&(u, v)| u != v)
+            .collect();
+        let g = Graph::from_edges(n, edges).expect("valid edges");
+        let view = g.full_view();
+        let src = NodeId::new(src % n);
+
+        let bfs = primitives::BfsKernel::new(&view, [src], u32::MAX);
+        assert_lanes_agree(&view, &bfs, threads, "bfs kernel");
+
+        let leader = primitives::LeaderKernel::new(&view);
+        assert_lanes_agree(&view, &leader, threads, "leader kernel");
+    }
+}
+
+#[test]
+fn engine_lanes_agree_across_seeds_and_views() {
+    // The fixed-seed counterpart of the property above: three seeded
+    // random graphs, full and subset views, several lane widths.
+    for seed in [1u64, 7, 1234] {
+        let g = gen::gnp_connected(48, 0.1, seed);
+        let alive = NodeSet::from_nodes(48, (0..48).filter(|i| i % 7 != 3).map(NodeId::new));
+        for threads in [2usize, 3, 16] {
+            let view = g.full_view();
+            let bfs = primitives::BfsKernel::new(&view, [NodeId::new(0)], u32::MAX);
+            assert_lanes_agree(&view, &bfs, threads, "full view bfs");
+            let leader = primitives::LeaderKernel::new(&view);
+            assert_lanes_agree(&view, &leader, threads, "full view leader");
+
+            let sub = g.view(&alive);
+            let src = alive.iter().next().expect("nonempty");
+            let bfs = primitives::BfsKernel::new(&sub, [src], u32::MAX);
+            assert_lanes_agree(&sub, &bfs, threads, "subset view bfs");
+            let leader = primitives::LeaderKernel::new(&sub);
+            assert_lanes_agree(&sub, &leader, threads, "subset view leader");
         }
     }
 }

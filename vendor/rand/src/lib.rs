@@ -56,7 +56,7 @@ pub trait Rng: RngCore {
         gen_unit_f64(self) < p
     }
 
-    /// Samples a value of a [`Standard`]-distributed type.
+    /// Samples a value of a standard-distributed type (see [`StandardSample`]).
     fn gen<T: StandardSample>(&mut self) -> T {
         T::sample_standard(self)
     }
