@@ -1,12 +1,16 @@
 //! Criterion benches for the message-passing engine itself: flood
-//! (BFS kernel) and convergecast on grid/expander/clique families, plus
-//! the parallel stepping lane. `BENCH_engine.json` at the repo root pins
-//! the measured trajectory starting from the edge-slot mailbox refactor.
+//! (BFS kernel) and convergecast on grid/expander/clique families, the
+//! parallel stepping lane, and — since the session API — every case in
+//! both one-shot (`Engine::run`, pays the `O(m)` arena setup per run)
+//! and session (`EngineSession::run`, arenas amortized across runs)
+//! form. `BENCH_engine.json` at the repo root pins the measured
+//! trajectory; the shim prints mean/median/min/max, and the JSON records
+//! mean and min per row.
 //!
-//! The flood cases are traffic-heavy (every node broadcasts once), which
-//! is what the edge-slot engine is built for; the clique convergecast is
-//! the deliberate worst case (traffic `O(n)` on `O(n^2)` edges), where
-//! the per-run slot-array setup dominates.
+//! The flood cases are traffic-heavy (every node broadcasts once), where
+//! setup is a small fraction of the work; the clique convergecast is the
+//! deliberate worst case for one-shot runs (traffic `O(n)` on `O(n^2)`
+//! edges) and therefore the case the session API exists for.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sdnd_congest::{primitives, CostModel, Engine, RoundLedger};
@@ -41,9 +45,16 @@ fn bench_flood(c: &mut Criterion) {
             &g,
             |b, _| b.iter(|| engine.run(&view, &kernel).expect("flood runs")),
         );
+        let mut session = engine.session(&g);
+        group.bench_with_input(
+            BenchmarkId::new(format!("{family}-session"), g.n()),
+            &g,
+            |b, _| b.iter(|| session.run(&view, &kernel).expect("flood runs")),
+        );
     }
     // Parallel lane on the densest cases: bit-identical outcome, sharded
-    // stepping (speedup requires actual cores; see BENCH_engine.json).
+    // stepping over the per-run worker pool (speedup requires actual
+    // cores; see BENCH_engine.json).
     for (n, threads) in [(256usize, 2usize), (256, 4), (512, 2)] {
         let g = gen::complete(n);
         let view = g.full_view();
@@ -53,6 +64,12 @@ fn bench_flood(c: &mut Criterion) {
             BenchmarkId::new(format!("clique-par{threads}"), g.n()),
             &g,
             |b, _| b.iter(|| engine.run(&view, &kernel).expect("flood runs")),
+        );
+        let mut session = engine.session(&g);
+        group.bench_with_input(
+            BenchmarkId::new(format!("clique-par{threads}-session"), g.n()),
+            &g,
+            |b, _| b.iter(|| session.run(&view, &kernel).expect("flood runs")),
         );
     }
     group.finish();
@@ -80,6 +97,14 @@ fn bench_convergecast(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new(family, g.n()), &g, |b, _| {
             b.iter(|| engine.run(&view, &kernel).expect("cast runs"))
         });
+        // The session rows are the ISSUE-3 acceptance metric: amortized
+        // per-run time proportional to traffic (O(n)), not edges (O(n²)).
+        let mut session = engine.session(&g);
+        group.bench_with_input(
+            BenchmarkId::new(format!("{family}-session"), g.n()),
+            &g,
+            |b, _| b.iter(|| session.run(&view, &kernel).expect("cast runs")),
+        );
     }
     group.finish();
 }

@@ -24,6 +24,13 @@ fn bench_primitives(c: &mut Criterion) {
             let engine = Engine::new(CostModel::congest_for(n));
             b.iter(|| engine.run(&view, &kernel).expect("kernel BFS runs"))
         });
+        // The repeated-run form every pipeline should use: one session,
+        // arenas amortized across iterations.
+        let mut session = Engine::new(CostModel::congest_for(n)).session(&g);
+        group.bench_with_input(BenchmarkId::new("bfs-kernel-session", n), &g, |b, _| {
+            let kernel = primitives::BfsKernel::new(&view, [NodeId::new(0)], u32::MAX);
+            b.iter(|| session.run(&view, &kernel).expect("kernel BFS runs"))
+        });
         group.bench_with_input(BenchmarkId::new("layer-census-fast", n), &g, |b, _| {
             b.iter(|| {
                 let mut l = RoundLedger::new();

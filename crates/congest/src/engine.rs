@@ -27,6 +27,25 @@
 //! the receiver's in-slots in CSR neighbor order, so they arrive sorted
 //! by sender *by construction* — the per-round sort is gone.
 //!
+//! # Sessions: amortizing the per-run setup
+//!
+//! Building the slot arenas and scratch buffers is `O(m)` work. A
+//! one-shot [`Engine::run`] pays it on every call, which dominates
+//! sparse-traffic protocols on dense graphs (the clique-convergecast rows
+//! of `BENCH_engine.json`). Repeated runs on one graph — exactly what the
+//! decomposition pipelines, the kernel cross-validation, and the benches
+//! do — should instead open an [`EngineSession`] via [`Engine::session`]:
+//! the session owns the arenas (one set per message type, allocated
+//! lazily) and reuses them across arbitrarily many runs, so a run's cost
+//! is proportional to its *traffic*, not to `m`.
+//!
+//! Reuse without clearing works through *stamp epochs*: every slot and
+//! mailbox stamp is offset by a per-arena base that advances past all
+//! stamps a run may have written, so a stale slot from an earlier run can
+//! never alias a live round. Nothing is ever zeroed between runs, and a
+//! session run is bit-identical to a fresh-engine run (property-tested in
+//! `tests/determinism.rs`).
+//!
 //! # Determinism and the parallel lane
 //!
 //! Execution is fully deterministic: nodes step in index order, and
@@ -34,15 +53,25 @@
 //! `r + 1`. The engine stops at *quiescence* (a round in which no message
 //! was sent) or at `max_rounds`.
 //!
-//! [`Engine::with_threads`] selects an opt-in parallel stepping lane
-//! (`std::thread::scope` over contiguous node shards) that is
-//! *bit-identical* to the sequential lane: a node writes only its own
+//! [`Engine::with_threads`] selects an opt-in parallel stepping lane that
+//! is *bit-identical* to the sequential lane: a node writes only its own
 //! out-edge slots — a contiguous CSR range, so shards receive disjoint
-//! `&mut` sub-slices — and reads only the immutable front buffer, so no
-//! two threads ever touch the same memory mutably. Each node's step is a
-//! pure function of its state and its (deterministically gathered) inbox,
+//! chunks — and reads only the immutable front buffer, so no two threads
+//! ever touch the same memory mutably. Each node's step is a pure
+//! function of its state and its (deterministically gathered) inbox,
 //! hence the states, round count, and ledger cannot depend on the thread
 //! count. The `tests/determinism.rs` property suite pins this.
+//!
+//! The lane is backed by a worker pool: one `std::thread::scope` per
+//! *run* (not per round, as the pre-session engine paid) spawns
+//! long-lived workers that receive one phase per round over a channel and
+//! hand their buffers back. The back buffer lives as per-shard owned
+//! chunks and the front buffer behind an `Arc`, rotated between rounds
+//! without copying, which is what lets safe Rust keep the workers alive
+//! across rounds. (A pool persisting across *runs* would need the worker
+//! threads to outlive the borrows of each run's protocol — not
+//! expressible without `unsafe`, which this crate forbids; the remaining
+//! per-run cost is the thread spawns themselves, independent of `m`.)
 //!
 //! # Error precedence
 //!
@@ -53,8 +82,11 @@
 
 use crate::{CostModel, RoundLedger};
 use sdnd_graph::{Adjacency, Graph, NodeId};
+use std::any::{Any, TypeId};
+use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
+use std::sync::{mpsc, Arc};
 
 /// A distributed node program.
 ///
@@ -104,6 +136,373 @@ impl<M> Slot<M> {
 
 fn slot_array<M>(len: usize) -> Vec<Slot<M>> {
     (0..len).map(|_| Slot::empty()).collect()
+}
+
+/// Reusable sequential-lane buffers for one message type on one graph:
+/// the double-buffered slot arenas, the has-mail stamps, and the
+/// send/inbox scratch vectors.
+///
+/// Nothing is cleared between runs. Run `k`'s round-`r` stamps are
+/// `base + r`, and `base` advances past every stamp the run may have
+/// written, so stale slots from earlier runs never alias a live round.
+struct SeqArena<M> {
+    cur: Vec<Slot<M>>,
+    next: Vec<Slot<M>>,
+    cur_mail: Vec<u64>,
+    next_mail: Vec<u64>,
+    sent: Vec<usize>,
+    inbox: Vec<(NodeId, M)>,
+    base: u64,
+}
+
+impl<M> SeqArena<M> {
+    fn new(slots: usize, n: usize) -> Self {
+        SeqArena {
+            cur: slot_array(slots),
+            next: slot_array(slots),
+            cur_mail: vec![0; n],
+            next_mail: vec![0; n],
+            sent: Vec::new(),
+            inbox: Vec::new(),
+            base: 0,
+        }
+    }
+}
+
+/// Advances an arena's stamp epoch when dropped — including on unwind,
+/// so a protocol panic caught by the caller cannot leave stale stamps
+/// behind that a later run on the same session would mistake for live
+/// mail. `next_base` is kept ahead of every stamp the current round may
+/// write.
+struct EpochGuard<'a> {
+    base: &'a mut u64,
+    next_base: u64,
+}
+
+impl Drop for EpochGuard<'_> {
+    fn drop(&mut self) {
+        *self.base = self.next_base;
+    }
+}
+
+/// Shard geometry of the parallel lane for one (graph, thread-count)
+/// pair: contiguous node ranges balancing *slot* (degree) mass — on
+/// degree-skewed graphs a hub's message work would otherwise serialize
+/// onto one thread — the matching slot ranges, and a precomputed map from
+/// each directed edge to the chunk location of its reverse edge. The
+/// bounds are a pure function of graph and thread count, so determinism
+/// is unaffected.
+struct ParLayout {
+    threads: usize,
+    node_bounds: Vec<usize>,
+    slot_bounds: Vec<usize>,
+    /// `rev_loc[e] = (shard, offset)` locating the reverse of directed
+    /// edge `e` in the chunked buffers.
+    rev_loc: Vec<(u32, u32)>,
+}
+
+impl ParLayout {
+    fn carve(g: &Graph, threads: usize) -> ParLayout {
+        let n = g.n();
+        let slots = g.directed_edges();
+        assert!(slots <= u32::MAX as usize, "chunk offsets are u32");
+        let threads = threads.min(n.max(1));
+        let offset_of = |b: usize| {
+            if b == n {
+                slots
+            } else {
+                g.out_slot_range(NodeId::new(b)).start
+            }
+        };
+        let mut node_bounds: Vec<usize> = Vec::with_capacity(threads + 1);
+        node_bounds.push(0);
+        for s in 1..threads {
+            let target = slots * s / threads;
+            let (mut lo, mut hi) = (*node_bounds.last().expect("nonempty"), n);
+            while lo < hi {
+                let mid = lo + (hi - lo) / 2;
+                if offset_of(mid) < target {
+                    lo = mid + 1;
+                } else {
+                    hi = mid;
+                }
+            }
+            node_bounds.push(lo);
+        }
+        node_bounds.push(n);
+        let slot_bounds: Vec<usize> = node_bounds.iter().map(|&b| offset_of(b)).collect();
+
+        let mut loc: Vec<(u32, u32)> = vec![(0, 0); slots];
+        for s in 0..threads {
+            for (off, e) in (slot_bounds[s]..slot_bounds[s + 1]).enumerate() {
+                loc[e] = (s as u32, off as u32);
+            }
+        }
+        let rev_loc = g.reverse_edges().iter().map(|&e| loc[e]).collect();
+        ParLayout {
+            threads,
+            node_bounds,
+            slot_bounds,
+            rev_loc,
+        }
+    }
+
+    fn shards(&self) -> usize {
+        self.threads
+    }
+}
+
+/// Reusable parallel-lane buffers for one message type: the two slot
+/// buffers live as per-shard owned chunks (carved by a [`ParLayout`]) so
+/// they can rotate through the worker pool without copying. Same stamp
+/// epoch (`base`) scheme as [`SeqArena`].
+struct ParArena<M> {
+    front: Vec<Vec<Slot<M>>>,
+    back: Vec<Vec<Slot<M>>>,
+    cur_mail: Vec<u64>,
+    next_mail: Vec<u64>,
+    base: u64,
+    /// Thread count the chunks were carved for (re-carved on change).
+    threads: usize,
+}
+
+impl<M> ParArena<M> {
+    fn new(layout: &ParLayout, n: usize) -> Self {
+        let chunks = || {
+            (0..layout.shards())
+                .map(|s| slot_array(layout.slot_bounds[s + 1] - layout.slot_bounds[s]))
+                .collect()
+        };
+        ParArena {
+            front: chunks(),
+            back: chunks(),
+            cur_mail: vec![0; n],
+            next_mail: vec![0; n],
+            base: 0,
+            threads: layout.threads,
+        }
+    }
+}
+
+/// One round of work handed to a pool worker: the shared front buffer and
+/// mail stamps (read-only), plus this shard's owned back chunk, state
+/// chunk, and recipient scratch, all returned in the [`PhaseResult`].
+struct PhaseTask<M, S> {
+    r: u64,
+    base: u64,
+    front: Arc<Vec<Vec<Slot<M>>>>,
+    mail: Arc<Vec<u64>>,
+    back_chunk: Vec<Slot<M>>,
+    states: Vec<Option<S>>,
+    recipients: Vec<NodeId>,
+}
+
+/// A worker's report for one phase: the owned buffers handed back, plus
+/// what the conductor needs to fold shards deterministically.
+struct PhaseResult<M, S> {
+    back_chunk: Vec<Slot<M>>,
+    states: Vec<Option<S>>,
+    recipients: Vec<NodeId>,
+    any: bool,
+    ledger: RoundLedger,
+    error: Option<EngineError>,
+}
+
+/// Main-thread side of the worker pool for one run: owns the rotating
+/// buffers and the per-worker channels. Dropping it (or clearing
+/// `task_txs`) shuts the workers down.
+struct Conductor<M, S> {
+    base: u64,
+    front: Arc<Vec<Vec<Slot<M>>>>,
+    mail: Arc<Vec<u64>>,
+    back: Vec<Vec<Slot<M>>>,
+    next_mail: Vec<u64>,
+    state_chunks: Vec<Vec<Option<S>>>,
+    recip_bufs: Vec<Vec<NodeId>>,
+    task_txs: Vec<mpsc::Sender<PhaseTask<M, S>>>,
+    result_rxs: Vec<mpsc::Receiver<PhaseResult<M, S>>>,
+}
+
+impl<M: Clone, S> Conductor<M, S> {
+    /// Dispatches round `r` to every worker and folds the results back in
+    /// shard order — so ledger totals and the reported error (the
+    /// lowest-index erring node) match the sequential lane. Returns
+    /// whether any message was sent.
+    ///
+    /// Each worker has its own result channel, received in shard order:
+    /// collection is deterministic without reordering, and a worker that
+    /// dies (protocol panic) surfaces as a closed channel here rather
+    /// than a hang.
+    fn phase(&mut self, r: u64, ledger: &mut RoundLedger) -> Result<bool, EngineError> {
+        let shards = self.task_txs.len();
+        for shard in 0..shards {
+            let task = PhaseTask {
+                r,
+                base: self.base,
+                front: Arc::clone(&self.front),
+                mail: Arc::clone(&self.mail),
+                back_chunk: std::mem::take(&mut self.back[shard]),
+                states: std::mem::take(&mut self.state_chunks[shard]),
+                recipients: std::mem::take(&mut self.recip_bufs[shard]),
+            };
+            self.task_txs[shard].send(task).expect("pool worker alive");
+        }
+
+        let stamp_next = self.base + r + 1;
+        let mut any_pending = false;
+        let mut first_error = None;
+        for shard in 0..shards {
+            let mut res = self.result_rxs[shard]
+                .recv()
+                .expect("pool worker reports its phase");
+            self.back[shard] = res.back_chunk;
+            self.state_chunks[shard] = res.states;
+            any_pending |= res.any;
+            ledger.merge_traffic(&res.ledger);
+            for recv in res.recipients.drain(..) {
+                self.next_mail[recv.index()] = stamp_next;
+            }
+            self.recip_bufs[shard] = res.recipients;
+            if first_error.is_none() {
+                first_error = res.error;
+            }
+        }
+        match first_error {
+            Some(e) => Err(e),
+            None => Ok(any_pending),
+        }
+    }
+
+    /// Swaps the double buffers: last phase's back chunks become the
+    /// shared front, and the old front — uncontended, since every worker
+    /// dropped its handles before reporting — is reclaimed as the new
+    /// back without copying.
+    fn rotate(&mut self) {
+        let old_front = Arc::try_unwrap(std::mem::replace(&mut self.front, Arc::new(Vec::new())))
+            .unwrap_or_else(|arc| (*arc).clone());
+        self.front = Arc::new(std::mem::replace(&mut self.back, old_front));
+        let old_mail = Arc::try_unwrap(std::mem::replace(&mut self.mail, Arc::new(Vec::new())))
+            .unwrap_or_else(|arc| (*arc).clone());
+        self.mail = Arc::new(std::mem::replace(&mut self.next_mail, old_mail));
+    }
+}
+
+/// Body of one pool worker: receives one [`PhaseTask`] per round, steps
+/// the alive nodes of its shard, and hands the owned buffers back; exits
+/// when the task channel closes.
+#[allow(clippy::too_many_arguments)]
+fn pool_worker<P: Protocol>(
+    engine: &Engine,
+    g: &Graph,
+    protocol: &P,
+    alive: &[bool],
+    layout: &ParLayout,
+    shard: usize,
+    rx: mpsc::Receiver<PhaseTask<P::Msg, P::State>>,
+    tx: mpsc::Sender<PhaseResult<P::Msg, P::State>>,
+) {
+    let node_lo = layout.node_bounds[shard];
+    let node_hi = layout.node_bounds[shard + 1];
+    let slot_base = layout.slot_bounds[shard];
+    let mut sent: Vec<usize> = Vec::new();
+    let mut inbox: Vec<(NodeId, P::Msg)> = Vec::new();
+    while let Ok(task) = rx.recv() {
+        let PhaseTask {
+            r,
+            base,
+            front,
+            mail,
+            mut back_chunk,
+            mut states,
+            mut recipients,
+        } = task;
+        let stamp = base + r;
+        let mut ledger = RoundLedger::new();
+        let mut error: Option<EngineError> = None;
+        let mut any = false;
+        sent.clear();
+        for i in node_lo..node_hi {
+            if !alive[i] || (r > 0 && mail[i] != stamp) {
+                continue;
+            }
+            let v = NodeId::new(i);
+            let mut out = Outbox {
+                from: v,
+                nbrs: g.neighbors(v),
+                slot_start: g.out_slot_range(v).start,
+                cursor: 0,
+                alive,
+                stamp: stamp + 1,
+                slot_base,
+                slots: &mut back_chunk,
+                sent: &mut sent,
+                error: &mut error,
+            };
+            // Structural twin of the per-node body in
+            // `run_sequential_with` (see the comment there); keep the two
+            // in lockstep.
+            if r == 0 {
+                states[i - node_lo] = Some(protocol.init(v, &mut out));
+            } else {
+                inbox.clear();
+                for (p, &u) in g.out_slot_range(v).zip(g.neighbors(v)) {
+                    let (cs, co) = layout.rev_loc[p];
+                    let slot = &front[cs as usize][co as usize];
+                    if slot.round == stamp {
+                        let msg = slot.msg.clone().expect("stamped slot holds a message");
+                        inbox.push((u, msg));
+                    }
+                }
+                let st = states[i - node_lo].as_mut().expect("alive node has state");
+                protocol.step(v, st, &inbox, &mut out);
+            }
+            match engine.account(
+                protocol,
+                g,
+                v,
+                slot_base,
+                &back_chunk,
+                &mut sent,
+                &mut error,
+                &mut ledger,
+                |recv| recipients.push(recv),
+            ) {
+                Ok(a) => any |= a,
+                Err(e) => {
+                    error = Some(e);
+                    break;
+                }
+            }
+        }
+        // Release the shared buffers before reporting, so the conductor
+        // can reclaim them without copying.
+        drop(front);
+        drop(mail);
+        let report = PhaseResult {
+            back_chunk,
+            states,
+            recipients,
+            any,
+            ledger,
+            error,
+        };
+        if tx.send(report).is_err() {
+            return;
+        }
+    }
+}
+
+/// Fetches (or lazily creates) the arena of type `T` in a session's
+/// type-erased store. Keyed by the arena type itself, so `SeqArena<M>`
+/// and `ParArena<M>` never collide.
+fn typed_arena<T: 'static>(
+    map: &mut HashMap<TypeId, Box<dyn Any>>,
+    mk: impl FnOnce() -> T,
+) -> &mut T {
+    map.entry(TypeId::of::<T>())
+        .or_insert_with(|| Box::new(mk()))
+        .downcast_mut::<T>()
+        .expect("arena store keyed by TypeId")
 }
 
 /// Handle through which a node emits messages during one round.
@@ -382,6 +781,10 @@ impl Engine {
     /// configured thread count, without the thread-safety bounds that
     /// [`run`](Self::run) imposes for the parallel lane.
     ///
+    /// This is the one-shot form: it builds a throwaway arena (`O(m)`
+    /// setup). Repeated runs on one graph should go through
+    /// [`Engine::session`].
+    ///
     /// # Errors
     ///
     /// Returns an [`EngineError`] on budget violations, invalid sends, or
@@ -397,56 +800,83 @@ impl Engine {
     {
         let g = view.graph();
         let n = view.universe();
-        let slots = g.directed_edges();
-        let mut states: Vec<Option<P::State>> = (0..n).map(|_| None).collect();
-        let mut ledger = RoundLedger::new();
-
         let alive_list: Vec<NodeId> = view.nodes().collect();
         let mut alive = vec![false; n];
         for &v in &alive_list {
             alive[v.index()] = true;
         }
-        let rev = g.reverse_edges();
+        let mut arena = SeqArena::new(g.directed_edges(), n);
+        self.run_sequential_with(
+            view,
+            protocol,
+            &alive,
+            &alive_list,
+            g.reverse_edges(),
+            &mut arena,
+        )
+    }
 
-        // Double-buffered edge-slot mailboxes plus has-mail stamps; all
-        // buffers live for the whole run — rounds allocate nothing.
-        let mut cur: Vec<Slot<P::Msg>> = slot_array(slots);
-        let mut next: Vec<Slot<P::Msg>> = slot_array(slots);
-        let mut cur_mail: Vec<u64> = vec![0; n];
-        let mut next_mail: Vec<u64> = vec![0; n];
-
-        let mut sent: Vec<usize> = Vec::new();
-        let mut inbox: Vec<(NodeId, P::Msg)> = Vec::new();
+    /// The sequential core, stepping through a caller-provided arena
+    /// (fresh for one-shot runs, reused by [`EngineSession`]).
+    fn run_sequential_with<A, P>(
+        &self,
+        view: &A,
+        protocol: &P,
+        alive: &[bool],
+        alive_list: &[NodeId],
+        rev: &[usize],
+        arena: &mut SeqArena<P::Msg>,
+    ) -> Result<RunOutcome<P::State>, EngineError>
+    where
+        A: Adjacency,
+        P: Protocol,
+    {
+        let g = view.graph();
+        let n = view.universe();
+        let mut states: Vec<Option<P::State>> = (0..n).map(|_| None).collect();
+        let mut ledger = RoundLedger::new();
         let mut error: Option<EngineError> = None;
+        let base = arena.base;
+        // The guard writes the advanced epoch back on every exit path —
+        // normal return, error return, and unwinding out of a panicking
+        // protocol alike.
+        let mut epoch = EpochGuard {
+            base: &mut arena.base,
+            next_base: base + 2,
+        };
+        arena.sent.clear();
 
         // Init phase (round 0): create states; first sends go to round 1.
         let mut any_pending = false;
-        for &v in &alive_list {
+        for &v in alive_list {
             let mut out = Outbox {
                 from: v,
                 nbrs: g.neighbors(v),
                 slot_start: g.out_slot_range(v).start,
                 cursor: 0,
-                alive: &alive,
-                stamp: 1,
+                alive,
+                stamp: base + 1,
                 slot_base: 0,
-                slots: &mut next,
-                sent: &mut sent,
+                slots: &mut arena.next,
+                sent: &mut arena.sent,
                 error: &mut error,
             };
             let st = protocol.init(v, &mut out);
             states[v.index()] = Some(st);
-            any_pending |= self.account(
+            match self.account(
                 protocol,
                 g,
                 v,
                 0,
-                &next,
-                &mut sent,
+                &arena.next,
+                &mut arena.sent,
                 &mut error,
                 &mut ledger,
-                |recv| next_mail[recv.index()] = 1,
-            )?;
+                |recv| arena.next_mail[recv.index()] = base + 1,
+            ) {
+                Ok(a) => any_pending |= a,
+                Err(e) => return Err(e),
+            }
         }
 
         let mut rounds = 0u64;
@@ -458,27 +888,28 @@ impl Engine {
             }
             rounds += 1;
             any_pending = false;
-            std::mem::swap(&mut cur, &mut next);
-            std::mem::swap(&mut cur_mail, &mut next_mail);
-            let r = rounds;
+            epoch.next_base = base + rounds + 2;
+            std::mem::swap(&mut arena.cur, &mut arena.next);
+            std::mem::swap(&mut arena.cur_mail, &mut arena.next_mail);
+            let stamp = base + rounds;
 
-            for &v in &alive_list {
-                if cur_mail[v.index()] != r {
+            for &v in alive_list {
+                if arena.cur_mail[v.index()] != stamp {
                     continue;
                 }
                 // Gather the inbox: in-slots in CSR neighbor order, so it
                 // is sorted by sender by construction. This per-node body
-                // has a structural twin in `parallel_phase` (which clones
+                // has a structural twin in `pool_worker` (which clones
                 // from the shared front buffer instead of taking, and
                 // addresses shard-relative slot chunks) — any semantic
                 // change here must be mirrored there; the lane-equivalence
                 // property in tests/determinism.rs is the referee.
-                inbox.clear();
+                arena.inbox.clear();
                 for (p, &u) in g.out_slot_range(v).zip(g.neighbors(v)) {
-                    let slot = &mut cur[rev[p]];
-                    if slot.round == r {
+                    let slot = &mut arena.cur[rev[p]];
+                    if slot.round == stamp {
                         let msg = slot.msg.take().expect("stamped slot holds a message");
-                        inbox.push((u, msg));
+                        arena.inbox.push((u, msg));
                     }
                 }
                 let st = states[v.index()].as_mut().expect("alive node has state");
@@ -487,25 +918,28 @@ impl Engine {
                     nbrs: g.neighbors(v),
                     slot_start: g.out_slot_range(v).start,
                     cursor: 0,
-                    alive: &alive,
-                    stamp: r + 1,
+                    alive,
+                    stamp: stamp + 1,
                     slot_base: 0,
-                    slots: &mut next,
-                    sent: &mut sent,
+                    slots: &mut arena.next,
+                    sent: &mut arena.sent,
                     error: &mut error,
                 };
-                protocol.step(v, st, &inbox, &mut out);
-                any_pending |= self.account(
+                protocol.step(v, st, &arena.inbox, &mut out);
+                match self.account(
                     protocol,
                     g,
                     v,
                     0,
-                    &next,
-                    &mut sent,
+                    &arena.next,
+                    &mut arena.sent,
                     &mut error,
                     &mut ledger,
-                    |recv| next_mail[recv.index()] = r + 1,
-                )?;
+                    |recv| arena.next_mail[recv.index()] = stamp + 1,
+                ) {
+                    Ok(a) => any_pending |= a,
+                    Err(e) => return Err(e),
+                }
             }
         }
 
@@ -517,6 +951,8 @@ impl Engine {
         })
     }
 
+    /// One-shot parallel run: carves a throwaway layout and arena, then
+    /// drives the pooled core.
     fn run_parallel<A, P>(
         &self,
         view: &A,
@@ -530,129 +966,32 @@ impl Engine {
     {
         let g = view.graph();
         let n = view.universe();
-        let slots = g.directed_edges();
-        let mut states: Vec<Option<P::State>> = (0..n).map(|_| None).collect();
-        let mut ledger = RoundLedger::new();
-
         let mut alive = vec![false; n];
         for v in view.nodes() {
             alive[v.index()] = true;
         }
-        let rev = g.reverse_edges();
-
-        // Contiguous node shards; a shard owns the matching contiguous
-        // range of out-edge slots, so the back buffer splits into
-        // disjoint `&mut` chunks. Boundaries balance *slot* (degree)
-        // mass, not node count — on degree-skewed graphs the hub's
-        // message work would otherwise serialize onto one thread. The
-        // bounds are a pure function of graph and thread count, so
-        // determinism is unaffected.
-        let threads = self.threads.min(n.max(1));
-        let offset_of = |b: usize| {
-            if b == n {
-                slots
-            } else {
-                g.out_slot_range(NodeId::new(b)).start
-            }
-        };
-        let mut node_bounds: Vec<usize> = Vec::with_capacity(threads + 1);
-        node_bounds.push(0);
-        for s in 1..threads {
-            let target = slots * s / threads;
-            let (mut lo, mut hi) = (*node_bounds.last().expect("nonempty"), n);
-            while lo < hi {
-                let mid = lo + (hi - lo) / 2;
-                if offset_of(mid) < target {
-                    lo = mid + 1;
-                } else {
-                    hi = mid;
-                }
-            }
-            node_bounds.push(lo);
-        }
-        node_bounds.push(n);
-        let slot_bounds: Vec<usize> = node_bounds.iter().map(|&b| offset_of(b)).collect();
-
-        let mut cur: Vec<Slot<P::Msg>> = slot_array(slots);
-        let mut next: Vec<Slot<P::Msg>> = slot_array(slots);
-        let mut cur_mail: Vec<u64> = vec![0; n];
-        let mut next_mail: Vec<u64> = vec![0; n];
-
-        let mut any_pending = self.parallel_phase(
-            view,
-            protocol,
-            0,
-            &alive,
-            &rev,
-            &node_bounds,
-            &slot_bounds,
-            &mut states,
-            &cur,
-            &mut next,
-            &cur_mail,
-            &mut next_mail,
-            &mut ledger,
-        )?;
-
-        let mut rounds = 0u64;
-        while any_pending {
-            if rounds >= self.max_rounds {
-                return Err(EngineError::RoundLimitExceeded {
-                    max_rounds: self.max_rounds,
-                });
-            }
-            rounds += 1;
-            std::mem::swap(&mut cur, &mut next);
-            std::mem::swap(&mut cur_mail, &mut next_mail);
-            any_pending = self.parallel_phase(
-                view,
-                protocol,
-                rounds,
-                &alive,
-                &rev,
-                &node_bounds,
-                &slot_bounds,
-                &mut states,
-                &cur,
-                &mut next,
-                &cur_mail,
-                &mut next_mail,
-                &mut ledger,
-            )?;
-        }
-
-        ledger.charge_rounds(rounds);
-        Ok(RunOutcome {
-            states,
-            rounds,
-            ledger,
-        })
+        let layout = ParLayout::carve(g, self.threads);
+        let mut arena = ParArena::new(&layout, n);
+        self.run_parallel_with(view, protocol, &alive, &layout, &mut arena)
     }
 
-    /// One parallel phase: `r == 0` runs `init` on every alive node,
+    /// The parallel core: spawns the worker pool once for the whole run
+    /// (`std::thread::scope`), then hands each worker one phase per round
+    /// over its task channel. `r == 0` runs `init` on every alive node,
     /// `r >= 1` delivers round-`r` messages and steps the recipients
-    /// (gated by the `cur_mail` stamps, like the sequential lane).
-    /// Workers collect their recipients; the mail stamps for round
-    /// `r + 1` are written at the join point, which also merges the
-    /// shard ledgers in index order — so ledger totals and the reported
-    /// error (the lowest-index erring node) match the sequential lane.
-    #[allow(clippy::too_many_arguments)]
-    fn parallel_phase<A, P>(
+    /// (gated by the mail stamps, like the sequential lane); the mail
+    /// stamps for round `r + 1` are written at the join point, which also
+    /// merges the shard ledgers in index order — so ledger totals and the
+    /// reported error (the lowest-index erring node) match the sequential
+    /// lane.
+    fn run_parallel_with<A, P>(
         &self,
         view: &A,
         protocol: &P,
-        r: u64,
         alive: &[bool],
-        rev: &[usize],
-        node_bounds: &[usize],
-        slot_bounds: &[usize],
-        states: &mut [Option<P::State>],
-        cur: &[Slot<P::Msg>],
-        next: &mut [Slot<P::Msg>],
-        cur_mail: &[u64],
-        next_mail: &mut [u64],
-        ledger: &mut RoundLedger,
-    ) -> Result<bool, EngineError>
+        layout: &ParLayout,
+        arena: &mut ParArena<P::Msg>,
+    ) -> Result<RunOutcome<P::State>, EngineError>
     where
         A: Adjacency,
         P: Protocol + Sync,
@@ -660,108 +999,300 @@ impl Engine {
         P::Msg: Send + Sync,
     {
         let g = view.graph();
-        let shards = node_bounds.len() - 1;
+        let shards = layout.shards();
+        let base = arena.base;
 
-        // Carve the back buffer and the state vector into per-shard
-        // mutable chunks (both are partitioned by the same node ranges).
-        let mut state_chunks: Vec<&mut [Option<P::State>]> = Vec::with_capacity(shards);
-        let mut slot_chunks: Vec<&mut [Slot<P::Msg>]> = Vec::with_capacity(shards);
-        let mut state_rest = states;
-        let mut slot_rest = next;
-        for s in 0..shards {
-            let (head, tail) = state_rest.split_at_mut(node_bounds[s + 1] - node_bounds[s]);
-            state_chunks.push(head);
-            state_rest = tail;
-            let (head, tail) = slot_rest.split_at_mut(slot_bounds[s + 1] - slot_bounds[s]);
-            slot_chunks.push(head);
-            slot_rest = tail;
+        let mut task_txs = Vec::with_capacity(shards);
+        let mut task_rxs = Vec::with_capacity(shards);
+        let mut result_txs = Vec::with_capacity(shards);
+        let mut result_rxs = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            let (tx, rx) = mpsc::channel::<PhaseTask<P::Msg, P::State>>();
+            task_txs.push(tx);
+            task_rxs.push(rx);
+            let (tx, rx) = mpsc::channel::<PhaseResult<P::Msg, P::State>>();
+            result_txs.push(tx);
+            result_rxs.push(rx);
         }
-
-        type ShardResult = Result<(bool, RoundLedger, Vec<NodeId>), EngineError>;
-        let results: Vec<ShardResult> = std::thread::scope(|scope| {
-            let handles: Vec<_> = state_chunks
-                .into_iter()
-                .zip(slot_chunks)
-                .enumerate()
-                .map(|(s, (state_chunk, slot_chunk))| {
-                    let (node_lo, node_hi) = (node_bounds[s], node_bounds[s + 1]);
-                    let slot_base = slot_bounds[s];
-                    scope.spawn(move || {
-                        let mut shard_ledger = RoundLedger::new();
-                        let mut sent: Vec<usize> = Vec::new();
-                        let mut inbox: Vec<(NodeId, P::Msg)> = Vec::new();
-                        let mut recipients: Vec<NodeId> = Vec::new();
-                        let mut error: Option<EngineError> = None;
-                        let mut any = false;
-                        for i in node_lo..node_hi {
-                            if !alive[i] || (r > 0 && cur_mail[i] != r) {
-                                continue;
-                            }
-                            let v = NodeId::new(i);
-                            let mut out = Outbox {
-                                from: v,
-                                nbrs: g.neighbors(v),
-                                slot_start: g.out_slot_range(v).start,
-                                cursor: 0,
-                                alive,
-                                stamp: r + 1,
-                                slot_base,
-                                slots: &mut *slot_chunk,
-                                sent: &mut sent,
-                                error: &mut error,
-                            };
-                            // Structural twin of the per-node body in
-                            // `run_sequential` (see the comment there);
-                            // keep the two in lockstep.
-                            if r == 0 {
-                                state_chunk[i - node_lo] = Some(protocol.init(v, &mut out));
-                            } else {
-                                inbox.clear();
-                                for (p, &u) in g.out_slot_range(v).zip(g.neighbors(v)) {
-                                    let slot = &cur[rev[p]];
-                                    if slot.round == r {
-                                        let msg =
-                                            slot.msg.clone().expect("stamped slot holds a message");
-                                        inbox.push((u, msg));
-                                    }
-                                }
-                                let st = state_chunk[i - node_lo]
-                                    .as_mut()
-                                    .expect("alive node has state");
-                                protocol.step(v, st, &inbox, &mut out);
-                            }
-                            any |= self.account(
-                                protocol,
-                                g,
-                                v,
-                                slot_base,
-                                slot_chunk,
-                                &mut sent,
-                                &mut error,
-                                &mut shard_ledger,
-                                |recv| recipients.push(recv),
-                            )?;
-                        }
-                        Ok((any, shard_ledger, recipients))
-                    })
+        let conductor = Conductor {
+            base,
+            front: Arc::new(std::mem::take(&mut arena.front)),
+            mail: Arc::new(std::mem::take(&mut arena.cur_mail)),
+            back: std::mem::take(&mut arena.back),
+            next_mail: std::mem::take(&mut arena.next_mail),
+            state_chunks: (0..shards)
+                .map(|s| {
+                    (layout.node_bounds[s]..layout.node_bounds[s + 1])
+                        .map(|_| None)
+                        .collect()
                 })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("engine worker thread panicked"))
-                .collect()
+                .collect(),
+            recip_bufs: (0..shards).map(|_| Vec::new()).collect(),
+            task_txs,
+            result_rxs,
+        };
+        // Poison the chunk geometry while the buffers are out on loan: if
+        // a protocol panic unwinds through the scope below, the next
+        // session run sees the mismatch and rebuilds fresh chunks instead
+        // of indexing the emptied arena.
+        arena.threads = usize::MAX;
+
+        // The conductor moves *into* the scope closure: if a worker dies
+        // (protocol panic), the conductor's phase() panics on the closed
+        // result channel, unwinding drops the task channels, the
+        // remaining workers exit, and the scope joins — no deadlock. On
+        // the normal path the conductor is handed back out for buffer
+        // reclamation.
+        let (outcome, conductor) = std::thread::scope(|scope| {
+            let mut conductor = conductor;
+            for (shard, (rx, result_tx)) in task_rxs.into_iter().zip(result_txs).enumerate() {
+                scope.spawn(move || {
+                    pool_worker(self, g, protocol, alive, layout, shard, rx, result_tx)
+                });
+            }
+
+            let res = (|| {
+                let mut ledger = RoundLedger::new();
+                let mut any_pending = conductor.phase(0, &mut ledger).map_err(|e| (e, 0))?;
+                let mut rounds = 0u64;
+                while any_pending {
+                    if rounds >= self.max_rounds {
+                        return Err((
+                            EngineError::RoundLimitExceeded {
+                                max_rounds: self.max_rounds,
+                            },
+                            rounds,
+                        ));
+                    }
+                    rounds += 1;
+                    conductor.rotate();
+                    any_pending = conductor
+                        .phase(rounds, &mut ledger)
+                        .map_err(|e| (e, rounds))?;
+                }
+                ledger.charge_rounds(rounds);
+                Ok((rounds, ledger))
+            })();
+            // Closing the task channels lets the workers exit; the scope
+            // then joins them before returning.
+            conductor.task_txs.clear();
+            (res, conductor)
         });
 
-        let mut any_pending = false;
-        for res in results {
-            let (any, shard_ledger, recipients) = res?;
-            any_pending |= any;
-            ledger.merge_traffic(&shard_ledger);
-            for recv in recipients {
-                next_mail[recv.index()] = r + 1;
+        // Reclaim the buffers for the next session run (the workers are
+        // joined, so the Arcs are uncontended) and unpoison the geometry.
+        let Conductor {
+            front,
+            mail,
+            back,
+            next_mail,
+            state_chunks,
+            ..
+        } = conductor;
+        arena.front = Arc::try_unwrap(front).unwrap_or_else(|arc| (*arc).clone());
+        arena.cur_mail = Arc::try_unwrap(mail).unwrap_or_else(|arc| (*arc).clone());
+        arena.back = back;
+        arena.next_mail = next_mail;
+        arena.threads = layout.threads;
+
+        match outcome {
+            Ok((rounds, ledger)) => {
+                arena.base = base + rounds + 2;
+                let mut states = Vec::with_capacity(view.universe());
+                for chunk in state_chunks {
+                    states.extend(chunk);
+                }
+                Ok(RunOutcome {
+                    states,
+                    rounds,
+                    ledger,
+                })
+            }
+            Err((e, rounds)) => {
+                arena.base = base + rounds + 2;
+                Err(e)
             }
         }
-        Ok(any_pending)
+    }
+
+    /// Opens a reusable execution [session](EngineSession) on `graph`,
+    /// capturing this engine's configuration (cost model, round limit,
+    /// stepping lane).
+    pub fn session<'g>(&self, graph: &'g Graph) -> EngineSession<'g> {
+        EngineSession {
+            engine: self.clone(),
+            graph,
+            alive: Vec::new(),
+            alive_list: Vec::new(),
+            par_layout: None,
+            arenas: HashMap::new(),
+        }
+    }
+}
+
+/// A reusable per-graph execution context.
+///
+/// Created by [`Engine::session`], a session builds the directed-edge
+/// slot arenas, inbox scratch buffers, and parallel shard layout **once
+/// per graph** (lazily, one arena set per message type) and reuses them —
+/// together with the graph's cached reverse-edge table — across
+/// arbitrarily many protocol runs. A session run therefore costs
+/// `O(traffic + n)` instead of the one-shot `O(traffic + m)`, which is
+/// the difference between 4 ms and microseconds for sparse-traffic
+/// protocols on dense graphs (see `BENCH_engine.json`).
+///
+/// # Borrowing model
+///
+/// The session borrows the graph (`'g`) and is `&mut self` per run — runs
+/// are strictly sequential, which is what lets the arenas be reused
+/// without synchronization. Views passed to [`run`](Self::run) must
+/// borrow the *same* `Graph` value (checked by address); protocols are
+/// borrowed per run, so different protocol types can interleave freely on
+/// one session. Outcomes are handed back by value and owe the session
+/// nothing.
+///
+/// # Session vs one-shot
+///
+/// Use a session whenever more than one run touches the same graph (a
+/// pipeline phase per cluster, cross-validation, benches, `sdnd simulate
+/// --repeat`). A single run on a throwaway graph can stay on
+/// [`Engine::run`], which is the same machinery with a throwaway arena.
+/// Unlike [`Engine::run`], session runs require `P::Msg: 'static`
+/// (message types index the arena store); every protocol in this
+/// workspace satisfies that.
+pub struct EngineSession<'g> {
+    engine: Engine,
+    graph: &'g Graph,
+    alive: Vec<bool>,
+    alive_list: Vec<NodeId>,
+    par_layout: Option<ParLayout>,
+    arenas: HashMap<TypeId, Box<dyn Any>>,
+}
+
+impl<'g> EngineSession<'g> {
+    /// The graph this session executes on.
+    pub fn graph(&self) -> &'g Graph {
+        self.graph
+    }
+
+    /// The engine configuration captured at session creation.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Refreshes the alive mask and list for this run's view.
+    fn prepare<A: Adjacency>(&mut self, view: &A) {
+        assert!(
+            std::ptr::eq(view.graph(), self.graph),
+            "EngineSession requires a view of the session's own graph"
+        );
+        let n = self.graph.n();
+        self.alive.clear();
+        self.alive.resize(n, false);
+        self.alive_list.clear();
+        for v in view.nodes() {
+            self.alive[v.index()] = true;
+            self.alive_list.push(v);
+        }
+    }
+
+    /// Runs `protocol` on every alive node of `view` until quiescence, on
+    /// the lane the session's engine was configured with, reusing the
+    /// session arenas. Bit-identical to [`Engine::run`] on a fresh
+    /// engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `view` does not borrow the session's graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`EngineError`] on budget violations, invalid sends, or
+    /// if the round limit is exceeded.
+    pub fn run<A, P>(&mut self, view: &A, protocol: &P) -> Result<RunOutcome<P::State>, EngineError>
+    where
+        A: Adjacency,
+        P: Protocol + Sync,
+        P::State: Send,
+        P::Msg: Send + Sync + 'static,
+    {
+        if self.engine.threads > 1 {
+            self.run_parallel(view, protocol)
+        } else {
+            self.run_sequential(view, protocol)
+        }
+    }
+
+    /// Runs `protocol` on the sequential lane regardless of the session
+    /// engine's thread count, without the thread-safety bounds of
+    /// [`run`](Self::run).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `view` does not borrow the session's graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`EngineError`] on budget violations, invalid sends, or
+    /// if the round limit is exceeded.
+    pub fn run_sequential<A, P>(
+        &mut self,
+        view: &A,
+        protocol: &P,
+    ) -> Result<RunOutcome<P::State>, EngineError>
+    where
+        A: Adjacency,
+        P: Protocol,
+        P::Msg: 'static,
+    {
+        self.prepare(view);
+        let slots = self.graph.directed_edges();
+        let n = self.graph.n();
+        let arena = typed_arena(&mut self.arenas, || SeqArena::<P::Msg>::new(slots, n));
+        self.engine.run_sequential_with(
+            view,
+            protocol,
+            &self.alive,
+            &self.alive_list,
+            self.graph.reverse_edges(),
+            arena,
+        )
+    }
+
+    fn run_parallel<A, P>(
+        &mut self,
+        view: &A,
+        protocol: &P,
+    ) -> Result<RunOutcome<P::State>, EngineError>
+    where
+        A: Adjacency,
+        P: Protocol + Sync,
+        P::State: Send,
+        P::Msg: Send + Sync + 'static,
+    {
+        self.prepare(view);
+        let n = self.graph.n();
+        let threads = self.engine.threads.min(n.max(1));
+        if self
+            .par_layout
+            .as_ref()
+            .is_none_or(|l| l.threads != threads)
+        {
+            self.par_layout = Some(ParLayout::carve(self.graph, threads));
+        }
+        let layout = self.par_layout.as_ref().expect("layout just ensured");
+        let arena = typed_arena(&mut self.arenas, || ParArena::<P::Msg>::new(layout, n));
+        if arena.threads != layout.threads {
+            // The engine was reconfigured between runs: re-carve the
+            // chunks, but keep the stamp epoch monotonic.
+            let rebuilt = ParArena {
+                base: arena.base,
+                ..ParArena::new(layout, n)
+            };
+            *arena = rebuilt;
+        }
+        self.engine
+            .run_parallel_with(view, protocol, &self.alive, layout, arena)
     }
 }
 
@@ -1129,6 +1660,217 @@ mod tests {
                 err,
                 EngineError::RoundLimitExceeded { max_rounds: 50 }
             ));
+        }
+    }
+
+    /// Convergecast-ish counter: each node sends one token to its
+    /// minimum neighbor, used as a second message type (`u8`) on shared
+    /// sessions.
+    struct MinPing;
+    impl Protocol for MinPing {
+        type State = u32;
+        type Msg = u8;
+        fn init(&self, _: NodeId, _: &mut Outbox<'_, u8>) -> u32 {
+            0
+        }
+        fn step(&self, _: NodeId, state: &mut u32, inbox: &[(NodeId, u8)], _: &mut Outbox<'_, u8>) {
+            *state += inbox.len() as u32;
+        }
+        fn bits(&self, _: &u8) -> u32 {
+            8
+        }
+    }
+
+    #[test]
+    fn session_runs_match_fresh_engines_across_protocols_and_views() {
+        let g = gen::gnp_connected(40, 0.12, 9);
+        for threads in [1usize, 3] {
+            let engine = Engine::new(CostModel::congest_for(g.n())).with_threads(threads);
+            let mut session = engine.session(&g);
+            // Interleave protocols with different message types and a
+            // subset view; every session run must equal a fresh run.
+            let alive = NodeSet::from_nodes(40, (0..40).filter(|i| i % 5 != 1).map(NodeId::new));
+            for pass in 0..3 {
+                let flood = GraphFlood {
+                    g: &g,
+                    source: NodeId::new(pass),
+                };
+                let fresh = engine.run(&g.full_view(), &flood).unwrap();
+                let sess = session.run(&g.full_view(), &flood).unwrap();
+                assert_eq!(sess.rounds, fresh.rounds, "rounds, pass {pass}");
+                assert_eq!(sess.ledger, fresh.ledger, "ledger, pass {pass}");
+                for v in g.nodes() {
+                    assert_eq!(
+                        sess.states[v.index()].as_ref().unwrap().dist,
+                        fresh.states[v.index()].as_ref().unwrap().dist,
+                        "state at {v}, pass {pass}"
+                    );
+                }
+
+                let view = g.view(&alive);
+                let leader = crate::primitives::LeaderKernel::new(&view);
+                let fresh = engine.run(&view, &leader).unwrap();
+                let sess = session.run(&view, &leader).unwrap();
+                assert_eq!(sess.rounds, fresh.rounds);
+                assert_eq!(sess.ledger, fresh.ledger);
+                assert_eq!(sess.states, fresh.states);
+            }
+        }
+    }
+
+    #[test]
+    fn session_arena_reuse_leaks_no_messages_between_runs() {
+        // A chatty run followed by a silent protocol of the same message
+        // type: stale slots from run 1 must be invisible to run 2, so the
+        // silent run quiesces at round 0 with an empty ledger.
+        let g = gen::complete(24);
+        struct SilentU64;
+        impl Protocol for SilentU64 {
+            type State = u64;
+            type Msg = u64;
+            fn init(&self, _: NodeId, _: &mut Outbox<'_, u64>) -> u64 {
+                7
+            }
+            fn step(
+                &self,
+                _: NodeId,
+                st: &mut u64,
+                inbox: &[(NodeId, u64)],
+                _: &mut Outbox<'_, u64>,
+            ) {
+                *st += inbox.len() as u64; // would show up if mail leaked
+            }
+            fn bits(&self, _: &u64) -> u32 {
+                8
+            }
+        }
+        for threads in [1usize, 4] {
+            let engine = Engine::new(CostModel::congest_for(24)).with_threads(threads);
+            let mut session = engine.session(&g);
+            let flood = GraphFlood {
+                g: &g,
+                source: NodeId::new(0),
+            };
+            let noisy = session.run(&g.full_view(), &flood).unwrap();
+            assert!(noisy.ledger.messages() > 0);
+            let silent = session.run(&g.full_view(), &SilentU64).unwrap();
+            assert_eq!(silent.rounds, 0, "threads {threads}");
+            assert_eq!(silent.ledger.messages(), 0);
+            assert!(silent.states.iter().all(|s| *s == Some(7)));
+        }
+    }
+
+    #[test]
+    fn session_mixes_message_types_and_propagates_errors() {
+        let g = gen::path(3);
+        let engine = Engine::new(CostModel::local());
+        let mut session = engine.session(&g);
+        // A failing run must not poison the session for later runs.
+        struct Skip;
+        impl Protocol for Skip {
+            type State = ();
+            type Msg = u8;
+            fn init(&self, node: NodeId, out: &mut Outbox<'_, u8>) {
+                if node.index() == 0 {
+                    out.send(NodeId::new(2), 1);
+                }
+            }
+            fn step(&self, _: NodeId, _: &mut (), _: &[(NodeId, u8)], _: &mut Outbox<'_, u8>) {}
+            fn bits(&self, _: &u8) -> u32 {
+                8
+            }
+        }
+        let err = session.run(&g.full_view(), &Skip).unwrap_err();
+        assert!(matches!(err, EngineError::NotANeighbor { .. }));
+        let ping = session.run(&g.full_view(), &MinPing).unwrap();
+        assert_eq!(ping.rounds, 0, "MinPing sends nothing");
+        let flood = GraphFlood {
+            g: &g,
+            source: NodeId::new(0),
+        };
+        let out = session.run(&g.full_view(), &flood).unwrap();
+        let fresh = engine.run(&g.full_view(), &flood).unwrap();
+        assert_eq!(out.rounds, fresh.rounds);
+        assert_eq!(out.ledger, fresh.ledger);
+    }
+
+    #[test]
+    fn session_survives_a_caught_protocol_panic() {
+        // A protocol that panics mid-run, caught by the caller: the
+        // session must stay usable and exact afterwards — the sequential
+        // lane advances its stamp epoch on unwind (EpochGuard), the
+        // parallel lane rebuilds its loaned-out chunks (poisoned
+        // geometry). Same message type as the follow-up flood, so the
+        // very arena the panic tore through is the one reused.
+        struct Bomb;
+        impl Protocol for Bomb {
+            type State = ();
+            type Msg = u64;
+            fn init(&self, _: NodeId, out: &mut Outbox<'_, u64>) {
+                out.broadcast(1);
+            }
+            fn step(&self, _: NodeId, _: &mut (), _: &[(NodeId, u64)], _: &mut Outbox<'_, u64>) {
+                panic!("injected protocol failure");
+            }
+            fn bits(&self, _: &u64) -> u32 {
+                8
+            }
+        }
+        let g = gen::grid(4, 4);
+        for threads in [1usize, 3] {
+            let engine = Engine::new(CostModel::local()).with_threads(threads);
+            let mut session = engine.session(&g);
+            let boom = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                session.run(&g.full_view(), &Bomb)
+            }));
+            assert!(boom.is_err(), "panic propagates ({threads} threads)");
+            let flood = GraphFlood {
+                g: &g,
+                source: NodeId::new(0),
+            };
+            let out = session.run(&g.full_view(), &flood).unwrap();
+            let fresh = engine.run(&g.full_view(), &flood).unwrap();
+            assert_eq!(out.rounds, fresh.rounds, "{threads} threads");
+            assert_eq!(out.ledger, fresh.ledger, "{threads} threads");
+            for v in g.nodes() {
+                assert_eq!(
+                    out.states[v.index()].as_ref().unwrap().dist,
+                    fresh.states[v.index()].as_ref().unwrap().dist,
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "session's own graph")]
+    fn session_rejects_views_of_other_graphs() {
+        let g = gen::path(4);
+        let h = gen::path(4);
+        let engine = Engine::new(CostModel::local());
+        let mut session = engine.session(&g);
+        let _ = session.run(&h.full_view(), &MinPing);
+    }
+
+    #[test]
+    fn session_survives_thread_reconfiguration() {
+        // Same session type-erased arenas, re-carved when the lane width
+        // changes between sessions of differently configured engines.
+        let g = gen::gnp_connected(30, 0.15, 4);
+        let flood = GraphFlood {
+            g: &g,
+            source: NodeId::new(2),
+        };
+        let seq = Engine::new(CostModel::congest_for(30))
+            .run(&g.full_view(), &flood)
+            .unwrap();
+        for threads in [2usize, 5] {
+            let engine = Engine::new(CostModel::congest_for(30)).with_threads(threads);
+            let mut session = engine.session(&g);
+            for _ in 0..2 {
+                let out = session.run(&g.full_view(), &flood).unwrap();
+                assert_eq!(out.rounds, seq.rounds);
+                assert_eq!(out.ledger, seq.ledger);
+            }
         }
     }
 

@@ -32,7 +32,7 @@ pub mod engine;
 pub mod primitives;
 
 pub use cost::{CostModel, ExecutionMode, RoundLedger};
-pub use engine::{Engine, EngineError, Outbox, Protocol, RunOutcome};
+pub use engine::{Engine, EngineError, EngineSession, Outbox, Protocol, RunOutcome};
 
 /// Number of bits needed to transmit a value in `0..=max_value`
 /// (at least 1).

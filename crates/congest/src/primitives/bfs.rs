@@ -283,7 +283,14 @@ mod tests {
 
         let kernel = BfsKernel::new(view, sources.iter().copied(), r_max);
         let engine = Engine::new(CostModel::congest_for(view.universe()));
-        let out = engine.run(view, &kernel).expect("kernel run succeeds");
+        // Kernel runs go through a session, twice, so the suite also pins
+        // that back-to-back arena reuse changes nothing.
+        let mut session = engine.session(view.graph());
+        let out = session.run(view, &kernel).expect("kernel run succeeds");
+        let rerun = session.run(view, &kernel).expect("kernel rerun succeeds");
+        assert_eq!(out.rounds, rerun.rounds, "session rerun rounds");
+        assert_eq!(out.ledger, rerun.ledger, "session rerun ledger");
+        assert_eq!(out.states, rerun.states, "session rerun states");
 
         for i in 0..view.universe() {
             let v = NodeId::new(i);

@@ -225,9 +225,12 @@ mod tests {
         let fast = elect_leader(view, &mut ledger);
 
         let kernel = LeaderKernel::new(view);
-        let out = Engine::new(CostModel::congest_for(view.universe()))
-            .run(view, &kernel)
-            .unwrap();
+        let engine = Engine::new(CostModel::congest_for(view.universe()));
+        let mut session = engine.session(view.graph());
+        let out = session.run(view, &kernel).unwrap();
+        let rerun = session.run(view, &kernel).unwrap();
+        assert_eq!(out.rounds, rerun.rounds, "session rerun rounds");
+        assert_eq!(out.states, rerun.states, "session rerun states");
 
         for v in view.nodes() {
             let ks = out.states[v.index()].as_ref().unwrap();

@@ -332,9 +332,13 @@ mod tests {
             let fast = converge_cast_sum(&view, root, &parents, &values, bits, &mut ledger);
 
             let kernel = ConvergeCastKernel::new(g.n(), root, &parents, &values, bits);
-            let out = Engine::new(CostModel::congest_for(g.n()))
-                .run(&view, &kernel)
-                .unwrap();
+            // Session-run twice: casts are the sparse-traffic shape the
+            // arena-reuse path exists for.
+            let mut session = Engine::new(CostModel::congest_for(g.n())).session(&g);
+            let out = session.run(&view, &kernel).unwrap();
+            let rerun = session.run(&view, &kernel).unwrap();
+            assert_eq!(out.states, rerun.states, "session rerun states");
+            assert_eq!(out.ledger, rerun.ledger, "session rerun ledger");
             let kernel_sum = out.states[root.index()].as_ref().unwrap().acc;
 
             assert_eq!(fast, kernel_sum);

@@ -4,10 +4,40 @@
 //! same outputs, same round counts, same message statistics. This is
 //! the load-bearing guarantee that lets the algorithm crates compose
 //! fast paths without leaving the CONGEST model.
+//!
+//! Kernels run through a per-case [`EngineSession`] and are additionally
+//! checked against a fresh-engine run, so the suite also pins that arena
+//! reuse never changes an outcome.
 
 use proptest::prelude::*;
-use sdnd_congest::{primitives, CostModel, Engine, RoundLedger};
-use sdnd_graph::{Graph, NodeId, NodeSet};
+use sdnd_congest::{primitives, CostModel, Engine, EngineSession, Protocol, RoundLedger};
+use sdnd_graph::{Adjacency, Graph, NodeId, NodeSet};
+
+/// Runs `kernel` on `session` and on a fresh engine, asserts the two
+/// outcomes are bit-identical, and returns the session one.
+fn run_both<A, P>(
+    session: &mut EngineSession<'_>,
+    view: &A,
+    kernel: &P,
+) -> sdnd_congest::RunOutcome<P::State>
+where
+    A: Adjacency,
+    P: Protocol + Sync,
+    P::State: Send + PartialEq + std::fmt::Debug,
+    P::Msg: Send + Sync + 'static,
+{
+    let fresh = session
+        .engine()
+        .run(view, kernel)
+        .expect("fresh kernel run succeeds");
+    let out = session
+        .run(view, kernel)
+        .expect("session kernel run succeeds");
+    assert_eq!(out.rounds, fresh.rounds, "session vs fresh rounds");
+    assert_eq!(out.ledger, fresh.ledger, "session vs fresh ledger");
+    assert_eq!(out.states, fresh.states, "session vs fresh states");
+    out
+}
 
 fn arb_graph() -> impl Strategy<Value = Graph> {
     (3usize..30).prop_flat_map(|n| {
@@ -31,9 +61,8 @@ proptest! {
         let fast = primitives::bfs(&view, [src], r_max, &mut ledger);
 
         let kernel = primitives::BfsKernel::new(&view, [src], r_max);
-        let out = Engine::new(CostModel::congest_for(g.n()))
-            .run(&view, &kernel)
-            .expect("kernel run succeeds");
+        let mut session = Engine::new(CostModel::congest_for(g.n())).session(&g);
+        let out = run_both(&mut session, &view, &kernel);
 
         for i in 0..g.n() {
             let v = NodeId::new(i);
@@ -62,9 +91,8 @@ proptest! {
         let fast = primitives::elect_leader(&view, &mut ledger);
 
         let kernel = primitives::LeaderKernel::new(&view);
-        let out = Engine::new(CostModel::congest_for(g.n()))
-            .run(&view, &kernel)
-            .expect("kernel run succeeds");
+        let mut session = Engine::new(CostModel::congest_for(g.n())).session(&g);
+        let out = run_both(&mut session, &view, &kernel);
 
         for v in g.nodes() {
             let ks = out.states[v.index()].as_ref().expect("alive");
@@ -84,7 +112,12 @@ proptest! {
         let mut full = RoundLedger::new();
         let census = primitives::layer_census(&view, src, u32::MAX, &mut full);
 
-        // Kernel: BFS first (validated above), then the pipelined upcast.
+        // Kernel: BFS first (validated above), then the pipelined upcast —
+        // both kernels (distinct message types) share one session, which
+        // is exactly the repeated-run pattern sessions exist for.
+        let mut session = Engine::new(CostModel::congest_for(g.n())).session(&g);
+        let bfs_kernel = primitives::BfsKernel::new(&view, [src], u32::MAX);
+        run_both(&mut session, &view, &bfs_kernel);
         let mut bfs_ledger = RoundLedger::new();
         let bfs = primitives::bfs(&view, [src], u32::MAX, &mut bfs_ledger);
         let dists: Vec<u32> = (0..g.n())
@@ -98,9 +131,7 @@ proptest! {
             bfs.parents(),
             sdnd_congest::bits_for_value(g.n() as u64),
         );
-        let out = Engine::new(CostModel::congest_for(g.n()))
-            .run(&view, &kernel)
-            .expect("kernel run succeeds");
+        let out = run_both(&mut session, &view, &kernel);
 
         let root_counts = &out.states[src.index()].as_ref().expect("root alive").counts;
         prop_assert_eq!(root_counts.as_slice(), census.layer_counts());
@@ -121,9 +152,8 @@ proptest! {
         let fast = primitives::converge_cast_sum(&view, src, bfs.parents(), &values, bits, &mut ledger);
 
         let kernel = primitives::ConvergeCastKernel::new(g.n(), src, bfs.parents(), &values, bits);
-        let out = Engine::new(CostModel::congest_for(g.n()))
-            .run(&view, &kernel)
-            .expect("kernel run succeeds");
+        let mut session = Engine::new(CostModel::congest_for(g.n())).session(&g);
+        let out = run_both(&mut session, &view, &kernel);
         let kernel_sum = out.states[src.index()].as_ref().expect("root alive").acc;
 
         prop_assert_eq!(fast, kernel_sum);
@@ -146,9 +176,8 @@ proptest! {
         let fast = primitives::bfs(&view, [src], u32::MAX, &mut ledger);
 
         let kernel = primitives::BfsKernel::new(&view, [src], u32::MAX);
-        let out = Engine::new(CostModel::congest_for(g.n()))
-            .run(&view, &kernel)
-            .expect("kernel run succeeds");
+        let mut session = Engine::new(CostModel::congest_for(g.n())).session(&g);
+        let out = run_both(&mut session, &view, &kernel);
 
         for v in alive.iter() {
             let kdist = out.states[v.index()].as_ref().and_then(|s| s.dist);

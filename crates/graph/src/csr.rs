@@ -1,8 +1,9 @@
 //! Compressed sparse row graph representation.
 
 use crate::{FullView, GraphError, NodeId, NodeSet, SubsetView};
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
 use std::fmt;
+use std::sync::OnceLock;
 
 /// A simple undirected graph in CSR form, with unique node identifiers.
 ///
@@ -25,11 +26,64 @@ use std::fmt;
 /// assert_eq!(g.degree(sdnd_graph::NodeId::new(1)), 2);
 /// # Ok::<(), sdnd_graph::GraphError>(())
 /// ```
-#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Graph {
     offsets: Vec<usize>,
     adj: Vec<NodeId>,
     ids: Vec<u64>,
+    /// Lazily built reverse-edge table (see [`reverse_edges`]); derived
+    /// from the topology, so it is excluded from equality and
+    /// serialization and survives [`with_ids`].
+    ///
+    /// [`reverse_edges`]: Self::reverse_edges
+    /// [`with_ids`]: Self::with_ids
+    rev: OnceLock<Vec<usize>>,
+}
+
+impl Clone for Graph {
+    fn clone(&self) -> Self {
+        Graph {
+            offsets: self.offsets.clone(),
+            adj: self.adj.clone(),
+            ids: self.ids.clone(),
+            rev: self.rev.clone(),
+        }
+    }
+}
+
+impl PartialEq for Graph {
+    fn eq(&self, other: &Self) -> bool {
+        // `rev` is a cache of a pure function of the topology: ignore it.
+        self.offsets == other.offsets && self.adj == other.adj && self.ids == other.ids
+    }
+}
+
+impl Eq for Graph {}
+
+impl Serialize for Graph {
+    fn to_value(&self) -> Value {
+        // Matches the derive's struct-as-object representation, minus the
+        // `rev` cache (derived data has no business in the artifact).
+        Value::Object(vec![
+            ("offsets".to_string(), self.offsets.to_value()),
+            ("adj".to_string(), self.adj.to_value()),
+            ("ids".to_string(), self.ids.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for Graph {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let field = |k: &str| {
+            v.get(k)
+                .ok_or_else(|| DeError::msg(format!("Graph: missing field `{k}`")))
+        };
+        Ok(Graph {
+            offsets: Vec::from_value(field("offsets")?)?,
+            adj: Vec::from_value(field("adj")?)?,
+            ids: Vec::from_value(field("ids")?)?,
+            rev: OnceLock::new(),
+        })
+    }
 }
 
 impl Graph {
@@ -67,6 +121,7 @@ impl Graph {
             offsets: vec![0; n + 1],
             adj: Vec::new(),
             ids: (0..n as u64).collect(),
+            rev: OnceLock::new(),
         }
     }
 
@@ -148,25 +203,30 @@ impl Graph {
         self.adj[e]
     }
 
-    /// Builds the reverse-edge table: `rev[e]` is the directed-edge id of
-    /// the opposite orientation, so `rev[directed_edge(u, v)] ==
-    /// directed_edge(v, u)`. `O(n + m)`; callers that need it per
-    /// execution (the CONGEST engine) build it once per run.
-    pub fn reverse_edges(&self) -> Vec<usize> {
-        let mut rev = vec![0usize; self.adj.len()];
-        let n = self.n();
-        let mut cursor: Vec<usize> = self.offsets[..n].to_vec();
-        for u in 0..n {
-            let row = self.offsets[u]..self.offsets[u + 1];
-            for (rev_e, &v) in rev[row.clone()].iter_mut().zip(&self.adj[row]) {
-                // Scanning tails in ascending order visits each head's
-                // sorted in-row exactly in order, so `v`'s next unmatched
-                // row position is the slot of `v -> u`.
-                *rev_e = cursor[v.index()];
-                cursor[v.index()] += 1;
+    /// The reverse-edge table: `rev[e]` is the directed-edge id of the
+    /// opposite orientation, so `rev[directed_edge(u, v)] ==
+    /// directed_edge(v, u)`.
+    ///
+    /// Built lazily in `O(n + m)` on first use and cached on the graph
+    /// for its whole lifetime, so every engine construction and session
+    /// on the same `Graph` shares one table.
+    pub fn reverse_edges(&self) -> &[usize] {
+        self.rev.get_or_init(|| {
+            let mut rev = vec![0usize; self.adj.len()];
+            let n = self.n();
+            let mut cursor: Vec<usize> = self.offsets[..n].to_vec();
+            for u in 0..n {
+                let row = self.offsets[u]..self.offsets[u + 1];
+                for (rev_e, &v) in rev[row.clone()].iter_mut().zip(&self.adj[row]) {
+                    // Scanning tails in ascending order visits each head's
+                    // sorted in-row exactly in order, so `v`'s next
+                    // unmatched row position is the slot of `v -> u`.
+                    *rev_e = cursor[v.index()];
+                    cursor[v.index()] += 1;
+                }
             }
-        }
-        rev
+            rev
+        })
     }
 
     /// Iterates over all nodes.
@@ -343,6 +403,7 @@ impl GraphBuilder {
             offsets,
             adj,
             ids: (0..n as u64).collect(),
+            rev: OnceLock::new(),
         })
     }
 }
@@ -460,6 +521,29 @@ mod tests {
                 assert_eq!(g.edge_head(rev[e]), u);
             }
         }
+    }
+
+    #[test]
+    fn reverse_edges_cache_is_stable_and_invisible() {
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]).unwrap();
+        let h = g.clone();
+        assert_eq!(g, h, "cache never enters equality");
+        // Force the cache on one side only; equality and serialization
+        // must not see it.
+        let first = g.reverse_edges().as_ptr();
+        assert_eq!(
+            g.reverse_edges().as_ptr(),
+            first,
+            "second call reuses the cached table"
+        );
+        assert_eq!(g, h);
+        assert_eq!(g.to_value(), h.to_value(), "serialized form ignores cache");
+        let back = Graph::from_value(&g.to_value()).unwrap();
+        assert_eq!(back, g);
+        assert_eq!(back.reverse_edges(), g.reverse_edges());
+        // `with_ids` keeps the topology, hence may keep the cache.
+        let relabeled = g.with_ids(vec![9, 8, 7, 6, 5]).unwrap();
+        assert_eq!(relabeled.reverse_edges(), h.reverse_edges());
     }
 
     #[test]

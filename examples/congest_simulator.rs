@@ -19,11 +19,14 @@ fn main() {
     let view = g.full_view();
 
     // Kernel run: the literal message-passing engine enforces the
-    // CONGEST budget per message.
+    // CONGEST budget per message. Repeated runs on one graph go through a
+    // *session*, which builds the edge-slot arenas once and reuses them —
+    // this example runs two different kernels on the same session.
     let cost = CostModel::congest_for(g.n());
     let engine = Engine::new(cost);
+    let mut session = engine.session(&g);
     let kernel = primitives::LeaderKernel::new(&view);
-    let outcome = engine
+    let outcome = session
         .run(&view, &kernel)
         .expect("protocol respects CONGEST");
 
@@ -65,4 +68,19 @@ fn main() {
     let total = primitives::converge_cast_sum(&view, root, info.parents(), &ones, 16, &mut ledger);
     println!("converge-cast over the leader tree counts {total} nodes");
     assert_eq!(total, g.n() as u64);
+
+    // The same aggregation as a kernel, on the *same session* as the
+    // leader election: the arenas built for the first run are reused, so
+    // this sparse-traffic run costs its O(n) traffic, not O(m) setup.
+    let cast = primitives::ConvergeCastKernel::new(g.n(), root, info.parents(), &ones, 16);
+    let cast_out = session.run(&view, &cast).expect("cast respects CONGEST");
+    let kernel_total = cast_out.states[root.index()]
+        .as_ref()
+        .expect("root is alive")
+        .acc;
+    println!(
+        "kernel:    session-reused converge-cast counts {kernel_total} nodes in {} rounds",
+        cast_out.rounds
+    );
+    assert_eq!(kernel_total, total);
 }

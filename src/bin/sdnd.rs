@@ -88,9 +88,11 @@ commands:
              --eps <f> --input <edges.txt> [--nodes N] [--seed S] [--output out.csv]
              computes a single ball carving
   simulate   --input <edges.txt> [--source V] [--threads T] [--max-rounds R]
-             [--nodes N]
+             [--nodes N] [--repeat K]
              runs a BFS flood on the message-passing engine (T > 1 selects
-             the deterministic parallel stepping lane)
+             the deterministic parallel stepping lane); K > 1 repeats the
+             run on one engine session (slot arenas built once, reused)
+             and reports the amortized per-run wall time
   validate   --input <edges.txt> --clusters <out.csv> [--nodes N]
              re-checks a previously exported clustering";
 
@@ -373,6 +375,10 @@ fn cmd_simulate(opts: &Opts) -> Result<(), CliError> {
     }
     let threads = opts.usize_or("threads", 1)?;
     let max_rounds = opts.u64_or("max-rounds", 1_000_000)?;
+    let repeat = opts.usize_or("repeat", 1)?;
+    if repeat == 0 {
+        return Err("--repeat must be at least 1".into());
+    }
 
     let view = g.full_view();
     let kernel = primitives::BfsKernel::new(&view, [NodeId::new(source)], u32::MAX);
@@ -380,9 +386,23 @@ fn cmd_simulate(opts: &Opts) -> Result<(), CliError> {
     let engine = Engine::new(cost)
         .with_max_rounds(max_rounds)
         .with_threads(threads);
-    let out = engine
+
+    // All repeats share one session: the slot arenas, reverse-edge table,
+    // and shard layout are built once, so the amortized per-run time is
+    // proportional to the protocol's traffic, not to m.
+    let mut session = engine.session(&g);
+    let started = std::time::Instant::now();
+    let mut out = session
         .run(&view, &kernel)
         .map_err(|e| CliError::runtime(e.to_string()))?;
+    for _ in 1..repeat {
+        let rerun = session
+            .run(&view, &kernel)
+            .map_err(|e| CliError::runtime(e.to_string()))?;
+        debug_assert_eq!(rerun.rounds, out.rounds, "session reruns are deterministic");
+        out = rerun;
+    }
+    let elapsed = started.elapsed();
 
     let reached = out
         .states
@@ -409,6 +429,13 @@ fn cmd_simulate(opts: &Opts) -> Result<(), CliError> {
         cost.bits_per_message()
     );
     println!("reached:        {reached}");
+    if repeat > 1 {
+        println!("runs:           {repeat} (one engine session, arenas reused)");
+        println!(
+            "amortized:      {:.3} ms/run",
+            elapsed.as_secs_f64() * 1e3 / repeat as f64
+        );
+    }
     Ok(())
 }
 
@@ -419,19 +446,25 @@ fn cmd_validate(opts: &Opts) -> Result<(), CliError> {
         std::fs::read_to_string(path).map_err(|e| CliError::runtime(format!("{path}: {e}")))?;
     let mut colored: std::collections::HashMap<usize, (Vec<NodeId>, u32)> = Default::default();
     let mut covered = NodeSet::empty(g.n());
-    for line in text.lines().skip(1) {
+    for (lineno, line) in text.lines().enumerate().skip(1) {
         if line.trim().is_empty() {
             continue;
         }
+        // Malformed clusters files are runtime diagnostics (bad data, not
+        // bad flags): no usage dump.
+        let bad = |what: &str| CliError::runtime(format!("{path}: line {}: {what}", lineno + 1));
         let mut it = line.split(',');
         let v: usize = it
             .next()
             .and_then(|t| t.parse().ok())
-            .ok_or("bad node column")?;
+            .ok_or_else(|| bad("bad node column"))?;
+        if v >= g.n() {
+            return Err(bad(&format!("node {v} out of range (n = {})", g.n())));
+        }
         let c: usize = it
             .next()
             .and_then(|t| t.parse().ok())
-            .ok_or("bad cluster column")?;
+            .ok_or_else(|| bad("bad cluster column"))?;
         let col: u32 = it.next().and_then(|t| t.parse().ok()).unwrap_or(0);
         let e = colored.entry(c).or_insert_with(|| (Vec::new(), col));
         e.0.push(NodeId::new(v));
@@ -439,7 +472,7 @@ fn cmd_validate(opts: &Opts) -> Result<(), CliError> {
     }
     let clusters: Vec<(Vec<NodeId>, u32)> = colored.into_values().collect();
     let d = sdnd_clustering::NetworkDecomposition::new(&covered, clusters)
-        .map_err(|e| e.to_string())?;
+        .map_err(|e| CliError::runtime(e.to_string()))?;
     let report = sdnd_clustering::validate_decomposition(&g, &d);
     println!("clusters:       {}", d.num_clusters());
     println!("colors:         {}", d.num_colors());
@@ -587,6 +620,33 @@ mod tests {
             .to_vec();
             assert!(run(&args).is_ok(), "simulate with {threads} threads");
         }
+        // --repeat reuses one session across runs on both lanes.
+        for threads in ["1", "2"] {
+            let args: Vec<String> = [
+                "simulate",
+                "--input",
+                path.to_str().unwrap(),
+                "--repeat",
+                "5",
+                "--threads",
+                threads,
+            ]
+            .map(String::from)
+            .to_vec();
+            assert!(run(&args).is_ok(), "simulate --repeat 5 x{threads}");
+        }
+        // --repeat 0 is a usage error.
+        let args: Vec<String> = [
+            "simulate",
+            "--input",
+            path.to_str().unwrap(),
+            "--repeat",
+            "0",
+        ]
+        .map(String::from)
+        .to_vec();
+        let err = run(&args).unwrap_err();
+        assert!(err.show_usage, "--repeat 0 is a usage problem");
         // Round budget violations surface the engine error cleanly.
         let args: Vec<String> = [
             "simulate",
@@ -611,6 +671,34 @@ mod tests {
         .map(String::from)
         .to_vec();
         assert!(run(&args).unwrap_err().show_usage);
+    }
+
+    #[test]
+    fn validate_reports_bad_cluster_files_cleanly() {
+        let dir = std::env::temp_dir().join("sdnd_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let edges = dir.join("val.txt");
+        std::fs::write(&edges, "0 1\n1 2\n").unwrap();
+        for (csv, needle) in [
+            ("node,cluster,color\n99,0,0\n", "out of range"),
+            ("node,cluster,color\nx,0,0\n", "bad node column"),
+            ("node,cluster,color\n1,y,0\n", "bad cluster column"),
+        ] {
+            let clusters = dir.join("val_clusters.csv");
+            std::fs::write(&clusters, csv).unwrap();
+            let args: Vec<String> = [
+                "validate",
+                "--input",
+                edges.to_str().unwrap(),
+                "--clusters",
+                clusters.to_str().unwrap(),
+            ]
+            .map(String::from)
+            .to_vec();
+            let err = run(&args).unwrap_err();
+            assert!(err.msg.contains(needle), "{needle}: {}", err.msg);
+            assert!(!err.show_usage, "data problems are runtime diagnostics");
+        }
     }
 
     #[test]

@@ -156,6 +156,82 @@ proptest! {
     }
 }
 
+/// Runs `kernel` on a fresh engine and on `session`, asserting the
+/// outcomes are bit-identical (states, rounds, ledger).
+fn assert_session_matches_fresh<A, P>(
+    session: &mut sdnd::congest::EngineSession<'_>,
+    view: &A,
+    kernel: &P,
+    label: &str,
+) where
+    A: Adjacency,
+    P: sdnd::congest::Protocol + Sync,
+    P::State: Send + PartialEq + std::fmt::Debug,
+    P::Msg: Send + Sync + 'static,
+{
+    let fresh = session
+        .engine()
+        .run(view, kernel)
+        .expect("fresh engine runs");
+    let sess = session.run(view, kernel).expect("session runs");
+    assert_eq!(fresh.rounds, sess.rounds, "{label}: rounds");
+    assert_eq!(fresh.ledger, sess.ledger, "{label}: ledger");
+    assert_eq!(fresh.states, sess.states, "{label}: states");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The session determinism property (ISSUE 3): N back-to-back runs on
+    /// one session — mixed protocols (distinct message types), mixed
+    /// subset views, both stepping lanes — are bit-identical to N runs on
+    /// fresh engines, i.e. arena reuse leaks no state between runs.
+    #[test]
+    fn session_runs_are_bit_identical_to_fresh_engines(
+        n in 4usize..36,
+        raw_edges in prop::collection::vec((0usize..36, 0usize..36), 0..110),
+        view_seeds in prop::collection::vec(0u64..1_000, 2..6),
+        threads in 1usize..6,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let edges: Vec<(usize, usize)> = raw_edges
+            .into_iter()
+            .map(|(u, v)| (u % n, v % n))
+            .filter(|&(u, v)| u != v)
+            .collect();
+        let g = Graph::from_edges(n, edges).expect("valid edges");
+        let engine = sdnd::congest::Engine::new(CostModel::congest_for(n)).with_threads(threads);
+        let mut session = engine.session(&g);
+
+        for (k, &seed) in view_seeds.iter().enumerate() {
+            // A different random subset view per run.
+            let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+            let alive = NodeSet::from_nodes(n, g.nodes().filter(|_| rng.gen_bool(0.8)));
+            if alive.is_empty() {
+                continue;
+            }
+            let view = g.view(&alive);
+            let src = alive.iter().next().expect("nonempty");
+            // Alternate protocols so arenas of different message types
+            // interleave on the same session.
+            if k % 2 == 0 {
+                let kernel = primitives::BfsKernel::new(&view, [src], u32::MAX);
+                assert_session_matches_fresh(&mut session, &view, &kernel, "bfs run");
+            } else {
+                let kernel = primitives::LeaderKernel::new(&view);
+                assert_session_matches_fresh(&mut session, &view, &kernel, "leader run");
+            }
+            // Every other pass, also hit the full view: mixed views on
+            // one session within a single property case.
+            if k % 2 == 1 {
+                let full = g.full_view();
+                let kernel = primitives::BfsKernel::new(&full, [NodeId::new(0)], u32::MAX);
+                assert_session_matches_fresh(&mut session, &full, &kernel, "full-view bfs");
+            }
+        }
+    }
+}
+
 #[test]
 fn engine_lanes_agree_across_seeds_and_views() {
     // The fixed-seed counterpart of the property above: three seeded

@@ -5,10 +5,18 @@
 //! minimal wall-clock harness behind the same API: [`Criterion`],
 //! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_with_input`],
 //! [`BenchmarkId`], [`Bencher::iter`], and the [`criterion_group!`] /
-//! [`criterion_main!`] macros. It reports mean/min/max wall time per
-//! iteration to stdout — no statistical analysis, no HTML reports, no
-//! outlier detection. Swap the real criterion back in for publishable
-//! numbers; bench *code* is source-compatible either way.
+//! [`criterion_main!`] macros. It reports mean/median/min/max wall time
+//! per iteration to stdout — no statistical analysis, no HTML reports, no
+//! outlier detection. Benchmark JSON baselines in this workspace
+//! (`BENCH_engine.json`) record the printed mean *and* min per row, so
+//! no ad-hoc re-sampling methodology is needed on noisy 1-CPU hosts.
+//! Swap the real criterion back in for publishable numbers; bench *code*
+//! is source-compatible either way.
+//!
+//! Setting `SDND_BENCH_QUICK=1` in the environment switches every
+//! benchmark to a single unmeasured-warmup-free sample — a smoke mode
+//! that compiles and executes each case exactly once, used by CI to
+//! catch bench-path regressions without paying measurement time.
 
 #![forbid(unsafe_code)]
 
@@ -127,10 +135,16 @@ impl BenchmarkGroup<'_> {
     pub fn finish(self) {}
 }
 
+/// Whether `SDND_BENCH_QUICK` requests the 1-iteration smoke mode.
+fn quick_mode() -> bool {
+    std::env::var_os("SDND_BENCH_QUICK").is_some_and(|v| v != "0" && !v.is_empty())
+}
+
 /// Collects timing samples for one benchmark.
 pub struct Bencher {
     samples_nanos: Vec<u128>,
     sample_size: usize,
+    warmup: usize,
 }
 
 impl Bencher {
@@ -139,8 +153,9 @@ impl Bencher {
     where
         R: FnMut() -> O,
     {
-        // Short warmup so one-time allocation/paging effects are not timed.
-        for _ in 0..2 {
+        // Short warmup so one-time allocation/paging effects are not
+        // timed (skipped entirely in quick mode).
+        for _ in 0..self.warmup {
             black_box(routine());
         }
         for _ in 0..self.sample_size {
@@ -155,25 +170,40 @@ fn run_benchmark<F>(label: &str, sample_size: usize, mut f: F)
 where
     F: FnMut(&mut Bencher),
 {
+    let quick = quick_mode();
+    let (sample_size, warmup) = if quick { (1, 0) } else { (sample_size, 2) };
     let mut bencher = Bencher {
         samples_nanos: Vec::with_capacity(sample_size),
         sample_size,
+        warmup,
     };
     f(&mut bencher);
     if bencher.samples_nanos.is_empty() {
         println!("{label:<50} (no samples)");
         return;
     }
-    let n = bencher.samples_nanos.len() as u128;
-    let mean = bencher.samples_nanos.iter().sum::<u128>() / n;
-    let min = *bencher.samples_nanos.iter().min().expect("non-empty");
-    let max = *bencher.samples_nanos.iter().max().expect("non-empty");
+    if quick {
+        println!(
+            "{label:<50} quick-smoke ok ({})",
+            fmt_nanos(bencher.samples_nanos[0])
+        );
+        return;
+    }
+    bencher.samples_nanos.sort_unstable();
+    let samples = &bencher.samples_nanos;
+    let n = samples.len();
+    let mean = samples.iter().sum::<u128>() / n as u128;
+    let median = if n % 2 == 1 {
+        samples[n / 2]
+    } else {
+        (samples[n / 2 - 1] + samples[n / 2]) / 2
+    };
     println!(
-        "{label:<50} mean {:>12} min {:>12} max {:>12} ({} samples)",
+        "{label:<50} mean {:>12} median {:>12} min {:>12} max {:>12} ({n} samples)",
         fmt_nanos(mean),
-        fmt_nanos(min),
-        fmt_nanos(max),
-        n
+        fmt_nanos(median),
+        fmt_nanos(samples[0]),
+        fmt_nanos(samples[n - 1]),
     );
 }
 
@@ -231,5 +261,12 @@ mod tests {
     fn benchmark_ids_format_with_parameter() {
         let id = BenchmarkId::new("algo", 64);
         assert_eq!(id.id, "algo/64");
+    }
+
+    #[test]
+    fn quick_mode_reads_env_convention() {
+        // Only asserts the parsing convention; the env var itself is
+        // process-global, so don't mutate it here.
+        assert!(!quick_mode() || std::env::var_os("SDND_BENCH_QUICK").is_some());
     }
 }
