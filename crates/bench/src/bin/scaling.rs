@@ -12,6 +12,12 @@
 //! fitted exponent keeps growing with `n` (linear rounds).
 //!
 //! Usage: `cargo run --release -p sdnd_bench --bin scaling`
+//!
+//! The engine no longer bounds simulation size (ROADMAP), so the sweep
+//! extends an order of magnitude past the original 1024 cap: `SDND_N >=
+//! 4096` adds a 4096-node grid, `SDND_N >= 10404` a ~10k one.
+//! `SDND_BENCH_QUICK=1` truncates to the two smallest bins so the CI
+//! smoke run stays fast.
 
 use sdnd_baselines::SequentialGreedy;
 use sdnd_bench::{env_seed, env_usize, ls_slope, Table};
@@ -31,13 +37,19 @@ fn rounds_of<F: FnOnce(&mut RoundLedger)>(f: F) -> u64 {
 
 fn main() {
     let seed = env_seed();
+    let quick = std::env::var("SDND_BENCH_QUICK").is_ok_and(|v| v == "1");
     let n_max = env_usize("SDND_N", 1024);
     let params = Params::default();
 
     // --- Sweep n at eps = 1/2 (grids: deterministic, structured). ---
     let mut ns: Vec<usize> = vec![64, 144, 256, 484];
-    if n_max >= 1024 {
-        ns.push(1024);
+    for bin in [1024, 4096, 10404] {
+        if n_max >= bin {
+            ns.push(bin);
+        }
+    }
+    if quick {
+        ns.truncate(2);
     }
     let mut table = Table::new(["algorithm", "n", "rounds", "rounds/dominant-term"]);
     let mut series: Vec<(&str, Vec<f64>, Vec<f64>)> = Vec::new();

@@ -45,6 +45,8 @@ fn main() {
                     sdnd_bench::opt(m.colors),
                     sdnd_bench::opt(m.strong_diameter),
                     sdnd_bench::opt(m.weak_diameter),
+                    sdnd_bench::wopt(m.weighted_strong_diameter),
+                    sdnd_bench::wopt(m.weighted_weak_diameter),
                     sdnd_bench::frac(m.dead_fraction),
                     m.rounds.to_string(),
                     m.max_message_bits.to_string(),

@@ -48,6 +48,20 @@ pub fn out_dir() -> PathBuf {
     path
 }
 
+/// The weighted graph families of the weighted experiment bins: the
+/// suite graphs re-weighted with seeded uniform integer weights in
+/// `[1, 8]` (the convention of the weighted-decomposition literature).
+pub fn weighted_graph_suite(n_target: usize, seed: u64) -> Vec<(String, Graph)> {
+    graph_suite(n_target, seed)
+        .into_iter()
+        .map(|(name, g)| {
+            let w = gen::reweight(&g, gen::WeightDist::UniformInt { lo: 1, hi: 8 }, seed)
+                .expect("valid weight distribution");
+            (format!("{name}-w1..8"), w)
+        })
+        .collect()
+}
+
 /// The graph families every experiment runs on.
 ///
 /// Each generator aims for roughly `n_target` nodes.
@@ -86,6 +100,12 @@ pub struct Measurement {
     pub weak_diameter: Option<u32>,
     /// Fraction of input nodes removed (carvings only).
     pub dead_fraction: Option<f64>,
+    /// Max exact strong diameter in the *weighted* metric (populated
+    /// only for weighted graphs).
+    pub weighted_strong_diameter: Option<f64>,
+    /// Max exact weak diameter in the weighted metric (weighted graphs
+    /// only).
+    pub weighted_weak_diameter: Option<f64>,
     /// Simulated round count.
     pub rounds: u64,
     /// Largest single message, in bits.
@@ -113,6 +133,8 @@ impl Measurement {
             strong_diameter: q.max_strong_diameter,
             weak_diameter: q.max_weak_diameter,
             dead_fraction: None,
+            weighted_strong_diameter: q.weighted_strong_diameter,
+            weighted_weak_diameter: q.weighted_weak_diameter,
             rounds: ledger.rounds(),
             max_message_bits: ledger.max_message_bits(),
             congest_ok: ledger.complies_with(&cost),
@@ -137,6 +159,8 @@ impl Measurement {
             strong_diameter: q.max_strong_diameter,
             weak_diameter: q.max_weak_diameter,
             dead_fraction: Some(q.dead_fraction),
+            weighted_strong_diameter: q.weighted_strong_diameter,
+            weighted_weak_diameter: q.weighted_weak_diameter,
             rounds: ledger.rounds(),
             max_message_bits: ledger.max_message_bits(),
             congest_ok: ledger.complies_with(&cost),
@@ -384,6 +408,16 @@ pub fn frac(v: Option<f64>) -> String {
         .unwrap_or_else(|| "—".to_string())
 }
 
+/// Formats a weighted diameter: integer values print clean, fractional
+/// ones with three decimals, `None` as a dash.
+pub fn wopt(v: Option<f64>) -> String {
+    match v {
+        None => "—".to_string(),
+        Some(x) if x.fract() == 0.0 => format!("{}", x as u64),
+        Some(x) => format!("{x:.3}"),
+    }
+}
+
 /// Least-squares slope of `y` against `x` (used for the polylog-exponent
 /// fits in the scaling experiment: regress `ln rounds` on `ln ln n`).
 pub fn ls_slope(xs: &[f64], ys: &[f64]) -> f64 {
@@ -406,6 +440,8 @@ pub fn push_measurement(table: &mut Table, graph: &str, n: usize, m: &Measuremen
         opt(m.colors),
         opt(m.strong_diameter),
         opt(m.weak_diameter),
+        wopt(m.weighted_strong_diameter),
+        wopt(m.weighted_weak_diameter),
         frac(m.dead_fraction),
         m.rounds.to_string(),
         m.max_message_bits.to_string(),
@@ -429,6 +465,8 @@ pub fn measurement_headers() -> Vec<&'static str> {
         "colors",
         "strongD",
         "weakD",
+        "wStrongD",
+        "wWeakD",
         "dead",
         "rounds",
         "maxMsgBits",

@@ -4,49 +4,95 @@
 //! cluster diameters, color counts, dead fractions, and the `C · D`
 //! product that governs the cost of the standard "process colors one by
 //! one" template.
+//!
+//! Every diameter is computed through a
+//! [`DistanceOracle`]: the `u32` functions fix the
+//! hop metric (and are exact — hop distances are integers embedded in
+//! `f64`), the `_with` variants take any oracle, and the
+//! `weighted_*_diameter_of` helpers fix the Dijkstra metric for weighted
+//! graphs.
 
-use sdnd_graph::{algo, Graph, NodeId, NodeSet};
+use sdnd_graph::algo::{self, DistanceOracle, HopOracle, WeightedOracle};
+use sdnd_graph::{Graph, NodeId, NodeSet};
 
-/// Exact strong diameter of a node set: the diameter of `G[members]`.
+/// Exact strong diameter of a node set under `oracle`: the diameter of
+/// `G[members]` in the oracle's metric.
 ///
-/// Returns `None` if the induced subgraph is disconnected (a weak cluster
-/// may legitimately be), `Some(0)` for singletons.
-pub fn strong_diameter_of(g: &Graph, members: &[NodeId]) -> Option<u32> {
+/// Returns `None` if the induced subgraph is disconnected (a weak
+/// cluster may legitimately be), `Some(0.0)` for singletons.
+pub fn strong_diameter_of_with<O: DistanceOracle>(
+    g: &Graph,
+    members: &[NodeId],
+    oracle: &O,
+) -> Option<f64> {
     if members.is_empty() {
         return None;
     }
     let set = NodeSet::from_nodes(g.n(), members.iter().copied());
     let view = g.view(&set);
-    let mut max = 0;
+    let mut max = 0.0_f64;
     for &v in members {
-        let bfs = algo::bfs(&view, [v]);
-        if bfs.reached_count() != members.len() {
+        let d = oracle.distances(&view, v);
+        if d.reached_count() != members.len() {
             return None;
         }
-        max = max.max(bfs.eccentricity().unwrap_or(0));
+        max = max.max(d.eccentricity().unwrap_or(0.0));
     }
     Some(max)
 }
 
-/// Exact weak diameter of a node set: the maximum distance *in `G`*
-/// between any two members. Returns `None` if some pair is disconnected
-/// even in `G`, `Some(0)` for singletons.
-pub fn weak_diameter_of(g: &Graph, members: &[NodeId]) -> Option<u32> {
+/// Exact weak diameter of a node set under `oracle`: the maximum
+/// distance *in `G`* between any two members. Returns `None` if some
+/// pair is disconnected even in `G`, `Some(0.0)` for singletons.
+pub fn weak_diameter_of_with<O: DistanceOracle>(
+    g: &Graph,
+    members: &[NodeId],
+    oracle: &O,
+) -> Option<f64> {
     if members.is_empty() {
         return None;
     }
     let view = g.full_view();
-    let mut max = 0;
+    let mut max = 0.0_f64;
     for &v in members {
-        let bfs = algo::bfs(&view, [v]);
+        let d = oracle.distances(&view, v);
         for &u in members {
-            if !bfs.reached(u) {
+            if !d.reached(u) {
                 return None;
             }
-            max = max.max(bfs.dist(u));
+            max = max.max(d.dist(u));
         }
     }
     Some(max)
+}
+
+/// Exact strong diameter of a node set in hops: the diameter of
+/// `G[members]`.
+///
+/// Returns `None` if the induced subgraph is disconnected (a weak cluster
+/// may legitimately be), `Some(0)` for singletons.
+pub fn strong_diameter_of(g: &Graph, members: &[NodeId]) -> Option<u32> {
+    strong_diameter_of_with(g, members, &HopOracle).map(|d| d as u32)
+}
+
+/// Exact weak diameter of a node set in hops: the maximum distance *in
+/// `G`* between any two members. Returns `None` if some pair is
+/// disconnected even in `G`, `Some(0)` for singletons.
+pub fn weak_diameter_of(g: &Graph, members: &[NodeId]) -> Option<u32> {
+    weak_diameter_of_with(g, members, &HopOracle).map(|d| d as u32)
+}
+
+/// Exact strong diameter in the weighted metric (`None` if disconnected;
+/// meaningful on weighted graphs, where it is the quantity the weighted
+/// experiment bins report).
+pub fn weighted_strong_diameter_of(g: &Graph, members: &[NodeId]) -> Option<f64> {
+    strong_diameter_of_with(g, members, &WeightedOracle)
+}
+
+/// Exact weak diameter in the weighted metric (`None` if some pair is
+/// disconnected in `G`).
+pub fn weighted_weak_diameter_of(g: &Graph, members: &[NodeId]) -> Option<f64> {
+    weak_diameter_of_with(g, members, &WeightedOracle)
 }
 
 /// Cheap strong-diameter estimate via two BFS sweeps inside the cluster.
@@ -78,15 +124,26 @@ pub struct CarvingQuality {
     /// Largest exact weak diameter over clusters (`None` if some pair of
     /// cluster members is disconnected in `G`).
     pub max_weak_diameter: Option<u32>,
+    /// Largest exact *weighted* strong diameter over clusters; populated
+    /// only when the graph carries weights (`None` otherwise, and `None`
+    /// when some cluster is disconnected).
+    pub weighted_strong_diameter: Option<f64>,
+    /// Largest exact *weighted* weak diameter over clusters (weighted
+    /// graphs only).
+    pub weighted_weak_diameter: Option<f64>,
     /// Size of the largest cluster.
     pub max_cluster_size: usize,
 }
 
 /// Computes quality metrics for a carving (exact diameters; cost is one
-/// BFS per cluster member).
+/// BFS per cluster member, doubled on weighted graphs for the weighted
+/// sweep).
 pub fn carving_quality(g: &Graph, carving: &crate::BallCarving) -> CarvingQuality {
     let mut max_strong = Some(0u32);
     let mut max_weak = Some(0u32);
+    let weighted = g.is_weighted();
+    let mut w_strong = weighted.then_some(0.0_f64);
+    let mut w_weak = weighted.then_some(0.0_f64);
     for c in carving.clusters() {
         max_strong = match (max_strong, strong_diameter_of(g, c)) {
             (Some(a), Some(b)) => Some(a.max(b)),
@@ -96,12 +153,24 @@ pub fn carving_quality(g: &Graph, carving: &crate::BallCarving) -> CarvingQualit
             (Some(a), Some(b)) => Some(a.max(b)),
             _ => None,
         };
+        if weighted {
+            w_strong = match (w_strong, weighted_strong_diameter_of(g, c)) {
+                (Some(a), Some(b)) => Some(a.max(b)),
+                _ => None,
+            };
+            w_weak = match (w_weak, weighted_weak_diameter_of(g, c)) {
+                (Some(a), Some(b)) => Some(a.max(b)),
+                _ => None,
+            };
+        }
     }
     CarvingQuality {
         clusters: carving.num_clusters(),
         dead_fraction: carving.dead_fraction(),
         max_strong_diameter: max_strong,
         max_weak_diameter: max_weak,
+        weighted_strong_diameter: w_strong,
+        weighted_weak_diameter: w_weak,
         max_cluster_size: carving.max_cluster_size(),
     }
 }
@@ -119,6 +188,12 @@ pub struct DecompositionQuality {
     pub max_strong_diameter: Option<u32>,
     /// Largest exact weak diameter over clusters.
     pub max_weak_diameter: Option<u32>,
+    /// Largest exact *weighted* strong diameter over clusters (weighted
+    /// graphs only).
+    pub weighted_strong_diameter: Option<f64>,
+    /// Largest exact *weighted* weak diameter over clusters (weighted
+    /// graphs only).
+    pub weighted_weak_diameter: Option<f64>,
     /// `C * (max strong diameter + 1)` — the cost driver of the standard
     /// color-by-color template (`None` if strong diameter undefined).
     pub cd_product: Option<u64>,
@@ -130,6 +205,9 @@ pub struct DecompositionQuality {
 pub fn decomposition_quality(g: &Graph, d: &crate::NetworkDecomposition) -> DecompositionQuality {
     let mut max_strong = Some(0u32);
     let mut max_weak = Some(0u32);
+    let weighted = g.is_weighted();
+    let mut w_strong = weighted.then_some(0.0_f64);
+    let mut w_weak = weighted.then_some(0.0_f64);
     for c in d.clusters() {
         max_strong = match (max_strong, strong_diameter_of(g, c)) {
             (Some(a), Some(b)) => Some(a.max(b)),
@@ -139,12 +217,24 @@ pub fn decomposition_quality(g: &Graph, d: &crate::NetworkDecomposition) -> Deco
             (Some(a), Some(b)) => Some(a.max(b)),
             _ => None,
         };
+        if weighted {
+            w_strong = match (w_strong, weighted_strong_diameter_of(g, c)) {
+                (Some(a), Some(b)) => Some(a.max(b)),
+                _ => None,
+            };
+            w_weak = match (w_weak, weighted_weak_diameter_of(g, c)) {
+                (Some(a), Some(b)) => Some(a.max(b)),
+                _ => None,
+            };
+        }
     }
     DecompositionQuality {
         colors: d.num_colors(),
         clusters: d.num_clusters(),
         max_strong_diameter: max_strong,
         max_weak_diameter: max_weak,
+        weighted_strong_diameter: w_strong,
+        weighted_weak_diameter: w_weak,
         cd_product: max_strong.map(|s| d.num_colors() as u64 * (s as u64 + 1)),
         max_cluster_size: d.max_cluster_size(),
     }
@@ -205,6 +295,51 @@ mod tests {
         assert_eq!(q.max_strong_diameter, Some(2));
         assert_eq!(q.max_cluster_size, 3);
         assert!((q.dead_fraction - 1.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weighted_diameters_follow_the_weights() {
+        // 0 -4.0- 1 -0.5- 2: hop diameter 2, weighted diameter 4.5.
+        let g = sdnd_graph::Graph::from_weighted_edges(3, [(0, 1, 4.0), (1, 2, 0.5)]).unwrap();
+        let members = ids(&[0, 1, 2]);
+        assert_eq!(strong_diameter_of(&g, &members), Some(2));
+        assert_eq!(weighted_strong_diameter_of(&g, &members), Some(4.5));
+        assert_eq!(weighted_weak_diameter_of(&g, &members), Some(4.5));
+        // Disconnected member sets report None in both metrics.
+        assert_eq!(weighted_strong_diameter_of(&g, &ids(&[0, 2])), None);
+        assert_eq!(weighted_weak_diameter_of(&g, &ids(&[0, 2])), Some(4.5));
+    }
+
+    #[test]
+    fn quality_populates_weighted_fields_only_for_weighted_graphs() {
+        let unweighted = gen::path(6);
+        let carving =
+            crate::BallCarving::new(NodeSet::full(6), vec![ids(&[0, 1]), ids(&[3, 4, 5])]).unwrap();
+        let q = carving_quality(&unweighted, &carving);
+        assert_eq!(q.weighted_strong_diameter, None);
+        assert_eq!(q.weighted_weak_diameter, None);
+
+        let weighted =
+            gen::reweight(&unweighted, gen::WeightDist::UniformInt { lo: 2, hi: 2 }, 0).unwrap();
+        let q = carving_quality(&weighted, &carving);
+        assert_eq!(q.max_strong_diameter, Some(2), "hop metric unchanged");
+        assert_eq!(q.weighted_strong_diameter, Some(4.0), "2 edges of weight 2");
+        assert_eq!(q.weighted_weak_diameter, Some(4.0));
+    }
+
+    #[test]
+    fn oracle_variants_agree_with_hop_functions() {
+        use sdnd_graph::algo::HopOracle;
+        let g = gen::gnp_connected(30, 0.12, 5);
+        let members: Vec<NodeId> = (0..12).map(NodeId::new).collect();
+        assert_eq!(
+            strong_diameter_of(&g, &members).map(f64::from),
+            strong_diameter_of_with(&g, &members, &HopOracle)
+        );
+        assert_eq!(
+            weak_diameter_of(&g, &members).map(f64::from),
+            weak_diameter_of_with(&g, &members, &HopOracle)
+        );
     }
 
     #[test]

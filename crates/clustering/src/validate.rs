@@ -25,6 +25,12 @@ pub struct CarvingReport {
     /// Maximum exact weak diameter (`None` if some pair of cluster
     /// members is disconnected in `G`).
     pub max_weak_diameter: Option<u32>,
+    /// Maximum exact strong diameter in the *weighted* metric; populated
+    /// only when the graph carries weights.
+    pub weighted_strong_diameter: Option<f64>,
+    /// Maximum exact weak diameter in the weighted metric (weighted
+    /// graphs only).
+    pub weighted_weak_diameter: Option<f64>,
     /// Fraction of the input set left dead.
     pub dead_fraction: f64,
     /// Human-readable violations, empty when everything checks out.
@@ -67,6 +73,9 @@ pub fn validate_carving(g: &Graph, carving: &BallCarving) -> CarvingReport {
     let mut connected = true;
     let mut max_strong = Some(0u32);
     let mut max_weak = Some(0u32);
+    let weighted = g.is_weighted();
+    let mut w_strong = weighted.then_some(0.0_f64);
+    let mut w_weak = weighted.then_some(0.0_f64);
     for (i, c) in carving.clusters().iter().enumerate() {
         match metrics::strong_diameter_of(g, c) {
             Some(d) => {
@@ -84,6 +93,16 @@ pub fn validate_carving(g: &Graph, carving: &BallCarving) -> CarvingReport {
             (Some(a), Some(b)) => Some(a.max(b)),
             _ => None,
         };
+        if weighted {
+            w_strong = match (w_strong, metrics::weighted_strong_diameter_of(g, c)) {
+                (Some(a), Some(b)) => Some(a.max(b)),
+                _ => None,
+            };
+            w_weak = match (w_weak, metrics::weighted_weak_diameter_of(g, c)) {
+                (Some(a), Some(b)) => Some(a.max(b)),
+                _ => None,
+            };
+        }
     }
 
     CarvingReport {
@@ -91,6 +110,8 @@ pub fn validate_carving(g: &Graph, carving: &BallCarving) -> CarvingReport {
         clusters_connected: connected,
         max_strong_diameter: max_strong,
         max_weak_diameter: max_weak,
+        weighted_strong_diameter: w_strong,
+        weighted_weak_diameter: w_weak,
         dead_fraction: carving.dead_fraction(),
         violations,
     }
@@ -190,6 +211,12 @@ pub struct DecompositionReport {
     pub max_strong_diameter: Option<u32>,
     /// Maximum exact weak diameter over clusters.
     pub max_weak_diameter: Option<u32>,
+    /// Maximum exact strong diameter in the *weighted* metric (weighted
+    /// graphs only).
+    pub weighted_strong_diameter: Option<f64>,
+    /// Maximum exact weak diameter in the weighted metric (weighted
+    /// graphs only).
+    pub weighted_weak_diameter: Option<f64>,
     /// Number of colors used.
     pub colors: u32,
     /// Human-readable violations.
@@ -230,6 +257,9 @@ pub fn validate_decomposition(g: &Graph, d: &NetworkDecomposition) -> Decomposit
     let mut connected = true;
     let mut max_strong = Some(0u32);
     let mut max_weak = Some(0u32);
+    let weighted = g.is_weighted();
+    let mut w_strong = weighted.then_some(0.0_f64);
+    let mut w_weak = weighted.then_some(0.0_f64);
     for (i, c) in d.clusters().iter().enumerate() {
         match metrics::strong_diameter_of(g, c) {
             Some(diam) => {
@@ -247,6 +277,16 @@ pub fn validate_decomposition(g: &Graph, d: &NetworkDecomposition) -> Decomposit
             (Some(a), Some(b)) => Some(a.max(b)),
             _ => None,
         };
+        if weighted {
+            w_strong = match (w_strong, metrics::weighted_strong_diameter_of(g, c)) {
+                (Some(a), Some(b)) => Some(a.max(b)),
+                _ => None,
+            };
+            w_weak = match (w_weak, metrics::weighted_weak_diameter_of(g, c)) {
+                (Some(a), Some(b)) => Some(a.max(b)),
+                _ => None,
+            };
+        }
     }
 
     DecompositionReport {
@@ -254,6 +294,8 @@ pub fn validate_decomposition(g: &Graph, d: &NetworkDecomposition) -> Decomposit
         clusters_connected: connected,
         max_strong_diameter: max_strong,
         max_weak_diameter: max_weak,
+        weighted_strong_diameter: w_strong,
+        weighted_weak_diameter: w_weak,
         colors: d.num_colors(),
         violations,
     }
@@ -405,6 +447,46 @@ mod tests {
         let wc = WeakCarving::new(carving, SteinerForest::from_trees(vec![tree])).unwrap();
         let report = validate_weak_carving(&g, &wc);
         assert!(!report.trees_well_formed);
+    }
+
+    #[test]
+    fn weighted_graphs_populate_weighted_report_fields() {
+        let g = sdnd_graph::Graph::from_weighted_edges(
+            7,
+            [
+                (0, 1, 3.0),
+                (1, 2, 3.0),
+                (2, 3, 1.0),
+                (3, 4, 1.0),
+                (4, 5, 2.0),
+                (5, 6, 2.0),
+            ],
+        )
+        .unwrap();
+        let carving =
+            BallCarving::new(NodeSet::full(7), vec![ids(&[0, 1, 2]), ids(&[4, 5, 6])]).unwrap();
+        let report = validate_carving(&g, &carving);
+        assert_eq!(report.max_strong_diameter, Some(2), "hop metric");
+        assert_eq!(report.weighted_strong_diameter, Some(6.0), "3.0 + 3.0");
+        assert_eq!(report.weighted_weak_diameter, Some(6.0));
+        assert!(report.is_valid_strong(0.2));
+
+        let d = NetworkDecomposition::new(
+            &NodeSet::full(7),
+            vec![(ids(&[0, 1, 2]), 0), (ids(&[4, 5, 6]), 1), (ids(&[3]), 0)],
+        )
+        .unwrap();
+        let dreport = validate_decomposition(&g, &d);
+        assert_eq!(dreport.weighted_strong_diameter, Some(6.0));
+        // Unweighted graphs leave the weighted fields empty.
+        let plain = gen::path(7);
+        let preport = validate_carving(&plain, &carving);
+        assert_eq!(preport.weighted_strong_diameter, None);
+        assert_eq!(preport.weighted_weak_diameter, None);
+        assert_eq!(
+            validate_decomposition(&plain, &d).weighted_strong_diameter,
+            None
+        );
     }
 
     #[test]

@@ -14,18 +14,22 @@
 //! `BFS + L` rounds for `L` layers; converge-casts and broadcasts over a
 //! tree cost its height; and operations over a *family* of Steiner trees
 //! with depth `R` and edge-congestion `L` cost `R · L` rounds (the bound
-//! used in Theorem 2.1's round analysis).
+//! used in Theorem 2.1's round analysis). Weighted BFS ([`sp_bfs`]) is
+//! synchronous Bellman–Ford: one round per relaxation wave, with
+//! `O(log (n W))`-bit distance messages.
 
 mod bfs;
 mod census;
 mod dfs_order;
 mod leader;
+mod sp_bfs;
 mod tree;
 
 pub use bfs::{bfs, BfsKernel, BfsOutcome};
 pub use census::{layer_census, CensusKernel, LayerCensus};
 pub use dfs_order::subset_dfs_ranks;
 pub use leader::{elect_leader, LeaderInfo, LeaderKernel};
+pub use sp_bfs::{sp_bfs, SpBfsKernel, SpBfsOutcome, SpBfsState};
 pub use tree::{
     broadcast_from_root, charge_family_op, converge_cast_sum, tree_height, BroadcastKernel,
     ConvergeCastKernel,

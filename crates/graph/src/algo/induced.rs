@@ -50,7 +50,9 @@ impl InducedSubgraph {
 /// Materializes the induced subgraph of `view`.
 ///
 /// Node identifiers are inherited from the base graph, so symmetry
-/// breaking behaves identically on the extracted instance.
+/// breaking behaves identically on the extracted instance. On weighted
+/// base graphs the surviving edges keep their weights (and the extract
+/// stays weighted even if no edge survives).
 pub fn induced_subgraph<A: Adjacency>(view: &A) -> InducedSubgraph {
     let to_original: Vec<NodeId> = view.nodes().collect();
     debug_assert!(to_original.windows(2).all(|w| w[0] < w[1]));
@@ -58,11 +60,21 @@ pub fn induced_subgraph<A: Adjacency>(view: &A) -> InducedSubgraph {
     for (i, &v) in to_original.iter().enumerate() {
         compact[v.index()] = i as u32;
     }
+    let weighted = view.is_weighted();
     let mut builder = Graph::builder(to_original.len());
+    if weighted {
+        // Weighted graphs with zero surviving edges must stay weighted.
+        builder.weighted();
+    }
     for &v in &to_original {
-        for u in view.neighbors(v) {
+        for (u, w) in view.neighbors_weighted(v) {
             if v < u {
-                builder.edge(compact[v.index()] as usize, compact[u.index()] as usize);
+                let (cu, cv) = (compact[v.index()] as usize, compact[u.index()] as usize);
+                if weighted {
+                    builder.weighted_edge(cu, cv, w)
+                } else {
+                    builder.edge(cu, cv)
+                };
             }
         }
     }
@@ -102,6 +114,33 @@ mod tests {
         assert_eq!(ind.graph().id_of(NodeId::new(0)), 30);
         assert_eq!(ind.graph().id_of(NodeId::new(1)), 20);
         assert_eq!(ind.graph().min_id_node(), Some(NodeId::new(1)));
+    }
+
+    #[test]
+    fn propagates_weights() {
+        let g = crate::Graph::from_weighted_edges(
+            5,
+            [(0, 1, 2.0), (1, 2, 0.5), (2, 3, 4.0), (3, 4, 1.0)],
+        )
+        .unwrap();
+        let alive = NodeSet::from_nodes(5, [1, 2, 3].map(NodeId::new));
+        let ind = induced_subgraph(&g.view(&alive));
+        assert!(ind.graph().is_weighted());
+        assert_eq!(
+            ind.graph().edge_weight(NodeId::new(0), NodeId::new(1)),
+            Some(0.5)
+        );
+        assert_eq!(
+            ind.graph().edge_weight(NodeId::new(1), NodeId::new(2)),
+            Some(4.0)
+        );
+        // An edgeless extract of a weighted graph stays weighted.
+        let lonely = NodeSet::from_nodes(5, [0, 3].map(NodeId::new));
+        assert!(induced_subgraph(&g.view(&lonely)).graph().is_weighted());
+        // Unweighted extracts stay unweighted.
+        let u = gen::path(4);
+        let ua = NodeSet::from_nodes(4, [0, 1].map(NodeId::new));
+        assert!(!induced_subgraph(&u.view(&ua)).graph().is_weighted());
     }
 
     #[test]

@@ -8,11 +8,21 @@ mod components;
 mod dfs;
 mod distance;
 mod induced;
+mod oracle;
 mod power;
+mod weighted;
 
 pub use bfs::{bfs, bfs_bounded, BfsResult, UNREACHED};
 pub use components::{component_of, connected_components, is_connected, Components};
 pub use dfs::{dfs_order_of_tree, TreeOrder};
 pub use distance::{diameter_exact, diameter_two_sweep, eccentricity, pairwise_distances};
 pub use induced::{induced_subgraph, InducedSubgraph};
+pub use oracle::{
+    oracle_for, DistanceMap, DistanceOracle, HopOracle, MetricOracle, WeightedOracle,
+    ORACLE_UNREACHED,
+};
 pub use power::{graph_power, power_graph};
+pub use weighted::{
+    bellman_ford, dijkstra, dijkstra_bounded, weighted_diameter_exact, weighted_eccentricity,
+    weighted_pairwise_distances, DijkstraResult, W_UNREACHED,
+};

@@ -5,7 +5,8 @@ use serde::{DeError, Deserialize, Serialize, Value};
 use std::fmt;
 use std::sync::OnceLock;
 
-/// A simple undirected graph in CSR form, with unique node identifiers.
+/// A simple undirected graph in CSR form, with unique node identifiers
+/// and optional edge weights.
 ///
 /// Nodes are dense indices `0..n` (see [`NodeId`]). Each node additionally
 /// carries a unique `O(log n)`-bit *identifier* used by the distributed
@@ -14,6 +15,12 @@ use std::sync::OnceLock;
 /// arbitrary injection can be installed with [`Graph::with_ids`] — the
 /// property-based tests use this to check the algorithms under adversarial
 /// identifier assignments.
+///
+/// Edge weights are opt-in: [`GraphBuilder::weighted_edge`] attaches a
+/// finite non-negative `f64` weight to an edge, [`Graph::weight`] reads
+/// it back per directed-edge slot, and [`Graph::is_weighted`] tells the
+/// distance layer whether to run Dijkstra or stay on the hop-count BFS
+/// fast path. Unweighted graphs store no weight array at all.
 ///
 /// # Example
 ///
@@ -30,6 +37,13 @@ pub struct Graph {
     offsets: Vec<usize>,
     adj: Vec<NodeId>,
     ids: Vec<u64>,
+    /// Optional edge weights, aligned with the directed-edge slots of
+    /// `adj`: `weights[e]` is the weight of the undirected edge behind
+    /// slot `e`, so the two orientations of an edge carry the same
+    /// weight. `None` means the graph is unweighted (every edge counts
+    /// as weight 1), which keeps the hop-count algorithms on their
+    /// allocation-free fast path.
+    weights: Option<Vec<f64>>,
     /// Lazily built reverse-edge table (see [`reverse_edges`]); derived
     /// from the topology, so it is excluded from equality and
     /// serialization and survives [`with_ids`].
@@ -45,6 +59,7 @@ impl Clone for Graph {
             offsets: self.offsets.clone(),
             adj: self.adj.clone(),
             ids: self.ids.clone(),
+            weights: self.weights.clone(),
             rev: self.rev.clone(),
         }
     }
@@ -53,7 +68,12 @@ impl Clone for Graph {
 impl PartialEq for Graph {
     fn eq(&self, other: &Self) -> bool {
         // `rev` is a cache of a pure function of the topology: ignore it.
-        self.offsets == other.offsets && self.adj == other.adj && self.ids == other.ids
+        // Weights (including weightedness itself) are part of identity: a
+        // unit-weighted graph is *not* equal to its unweighted twin.
+        self.offsets == other.offsets
+            && self.adj == other.adj
+            && self.ids == other.ids
+            && self.weights == other.weights
     }
 }
 
@@ -62,12 +82,18 @@ impl Eq for Graph {}
 impl Serialize for Graph {
     fn to_value(&self) -> Value {
         // Matches the derive's struct-as-object representation, minus the
-        // `rev` cache (derived data has no business in the artifact).
-        Value::Object(vec![
+        // `rev` cache (derived data has no business in the artifact). The
+        // `weights` field is emitted only for weighted graphs, so
+        // unweighted artifacts keep their pre-weights shape.
+        let mut fields = vec![
             ("offsets".to_string(), self.offsets.to_value()),
             ("adj".to_string(), self.adj.to_value()),
             ("ids".to_string(), self.ids.to_value()),
-        ])
+        ];
+        if let Some(w) = &self.weights {
+            fields.push(("weights".to_string(), w.to_value()));
+        }
+        Value::Object(fields)
     }
 }
 
@@ -81,6 +107,7 @@ impl Deserialize for Graph {
             offsets: Vec::from_value(field("offsets")?)?,
             adj: Vec::from_value(field("adj")?)?,
             ids: Vec::from_value(field("ids")?)?,
+            weights: v.get("weights").map(Vec::from_value).transpose()?,
             rev: OnceLock::new(),
         })
     }
@@ -92,6 +119,7 @@ impl Graph {
         GraphBuilder {
             n,
             edges: Vec::new(),
+            weighted: false,
         }
     }
 
@@ -115,12 +143,33 @@ impl Graph {
         b.build()
     }
 
+    /// Builds a weighted graph with `n` nodes from a weighted edge list.
+    ///
+    /// Duplicate edges keep the minimum weight (see
+    /// [`GraphBuilder::build`] for the full policy).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::SelfLoop`], [`GraphError::NodeOutOfRange`],
+    /// or [`GraphError::InvalidWeight`] for invalid edges.
+    pub fn from_weighted_edges<I>(n: usize, edges: I) -> Result<Graph, GraphError>
+    where
+        I: IntoIterator<Item = (usize, usize, f64)>,
+    {
+        let mut b = Self::builder(n);
+        for (u, v, w) in edges {
+            b.weighted_edge(u, v, w);
+        }
+        b.build()
+    }
+
     /// Creates the empty graph on `n` isolated nodes.
     pub fn empty(n: usize) -> Graph {
         Graph {
             offsets: vec![0; n + 1],
             adj: Vec::new(),
             ids: (0..n as u64).collect(),
+            weights: None,
             rev: OnceLock::new(),
         }
     }
@@ -203,6 +252,48 @@ impl Graph {
         self.adj[e]
     }
 
+    /// Whether this graph carries edge weights.
+    ///
+    /// Unweighted graphs behave as if every edge had weight 1 (see
+    /// [`weight`](Self::weight)), but the distance algorithms use the
+    /// flag to stay on the integer hop-count fast path.
+    #[inline]
+    pub fn is_weighted(&self) -> bool {
+        self.weights.is_some()
+    }
+
+    /// The weight of directed edge slot `e` (1 for unweighted graphs).
+    ///
+    /// Both orientations of an undirected edge carry the same weight.
+    #[inline]
+    pub fn weight(&self, e: usize) -> f64 {
+        match &self.weights {
+            Some(w) => w[e],
+            None => 1.0,
+        }
+    }
+
+    /// The weight array aligned with the directed-edge slots, or `None`
+    /// for unweighted graphs.
+    #[inline]
+    pub fn weights(&self) -> Option<&[f64]> {
+        self.weights.as_deref()
+    }
+
+    /// The weight of the edge `{u, v}`, or `None` if the edge is absent.
+    /// Returns 1 for present edges of unweighted graphs.
+    pub fn edge_weight(&self, u: NodeId, v: NodeId) -> Option<f64> {
+        self.directed_edge(u, v).map(|e| self.weight(e))
+    }
+
+    /// The largest edge weight (1 for unweighted or edgeless graphs).
+    pub fn max_edge_weight(&self) -> f64 {
+        match &self.weights {
+            Some(w) if !w.is_empty() => w.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            _ => 1.0,
+        }
+    }
+
     /// The reverse-edge table: `rev[e]` is the directed-edge id of the
     /// opposite orientation, so `rev[directed_edge(u, v)] ==
     /// directed_edge(v, u)`.
@@ -241,6 +332,17 @@ impl Graph {
             u: 0,
             pos: 0,
         }
+    }
+
+    /// Iterates over each undirected edge once with its weight, as
+    /// `(u, v, w)` with `u < v` (weight 1 on unweighted graphs).
+    pub fn weighted_edges(&self) -> impl Iterator<Item = (NodeId, NodeId, f64)> + '_ {
+        self.nodes().flat_map(move |u| {
+            self.out_slot_range(u)
+                .zip(self.neighbors(u).iter().copied())
+                .filter(move |&(_, v)| u < v)
+                .map(move |(e, v)| (u, v, self.weight(e)))
+        })
     }
 
     /// The unique identifier of node `v`.
@@ -346,32 +448,70 @@ impl Iterator for EdgeIter<'_> {
 #[derive(Debug, Clone)]
 pub struct GraphBuilder {
     n: usize,
-    edges: Vec<(usize, usize)>,
+    edges: Vec<(usize, usize, f64)>,
+    weighted: bool,
 }
 
 impl GraphBuilder {
-    /// Adds the undirected edge `{u, v}`. Duplicates are collapsed at
-    /// [`build`](Self::build) time.
+    /// Adds the undirected edge `{u, v}` with weight 1. Duplicates are
+    /// collapsed at [`build`](Self::build) time.
     pub fn edge(&mut self, u: usize, v: usize) -> &mut Self {
-        self.edges.push((u, v));
+        self.edges.push((u, v, 1.0));
         self
     }
 
     /// Adds every edge in the iterator.
     pub fn edges<I: IntoIterator<Item = (usize, usize)>>(&mut self, it: I) -> &mut Self {
-        self.edges.extend(it);
+        self.edges.extend(it.into_iter().map(|(u, v)| (u, v, 1.0)));
+        self
+    }
+
+    /// Adds the undirected edge `{u, v}` with weight `w`, marking the
+    /// graph as weighted. Plain [`edge`](Self::edge) calls on a weighted
+    /// builder contribute weight 1.
+    pub fn weighted_edge(&mut self, u: usize, v: usize, w: f64) -> &mut Self {
+        self.edges.push((u, v, w));
+        self.weighted = true;
+        self
+    }
+
+    /// Adds every weighted edge in the iterator.
+    pub fn weighted_edges<I: IntoIterator<Item = (usize, usize, f64)>>(
+        &mut self,
+        it: I,
+    ) -> &mut Self {
+        for (u, v, w) in it {
+            self.weighted_edge(u, v, w);
+        }
+        self
+    }
+
+    /// Marks the graph as weighted even if no [`weighted_edge`] call is
+    /// made — needed when extracting a (possibly edgeless) weighted
+    /// subgraph that must keep its metric.
+    ///
+    /// [`weighted_edge`]: Self::weighted_edge
+    pub fn weighted(&mut self) -> &mut Self {
+        self.weighted = true;
         self
     }
 
     /// Finalizes the graph.
     ///
+    /// Duplicate edges (including `(u, v)` vs `(v, u)`) collapse into
+    /// one; when any copies carry weights, the collapsed edge keeps the
+    /// **minimum** weight — the only choice under which weighted
+    /// distances never increase when a parallel edge is added, matching
+    /// the shortest-path semantics downstream.
+    ///
     /// # Errors
     ///
     /// Returns [`GraphError::SelfLoop`] or [`GraphError::NodeOutOfRange`]
-    /// for invalid edges.
+    /// for invalid edges, and [`GraphError::InvalidWeight`] for negative
+    /// or non-finite weights.
     pub fn build(&self) -> Result<Graph, GraphError> {
         let n = self.n;
-        for &(u, v) in &self.edges {
+        for &(u, v, w) in &self.edges {
             if u == v {
                 return Err(GraphError::SelfLoop { node: u });
             }
@@ -381,28 +521,41 @@ impl GraphBuilder {
             if v >= n {
                 return Err(GraphError::NodeOutOfRange { node: v, n });
             }
+            if !(w.is_finite() && w >= 0.0) {
+                return Err(GraphError::InvalidWeight { u, v, weight: w });
+            }
         }
-        // Normalize, dedup, and build CSR.
-        let mut dir: Vec<(u32, u32)> = Vec::with_capacity(self.edges.len() * 2);
-        for &(u, v) in &self.edges {
-            dir.push((u as u32, v as u32));
-            dir.push((v as u32, u as u32));
+        // Normalize, dedup (keeping the minimum weight), and build CSR.
+        let mut dir: Vec<(u32, u32, f64)> = Vec::with_capacity(self.edges.len() * 2);
+        for &(u, v, w) in &self.edges {
+            dir.push((u as u32, v as u32, w));
+            dir.push((v as u32, u as u32, w));
         }
-        dir.sort_unstable();
-        dir.dedup();
+        // Weights are validated finite, so `total_cmp` agrees with the
+        // numeric order; sorting ascending puts the minimum weight first
+        // and `dedup_by` keeps the first of each (u, v) run.
+        dir.sort_unstable_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)).then(a.2.total_cmp(&b.2)));
+        dir.dedup_by(|a, b| (a.0, a.1) == (b.0, b.1));
 
         let mut offsets = vec![0usize; n + 1];
-        for &(u, _) in &dir {
+        for &(u, _, _) in &dir {
             offsets[u as usize + 1] += 1;
         }
         for i in 0..n {
             offsets[i + 1] += offsets[i];
         }
-        let adj: Vec<NodeId> = dir.iter().map(|&(_, v)| NodeId::new(v as usize)).collect();
+        let adj: Vec<NodeId> = dir
+            .iter()
+            .map(|&(_, v, _)| NodeId::new(v as usize))
+            .collect();
+        let weights = self
+            .weighted
+            .then(|| dir.iter().map(|&(_, _, w)| w).collect());
         Ok(Graph {
             offsets,
             adj,
             ids: (0..n as u64).collect(),
+            weights,
             rev: OnceLock::new(),
         })
     }
@@ -553,5 +706,99 @@ mod tests {
         assert_eq!(g.m(), 0);
         assert_eq!(g.min_id_node(), None);
         assert_eq!(g.max_degree(), 0);
+        assert!(!g.is_weighted());
+        assert_eq!(g.max_edge_weight(), 1.0);
+    }
+
+    #[test]
+    fn weighted_build_aligns_slots() {
+        let g = Graph::from_weighted_edges(4, [(0, 1, 2.5), (1, 2, 0.5), (2, 3, 4.0)]).unwrap();
+        assert!(g.is_weighted());
+        assert_eq!(g.edge_weight(NodeId::new(0), NodeId::new(1)), Some(2.5));
+        assert_eq!(g.edge_weight(NodeId::new(1), NodeId::new(0)), Some(2.5));
+        assert_eq!(g.edge_weight(NodeId::new(1), NodeId::new(2)), Some(0.5));
+        assert_eq!(g.edge_weight(NodeId::new(0), NodeId::new(3)), None);
+        assert_eq!(g.max_edge_weight(), 4.0);
+        // Every directed slot carries its undirected edge's weight.
+        for u in g.nodes() {
+            for (e, &v) in g.out_slot_range(u).zip(g.neighbors(u)) {
+                assert_eq!(g.weight(e), g.edge_weight(u, v).unwrap());
+                assert_eq!(g.weight(e), g.weight(g.reverse_edges()[e]));
+            }
+        }
+    }
+
+    #[test]
+    fn unweighted_graph_reports_unit_weights() {
+        let g = Graph::from_edges(3, [(0, 1), (1, 2)]).unwrap();
+        assert!(!g.is_weighted());
+        assert_eq!(g.weights(), None);
+        assert_eq!(g.edge_weight(NodeId::new(0), NodeId::new(1)), Some(1.0));
+        assert_eq!(g.weight(0), 1.0);
+    }
+
+    #[test]
+    fn duplicate_weighted_edges_keep_minimum() {
+        let g = Graph::from_weighted_edges(3, [(0, 1, 5.0), (1, 0, 2.0), (0, 1, 7.5), (1, 2, 3.0)])
+            .unwrap();
+        assert_eq!(g.m(), 2);
+        assert_eq!(g.edge_weight(NodeId::new(0), NodeId::new(1)), Some(2.0));
+        // A plain edge() duplicate counts as weight 1.
+        let mut b = Graph::builder(2);
+        b.weighted_edge(0, 1, 6.0).edge(0, 1);
+        let g = b.build().unwrap();
+        assert_eq!(g.edge_weight(NodeId::new(0), NodeId::new(1)), Some(1.0));
+    }
+
+    #[test]
+    fn invalid_weights_rejected() {
+        for w in [-1.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = Graph::from_weighted_edges(3, [(0, 1, w)]).unwrap_err();
+            assert!(
+                matches!(err, GraphError::InvalidWeight { u: 0, v: 1, .. }),
+                "weight {w}: {err:?}"
+            );
+            assert!(!err.to_string().is_empty());
+        }
+        // Zero is a legal (if degenerate) weight.
+        assert!(Graph::from_weighted_edges(3, [(0, 1, 0.0)]).is_ok());
+    }
+
+    #[test]
+    fn weighted_edges_iterates_with_weights() {
+        let g = Graph::from_weighted_edges(4, [(2, 3, 0.25), (0, 1, 1.5)]).unwrap();
+        let edges: Vec<(usize, usize, f64)> = g
+            .weighted_edges()
+            .map(|(u, v, w)| (u.index(), v.index(), w))
+            .collect();
+        assert_eq!(edges, vec![(0, 1, 1.5), (2, 3, 0.25)]);
+        // Unweighted graphs yield unit weights.
+        let h = Graph::from_edges(3, [(0, 2)]).unwrap();
+        assert_eq!(
+            h.weighted_edges().map(|(_, _, w)| w).collect::<Vec<_>>(),
+            vec![1.0]
+        );
+    }
+
+    #[test]
+    fn weights_survive_with_ids_and_serde() {
+        let g = Graph::from_weighted_edges(3, [(0, 1, 2.0), (1, 2, 3.0)])
+            .unwrap()
+            .with_ids(vec![9, 8, 7])
+            .unwrap();
+        assert!(g.is_weighted());
+        assert_eq!(g.edge_weight(NodeId::new(1), NodeId::new(2)), Some(3.0));
+        let back = Graph::from_value(&g.to_value()).unwrap();
+        assert_eq!(back, g);
+        assert!(back.is_weighted());
+        // A unit-weighted graph is not equal to its unweighted twin, and
+        // their serialized forms differ (the `weights` field).
+        let unit = Graph::from_weighted_edges(3, [(0, 1, 1.0), (1, 2, 1.0)]).unwrap();
+        let plain = Graph::from_edges(3, [(0, 1), (1, 2)]).unwrap();
+        assert_ne!(unit, plain);
+        assert_ne!(unit.to_value(), plain.to_value());
+        // Pre-weights artifacts (no `weights` field) still deserialize.
+        let old = Graph::from_value(&plain.to_value()).unwrap();
+        assert!(!old.is_weighted());
     }
 }

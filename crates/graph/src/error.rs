@@ -4,7 +4,7 @@ use std::error::Error;
 use std::fmt;
 
 /// Errors produced when building or transforming a [`Graph`](crate::Graph).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub enum GraphError {
     /// An edge endpoint referenced a node index `>= n`.
@@ -37,6 +37,17 @@ pub enum GraphError {
         /// Human-readable description of the violation.
         reason: String,
     },
+    /// An edge weight was negative, NaN, or infinite. Weighted distances
+    /// require finite non-negative weights; the builder rejects anything
+    /// else instead of letting Dijkstra misbehave downstream.
+    InvalidWeight {
+        /// Tail of the offending edge.
+        u: usize,
+        /// Head of the offending edge.
+        v: usize,
+        /// The rejected weight.
+        weight: f64,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -51,6 +62,12 @@ impl fmt::Display for GraphError {
                 write!(f, "identifier list has length {got}, expected {expected}")
             }
             GraphError::InvalidParameter { reason } => write!(f, "invalid parameter: {reason}"),
+            GraphError::InvalidWeight { u, v, weight } => {
+                write!(
+                    f,
+                    "edge ({u}, {v}) has invalid weight {weight} (must be finite and non-negative)"
+                )
+            }
         }
     }
 }
@@ -73,6 +90,11 @@ mod tests {
             },
             GraphError::InvalidParameter {
                 reason: "nd odd".into(),
+            },
+            GraphError::InvalidWeight {
+                u: 0,
+                v: 1,
+                weight: -2.0,
             },
         ];
         for e in errs {

@@ -43,6 +43,22 @@ pub fn grid(rows: usize, cols: usize) -> Graph {
     b.build().expect("grid edges are valid")
 }
 
+/// The `rows × cols` grid with seeded edge weights: [`grid`] followed by
+/// [`super::reweight`].
+///
+/// # Errors
+///
+/// Propagates [`crate::GraphError::InvalidParameter`] from an invalid
+/// weight distribution.
+pub fn grid_weighted(
+    rows: usize,
+    cols: usize,
+    dist: super::WeightDist,
+    seed: u64,
+) -> Result<Graph, crate::GraphError> {
+    super::reweight(&grid(rows, cols), dist, seed)
+}
+
 /// The `rows × cols` torus (grid with wraparound).
 ///
 /// Requires `rows, cols >= 3` to stay simple; smaller dimensions degrade

@@ -30,6 +30,24 @@ pub fn random_regular_connected(n: usize, d: usize, seed: u64) -> Result<Graph, 
     })
 }
 
+/// A connected random `d`-regular expander with seeded edge weights:
+/// [`random_regular_connected`] followed by [`super::reweight`] — the
+/// instance family of the weighted-decomposition experiments.
+///
+/// # Errors
+///
+/// Propagates expander-construction failures and invalid weight
+/// distributions.
+pub fn random_regular_connected_weighted(
+    n: usize,
+    d: usize,
+    seed: u64,
+    dist: super::WeightDist,
+) -> Result<Graph, GraphError> {
+    let g = random_regular_connected(n, d, seed)?;
+    super::reweight(&g, dist, seed ^ 0x57e1_6175)
+}
+
 /// Subdivides every edge of `g` into a path with `length` edges
 /// (`length - 1` fresh internal nodes per original edge).
 ///

@@ -5,13 +5,169 @@
 //! plus the *subdivided expander* barrier construction from Section 3 of
 //! the paper. All random generators take an explicit `seed` so experiments
 //! are reproducible.
+//!
+//! Any generated graph can be turned into a weighted instance with
+//! [`reweight`], which draws one weight per undirected edge from a
+//! seeded [`WeightDist`]; the `*_weighted` convenience wrappers compose
+//! the two steps for the families the weighted experiments run on.
 
 mod basic;
 mod expander;
 mod random;
 mod trees;
 
-pub use basic::{complete, cycle, grid, hypercube, path, star, torus};
-pub use expander::{barrier_graph, random_regular_connected, subdivide, BarrierGraph};
-pub use random::{gnp, gnp_connected, random_regular};
+pub use basic::{complete, cycle, grid, grid_weighted, hypercube, path, star, torus};
+pub use expander::{
+    barrier_graph, random_regular_connected, random_regular_connected_weighted, subdivide,
+    BarrierGraph,
+};
+pub use random::{gnp, gnp_connected, gnp_connected_weighted, random_regular};
 pub use trees::{balanced_tree, caterpillar, random_tree};
+
+use crate::{Graph, GraphError};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded edge-weight distribution for [`reweight`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WeightDist {
+    /// Every edge gets weight exactly 1. The result is *weighted* (unit
+    /// weights are stored), which makes this the distribution of choice
+    /// for testing that the weighted pipeline degenerates to the
+    /// hop-count one.
+    Unit,
+    /// Uniform real weights in `[lo, hi]`.
+    Uniform {
+        /// Lower bound (inclusive).
+        lo: f64,
+        /// Upper bound (inclusive).
+        hi: f64,
+    },
+    /// Uniform integer-valued weights in `{lo, lo+1, …, hi}` — the
+    /// convention of the weighted-decomposition benchmarks (weights stay
+    /// exactly representable, so all distance arithmetic is exact).
+    UniformInt {
+        /// Lower bound (inclusive).
+        lo: u64,
+        /// Upper bound (inclusive).
+        hi: u64,
+    },
+}
+
+impl WeightDist {
+    fn validate(&self) -> Result<(), GraphError> {
+        let bad = |reason: String| Err(GraphError::InvalidParameter { reason });
+        match *self {
+            WeightDist::Unit => Ok(()),
+            WeightDist::Uniform { lo, hi } => {
+                if !(lo.is_finite() && hi.is_finite() && lo >= 0.0 && lo <= hi) {
+                    bad(format!("uniform weight range [{lo}, {hi}] is invalid"))
+                } else {
+                    Ok(())
+                }
+            }
+            WeightDist::UniformInt { lo, hi } => {
+                if lo > hi {
+                    bad(format!("integer weight range [{lo}, {hi}] is empty"))
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+
+    fn sample(&self, rng: &mut SmallRng) -> f64 {
+        match *self {
+            WeightDist::Unit => 1.0,
+            WeightDist::Uniform { lo, hi } => {
+                if lo == hi {
+                    lo
+                } else {
+                    rng.gen_range(lo..=hi)
+                }
+            }
+            WeightDist::UniformInt { lo, hi } => rng.gen_range(lo..=hi) as f64,
+        }
+    }
+}
+
+/// Returns a weighted copy of `g`: one weight per undirected edge drawn
+/// from `dist`, seeded by `seed`, assigned in the canonical
+/// [`Graph::edges`] order (so the result is deterministic per seed).
+/// Node identifiers are preserved.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] for empty or non-finite
+/// distribution ranges.
+pub fn reweight(g: &Graph, dist: WeightDist, seed: u64) -> Result<Graph, GraphError> {
+    dist.validate()?;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = Graph::builder(g.n());
+    b.weighted();
+    for (u, v) in g.edges() {
+        b.weighted_edge(u.index(), v.index(), dist.sample(&mut rng));
+    }
+    let ids: Vec<u64> = g.nodes().map(|v| g.id_of(v)).collect();
+    b.build()?.with_ids(ids)
+}
+
+#[cfg(test)]
+mod weight_tests {
+    use super::*;
+
+    #[test]
+    fn reweight_is_deterministic_and_in_range() {
+        let g = gnp_connected(40, 0.1, 7);
+        let dist = WeightDist::UniformInt { lo: 1, hi: 8 };
+        let a = reweight(&g, dist, 3).unwrap();
+        let b = reweight(&g, dist, 3).unwrap();
+        assert_eq!(a, b, "same seed, same weights");
+        assert_ne!(a, reweight(&g, dist, 4).unwrap(), "seeds matter");
+        assert!(a.is_weighted());
+        assert_eq!(a.m(), g.m());
+        for (_, _, w) in a.weighted_edges() {
+            assert!((1.0..=8.0).contains(&w));
+            assert_eq!(w.fract(), 0.0, "integer-valued");
+        }
+    }
+
+    #[test]
+    fn reweight_preserves_topology_and_ids() {
+        let g = grid(4, 4)
+            .with_ids((0..16).rev().map(|i| i as u64).collect())
+            .unwrap();
+        let w = reweight(&g, WeightDist::Uniform { lo: 0.5, hi: 2.0 }, 1).unwrap();
+        assert_eq!(w.n(), g.n());
+        assert_eq!(w.edges().collect::<Vec<_>>(), g.edges().collect::<Vec<_>>());
+        for v in g.nodes() {
+            assert_eq!(w.id_of(v), g.id_of(v));
+        }
+    }
+
+    #[test]
+    fn unit_distribution_marks_weighted() {
+        let g = path(5);
+        let u = reweight(&g, WeightDist::Unit, 0).unwrap();
+        assert!(u.is_weighted());
+        assert!(u.weighted_edges().all(|(_, _, w)| w == 1.0));
+        assert_ne!(u, g, "unit-weighted is distinct from unweighted");
+    }
+
+    #[test]
+    fn invalid_ranges_rejected() {
+        let g = path(3);
+        assert!(reweight(&g, WeightDist::Uniform { lo: 2.0, hi: 1.0 }, 0).is_err());
+        assert!(reweight(&g, WeightDist::Uniform { lo: -1.0, hi: 1.0 }, 0).is_err());
+        assert!(reweight(
+            &g,
+            WeightDist::Uniform {
+                lo: 0.0,
+                hi: f64::INFINITY
+            },
+            0
+        )
+        .is_err());
+        assert!(reweight(&g, WeightDist::UniformInt { lo: 5, hi: 2 }, 0).is_err());
+    }
+}

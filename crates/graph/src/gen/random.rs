@@ -69,6 +69,24 @@ pub fn gnp_connected(n: usize, p: f64, seed: u64) -> Graph {
     b.build().expect("augmented gnp edges are valid")
 }
 
+/// A connected `G(n, p)` with seeded edge weights: [`gnp_connected`]
+/// followed by [`super::reweight`] (weights drawn with seed
+/// `seed ^ 0xW`, so topology and weights are independently seeded).
+///
+/// # Errors
+///
+/// Propagates [`GraphError::InvalidParameter`] from an invalid weight
+/// distribution.
+pub fn gnp_connected_weighted(
+    n: usize,
+    p: f64,
+    seed: u64,
+    dist: super::WeightDist,
+) -> Result<Graph, GraphError> {
+    let g = gnp_connected(n, p, seed);
+    super::reweight(&g, dist, seed ^ 0x57e1_6175)
+}
+
 /// A random `d`-regular graph via the configuration model, retrying until
 /// the pairing is simple (no loops or multi-edges).
 ///

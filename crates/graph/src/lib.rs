@@ -1,20 +1,24 @@
 //! Graph substrate for the SDND project.
 //!
-//! This crate provides the undirected, unweighted graphs on which the
-//! distributed algorithms of the Chang–Ghaffari strong-diameter network
+//! This crate provides the undirected graphs on which the distributed
+//! algorithms of the Chang–Ghaffari strong-diameter network
 //! decomposition paper (PODC 2021) run, together with the graph machinery
 //! those algorithms rely on:
 //!
 //! - [`Graph`]: a compact CSR (compressed sparse row) representation of a
-//!   simple undirected graph with unique `O(log n)`-bit node identifiers.
+//!   simple undirected graph with unique `O(log n)`-bit node identifiers
+//!   and optional edge weights (unweighted graphs carry no weight array
+//!   and stay on the hop-count fast paths).
 //! - [`NodeSet`] and [`SubsetView`]: alive-node masks and induced views
 //!   `G[S]`, the central object of the paper's iterative carving loops.
-//! - [`algo`]: BFS (single- and multi-source), connected components,
-//!   eccentricity/diameter, power graphs `G^k`, induced subgraph
-//!   extraction, and DFS numbering of trees.
-//! - [`gen`]: deterministic and seeded-random graph generators, including
-//!   the subdivided-expander *barrier construction* from Section 3 of the
-//!   paper.
+//! - [`algo`]: BFS (single- and multi-source), weighted shortest paths
+//!   (Dijkstra plus a Bellman–Ford test oracle), the
+//!   [`DistanceOracle`](algo::DistanceOracle) abstraction over the two
+//!   metrics, connected components, eccentricity/diameter, power graphs
+//!   `G^k`, induced subgraph extraction, and DFS numbering of trees.
+//! - [`gen`]: deterministic and seeded-random graph generators — with
+//!   seeded edge-weight distributions — including the subdivided-expander
+//!   *barrier construction* from Section 3 of the paper.
 //!
 //! # Example
 //!

@@ -70,6 +70,32 @@ pub trait Adjacency {
         self.graph().directed_edge(from, to)
     }
 
+    /// Whether the base graph carries edge weights (delegates to
+    /// [`Graph::is_weighted`]).
+    fn is_weighted(&self) -> bool {
+        self.graph().is_weighted()
+    }
+
+    /// The weight of base-graph directed edge slot `e` (1 when
+    /// unweighted). Slots are shared with the base graph, so this is
+    /// well-defined under any view.
+    fn edge_weight(&self, e: usize) -> f64 {
+        self.graph().weight(e)
+    }
+
+    /// Iterates over the alive neighbors of `v` together with the weight
+    /// of the connecting edge (1 on unweighted graphs).
+    ///
+    /// The iteration order matches [`neighbors`](Self::neighbors)
+    /// restricted to alive nodes.
+    fn neighbors_weighted(&self, v: NodeId) -> impl Iterator<Item = (NodeId, f64)> + '_ {
+        let g = self.graph();
+        g.out_slot_range(v)
+            .zip(g.neighbors(v).iter().copied())
+            .filter(|&(_, u)| self.contains(u))
+            .map(move |(e, u)| (u, self.edge_weight(e)))
+    }
+
     /// The alive node with minimum identifier, or `None` if empty.
     fn min_id_node(&self) -> Option<NodeId> {
         self.nodes().min_by_key(|&v| self.id_of(v))

@@ -10,9 +10,14 @@
 //! $ sdnd carve --algorithm mpx13 --eps 0.25 --input grid.edges
 //! ```
 //!
-//! Edge-list format: one `u v` pair per line (0-based indices);
-//! lines starting with `#` are ignored; node count is one past the
-//! largest index (or `--nodes`).
+//! Edge-list format: one `u v` pair per line (0-based indices), with an
+//! optional third column holding the edge weight (`u v w`); lines
+//! starting with `#` are ignored; node count is one past the largest
+//! index (or `--nodes`). The `--weights` flag controls the metric:
+//! `uniform:lo,hi` draws seeded weights (integer-valued when both
+//! bounds are integers), `file` requires the third column, `unit`
+//! stores weight 1 on every edge, and by default the third column is
+//! used when present.
 
 use sdnd::baselines::{Abcp96, Mpx13, SequentialGreedy};
 use sdnd::congest::{primitives, Engine};
@@ -77,24 +82,39 @@ usage: sdnd <command> [options]
 
 commands:
   gen        --family <grid|cycle|path|tree|gnp|expander|barrier> --n <N> [--seed S]
-             writes an edge list to stdout
+             [--weights uniform:lo,hi|unit]
+             writes an edge list to stdout (weighted: `u v w` lines)
   decompose  --algorithm <thm2.3|thm3.4|en16|sequential|abcp96|rg20|ls93>
              --input <edges.txt> [--nodes N] [--seed S] [--output out.csv]
-             [--max-rounds R]
+             [--max-rounds R] [--weights uniform:lo,hi|file|unit]
              computes a network decomposition and prints its quality;
-             fails cleanly if the simulated cost exceeds R rounds
-             (post-hoc: the local computation runs to completion)
+             weighted inputs grow weighted balls (thm2.3) and report
+             weighted diameters; fails cleanly if the simulated cost
+             exceeds R rounds (post-hoc: the local computation runs to
+             completion)
   carve      --algorithm <thm2.2|thm3.3|mpx13|rg20|ggr21|ls93|sequential|abcp96>
              --eps <f> --input <edges.txt> [--nodes N] [--seed S] [--output out.csv]
+             [--weights uniform:lo,hi|file|unit]
              computes a single ball carving
   simulate   --input <edges.txt> [--source V] [--threads T] [--max-rounds R]
-             [--nodes N] [--repeat K]
-             runs a BFS flood on the message-passing engine (T > 1 selects
-             the deterministic parallel stepping lane); K > 1 repeats the
-             run on one engine session (slot arenas built once, reused)
-             and reports the amortized per-run wall time
+             [--nodes N] [--repeat K] [--weights uniform:lo,hi|file|unit]
+             runs a BFS flood on the message-passing engine — the
+             weighted SpBfs kernel when the graph carries weights (T > 1
+             selects the deterministic parallel stepping lane); K > 1
+             repeats the run on one engine session (slot arenas built
+             once, reused) and reports the amortized per-run wall time
   validate   --input <edges.txt> --clusters <out.csv> [--nodes N]
-             re-checks a previously exported clustering";
+             [--weights uniform:lo,hi|file|unit]
+             re-checks a previously exported clustering (non-adjacency,
+             connectivity, color separation); weighted inputs also
+             report exact Dijkstra-oracle cluster diameters
+
+weights:
+  uniform:lo,hi  seeded per-edge weights, integer-valued when lo and hi
+                 are integers (overrides any third column)
+  file           use the edge list's third column (error if absent)
+  unit           store weight 1 on every edge (weighted unit metric)
+  (default)      third column when present, else unweighted";
 
 fn run(args: &[String]) -> Result<(), CliError> {
     let cmd = args.first().ok_or("missing command")?;
@@ -178,21 +198,103 @@ fn cmd_gen(opts: &Opts) -> Result<(), CliError> {
             .into_graph(),
         other => return Err(format!("unknown family `{other}`").into()),
     };
+    let spec = WeightSpec::parse(opts)?;
+    if spec == WeightSpec::File {
+        return Err("--weights file makes no sense for gen (there is no input file)".into());
+    }
+    let g = match spec.dist() {
+        Some(dist) => sdnd::graph::gen::reweight(&g, dist, seed).map_err(|e| e.to_string())?,
+        None => g,
+    };
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
     writeln!(out, "# sdnd {family} n={} m={}", g.n(), g.m())
         .map_err(|e| CliError::runtime(e.to_string()))?;
-    for (u, v) in g.edges() {
-        writeln!(out, "{u} {v}").map_err(|e| CliError::runtime(e.to_string()))?;
+    if g.is_weighted() {
+        for (u, v, w) in g.weighted_edges() {
+            writeln!(out, "{u} {v} {w}").map_err(|e| CliError::runtime(e.to_string()))?;
+        }
+    } else {
+        for (u, v) in g.edges() {
+            writeln!(out, "{u} {v}").map_err(|e| CliError::runtime(e.to_string()))?;
+        }
     }
     Ok(())
 }
 
+/// How `--weights` asks for the metric of a loaded or generated graph.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum WeightSpec {
+    /// No flag: use the edge list's third column when present.
+    Auto,
+    /// `unit`: store weight 1 on every edge.
+    Unit,
+    /// `file`: require the third column.
+    File,
+    /// `uniform:lo,hi`: seeded per-edge weights, integer-valued when
+    /// both bounds are integers.
+    Uniform { lo: f64, hi: f64 },
+}
+
+impl WeightSpec {
+    fn parse(opts: &Opts) -> Result<WeightSpec, String> {
+        let Some(spec) = opts.get("weights") else {
+            return Ok(WeightSpec::Auto);
+        };
+        match spec {
+            "unit" => Ok(WeightSpec::Unit),
+            "file" => Ok(WeightSpec::File),
+            _ => {
+                let range = spec.strip_prefix("uniform:").ok_or_else(|| {
+                    format!("--weights wants uniform:lo,hi, file, or unit; got `{spec}`")
+                })?;
+                let (lo, hi) = range
+                    .split_once(',')
+                    .ok_or_else(|| format!("--weights uniform wants `lo,hi`, got `{range}`"))?;
+                let parse = |t: &str| -> Result<f64, String> {
+                    t.parse()
+                        .map_err(|_| format!("--weights uniform: bad bound `{t}`"))
+                };
+                Ok(WeightSpec::Uniform {
+                    lo: parse(lo)?,
+                    hi: parse(hi)?,
+                })
+            }
+        }
+    }
+
+    /// The generator distribution for a `uniform` or `unit` spec.
+    fn dist(&self) -> Option<sdnd::graph::gen::WeightDist> {
+        use sdnd::graph::gen::WeightDist;
+        match *self {
+            WeightSpec::Unit => Some(WeightDist::Unit),
+            WeightSpec::Uniform { lo, hi } => {
+                // Only well-ordered non-negative integer bounds take the
+                // integer branch — a reversed range must NOT saturate
+                // into UniformInt{0,0}, it must fall through so the
+                // distribution's own validation rejects it.
+                if lo.fract() == 0.0 && hi.fract() == 0.0 && lo >= 0.0 && hi >= lo {
+                    Some(WeightDist::UniformInt {
+                        lo: lo as u64,
+                        hi: hi as u64,
+                    })
+                } else {
+                    Some(WeightDist::Uniform { lo, hi })
+                }
+            }
+            WeightSpec::Auto | WeightSpec::File => None,
+        }
+    }
+}
+
 fn load_graph(opts: &Opts) -> Result<Graph, String> {
     let path = opts.require("input")?;
+    let spec = WeightSpec::parse(opts)?;
+    let seed = opts.u64_or("seed", 42)?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    let mut edges: Vec<(usize, usize)> = Vec::new();
+    let mut edges: Vec<(usize, usize, Option<f64>)> = Vec::new();
     let mut max_node = 0usize;
+    let mut any_weight = false;
     for (lineno, line) in text.lines().enumerate() {
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
@@ -200,17 +302,60 @@ fn load_graph(opts: &Opts) -> Result<Graph, String> {
         }
         let mut it = line.split_whitespace();
         let parse = |tok: Option<&str>| -> Result<usize, String> {
-            tok.ok_or_else(|| format!("line {}: expected `u v`", lineno + 1))?
+            tok.ok_or_else(|| format!("line {}: expected `u v [w]`", lineno + 1))?
                 .parse()
                 .map_err(|_| format!("line {}: bad node index", lineno + 1))
         };
         let u = parse(it.next())?;
         let v = parse(it.next())?;
+        let w = it
+            .next()
+            .map(|t| {
+                t.parse::<f64>()
+                    .map_err(|_| format!("line {}: bad edge weight `{t}`", lineno + 1))
+            })
+            .transpose()?;
+        any_weight |= w.is_some();
         max_node = max_node.max(u).max(v);
-        edges.push((u, v));
+        edges.push((u, v, w));
     }
     let n = opts.usize_or("nodes", max_node + 1)?;
-    Graph::from_edges(n, edges).map_err(|e| e.to_string())
+
+    let use_file_weights = match spec {
+        WeightSpec::File => {
+            if !any_weight {
+                return Err(format!(
+                    "--weights file, but {path} has no third (weight) column"
+                ));
+            }
+            true
+        }
+        WeightSpec::Auto => any_weight,
+        // `unit` and `uniform` replace whatever the file carried.
+        WeightSpec::Unit | WeightSpec::Uniform { .. } => false,
+    };
+
+    let g = if use_file_weights {
+        // Missing third columns on individual lines default to weight 1.
+        Graph::from_weighted_edges(n, edges.iter().map(|&(u, v, w)| (u, v, w.unwrap_or(1.0))))
+            .map_err(|e| e.to_string())?
+    } else {
+        Graph::from_edges(n, edges.iter().map(|&(u, v, _)| (u, v))).map_err(|e| e.to_string())?
+    };
+    match spec.dist() {
+        Some(dist) => sdnd::graph::gen::reweight(&g, dist, seed).map_err(|e| e.to_string()),
+        None => Ok(g),
+    }
+}
+
+/// Formats a weighted diameter: integers print clean, fractions with
+/// three decimals.
+fn fmt_weighted(d: Option<f64>) -> String {
+    match d {
+        None => "—".into(),
+        Some(d) if d.fract() == 0.0 => format!("{}", d as u64),
+        Some(d) => format!("{d:.3}"),
+    }
 }
 
 fn write_clusters(
@@ -272,6 +417,14 @@ fn cmd_decompose(opts: &Opts) -> Result<(), CliError> {
     let report = sdnd_clustering::validate_decomposition(&g, &d);
     println!("graph:          n = {}, m = {}", g.n(), g.m());
     println!("algorithm:      {algorithm}");
+    println!(
+        "metric:         {}",
+        if g.is_weighted() {
+            "weighted (Dijkstra oracle)"
+        } else {
+            "hop (unweighted input)"
+        }
+    );
     println!("colors (C):     {}", q.colors);
     println!("clusters:       {}", q.clusters);
     println!(
@@ -282,6 +435,13 @@ fn cmd_decompose(opts: &Opts) -> Result<(), CliError> {
         "weak D:         {}",
         q.max_weak_diameter.map_or("—".into(), |d| d.to_string())
     );
+    if g.is_weighted() {
+        println!(
+            "w strong D:     {}",
+            fmt_weighted(q.weighted_strong_diameter)
+        );
+        println!("w weak D:       {}", fmt_weighted(q.weighted_weak_diameter));
+    }
     println!("rounds:         {}", ledger.rounds());
     println!("max msg bits:   {}", ledger.max_message_bits());
     println!(
@@ -344,6 +504,14 @@ fn cmd_carve(opts: &Opts) -> Result<(), CliError> {
     let q = metrics::carving_quality(&g, &carving);
     println!("graph:          n = {}, m = {}", g.n(), g.m());
     println!("algorithm:      {algorithm} (eps = {eps})");
+    println!(
+        "metric:         {}",
+        if g.is_weighted() {
+            "weighted (Dijkstra oracle)"
+        } else {
+            "hop (unweighted input)"
+        }
+    );
     println!("clusters:       {}", q.clusters);
     println!("dead fraction:  {:.4}", q.dead_fraction);
     println!(
@@ -354,6 +522,13 @@ fn cmd_carve(opts: &Opts) -> Result<(), CliError> {
         "weak D:         {}",
         q.max_weak_diameter.map_or("—".into(), |d| d.to_string())
     );
+    if g.is_weighted() {
+        println!(
+            "w strong D:     {}",
+            fmt_weighted(q.weighted_strong_diameter)
+        );
+        println!("w weak D:       {}", fmt_weighted(q.weighted_weak_diameter));
+    }
     println!("rounds:         {}", ledger.rounds());
     if let Some(path) = opts.get("output") {
         write_clusters(
@@ -381,7 +556,6 @@ fn cmd_simulate(opts: &Opts) -> Result<(), CliError> {
     }
 
     let view = g.full_view();
-    let kernel = primitives::BfsKernel::new(&view, [NodeId::new(source)], u32::MAX);
     let cost = CostModel::congest_for(g.n());
     let engine = Engine::new(cost)
         .with_max_rounds(max_rounds)
@@ -389,29 +563,61 @@ fn cmd_simulate(opts: &Opts) -> Result<(), CliError> {
 
     // All repeats share one session: the slot arenas, reverse-edge table,
     // and shard layout are built once, so the amortized per-run time is
-    // proportional to the protocol's traffic, not to m.
+    // proportional to the protocol's traffic, not to m. Weighted inputs
+    // run the SpBfs (distributed Bellman–Ford) kernel; unweighted inputs
+    // the plain BFS kernel.
     let mut session = engine.session(&g);
-    let started = std::time::Instant::now();
-    let mut out = session
-        .run(&view, &kernel)
-        .map_err(|e| CliError::runtime(e.to_string()))?;
-    for _ in 1..repeat {
-        let rerun = session
-            .run(&view, &kernel)
+
+    /// Runs `kernel` `repeat` times on one session, returning the last
+    /// outcome's rounds/ledger plus the count of states matching
+    /// `reached` (shared by the BFS and SpBfs arms, whose state types
+    /// differ).
+    fn run_repeated<P, F>(
+        session: &mut sdnd::congest::EngineSession<'_>,
+        view: &sdnd_graph::FullView<'_>,
+        kernel: &P,
+        repeat: usize,
+        reached: F,
+    ) -> Result<(u64, RoundLedger, usize), CliError>
+    where
+        P: sdnd::congest::Protocol + Sync,
+        P::Msg: Send + Sync + 'static,
+        P::State: Send,
+        F: Fn(&P::State) -> bool,
+    {
+        let mut out = session
+            .run(view, kernel)
             .map_err(|e| CliError::runtime(e.to_string()))?;
-        debug_assert_eq!(rerun.rounds, out.rounds, "session reruns are deterministic");
-        out = rerun;
+        for _ in 1..repeat {
+            let rerun = session
+                .run(view, kernel)
+                .map_err(|e| CliError::runtime(e.to_string()))?;
+            debug_assert_eq!(rerun.rounds, out.rounds, "session reruns are deterministic");
+            out = rerun;
+        }
+        let n = out.states.iter().flatten().filter(|s| reached(s)).count();
+        Ok((out.rounds, out.ledger, n))
     }
+
+    let started = std::time::Instant::now();
+    let (rounds, run_ledger, reached) = if g.is_weighted() {
+        let kernel = primitives::SpBfsKernel::new(&view, [NodeId::new(source)], f64::INFINITY);
+        run_repeated(&mut session, &view, &kernel, repeat, |s| s.dist.is_some())?
+    } else {
+        let kernel = primitives::BfsKernel::new(&view, [NodeId::new(source)], u32::MAX);
+        run_repeated(&mut session, &view, &kernel, repeat, |s| s.dist.is_some())?
+    };
     let elapsed = started.elapsed();
 
-    let reached = out
-        .states
-        .iter()
-        .flatten()
-        .filter(|s| s.dist.is_some())
-        .count();
     println!("graph:          n = {}, m = {}", g.n(), g.m());
-    println!("protocol:       bfs flood from node {source}");
+    println!(
+        "protocol:       {} flood from node {source}",
+        if g.is_weighted() {
+            "weighted sp-bfs (Bellman–Ford)"
+        } else {
+            "bfs"
+        }
+    );
     println!(
         "lane:           {}",
         if threads > 1 {
@@ -420,12 +626,12 @@ fn cmd_simulate(opts: &Opts) -> Result<(), CliError> {
             "sequential".into()
         }
     );
-    println!("rounds:         {}", out.rounds);
-    println!("messages:       {}", out.ledger.messages());
-    println!("total bits:     {}", out.ledger.total_bits());
+    println!("rounds:         {rounds}");
+    println!("messages:       {}", run_ledger.messages());
+    println!("total bits:     {}", run_ledger.total_bits());
     println!(
         "max msg bits:   {} (budget {})",
-        out.ledger.max_message_bits(),
+        run_ledger.max_message_bits(),
         cost.bits_per_message()
     );
     println!("reached:        {reached}");
@@ -476,6 +682,16 @@ fn cmd_validate(opts: &Opts) -> Result<(), CliError> {
     let report = sdnd_clustering::validate_decomposition(&g, &d);
     println!("clusters:       {}", d.num_clusters());
     println!("colors:         {}", d.num_colors());
+    // The structural checks (non-adjacency, connectivity, colors) are
+    // metric-independent; the metric governs the reported diameters.
+    println!(
+        "radius metric:  {}",
+        if g.is_weighted() {
+            "weighted (Dijkstra oracle; diameters below)"
+        } else {
+            "hop (unweighted input)"
+        }
+    );
     println!(
         "color-valid:    {}",
         if report.is_valid_weak() { "yes" } else { "NO" }
@@ -494,6 +710,16 @@ fn cmd_validate(opts: &Opts) -> Result<(), CliError> {
             .max_strong_diameter
             .map_or("—".into(), |d| d.to_string())
     );
+    if g.is_weighted() {
+        println!(
+            "w strong D:     {}",
+            fmt_weighted(report.weighted_strong_diameter)
+        );
+        println!(
+            "w weak D:       {}",
+            fmt_weighted(report.weighted_weak_diameter)
+        );
+    }
     for v in report.violations.iter().take(5) {
         println!("violation:      {v}");
     }
@@ -548,6 +774,106 @@ mod tests {
         // Explicit node count extends the universe.
         let o2 = opts(&[("input", path.to_str().unwrap()), ("nodes", "10")]);
         assert_eq!(load_graph(&o2).unwrap().n(), 10);
+    }
+
+    #[test]
+    fn load_graph_reads_weight_columns() {
+        let dir = std::env::temp_dir().join("sdnd_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("weighted.txt");
+        std::fs::write(&path, "0 1 2.5\n1 2 0.5\n2 3\n").unwrap();
+        // Auto: third column present => weighted, missing entries = 1.
+        let o = opts(&[("input", path.to_str().unwrap())]);
+        let g = load_graph(&o).unwrap();
+        assert!(g.is_weighted());
+        assert_eq!(g.edge_weight(NodeId::new(0), NodeId::new(1)), Some(2.5));
+        assert_eq!(g.edge_weight(NodeId::new(2), NodeId::new(3)), Some(1.0));
+        // Explicit file spec on a weightless file is an error.
+        let plain = dir.join("plain.txt");
+        std::fs::write(&plain, "0 1\n1 2\n").unwrap();
+        let o = opts(&[("input", plain.to_str().unwrap()), ("weights", "file")]);
+        assert!(load_graph(&o).unwrap_err().contains("no third"));
+        // uniform:lo,hi overrides the file and is seeded.
+        let o = opts(&[
+            ("input", path.to_str().unwrap()),
+            ("weights", "uniform:1,8"),
+            ("seed", "7"),
+        ]);
+        let g = load_graph(&o).unwrap();
+        assert!(g.is_weighted());
+        for (_, _, w) in g.weighted_edges() {
+            assert!((1.0..=8.0).contains(&w) && w.fract() == 0.0, "weight {w}");
+        }
+        assert_eq!(g, load_graph(&o).unwrap(), "seeded weights deterministic");
+        // unit stores weight 1 everywhere.
+        let o = opts(&[("input", path.to_str().unwrap()), ("weights", "unit")]);
+        let g = load_graph(&o).unwrap();
+        assert!(g.is_weighted());
+        assert!(g.weighted_edges().all(|(_, _, w)| w == 1.0));
+        // Bad specs and bad weight tokens report cleanly.
+        let o = opts(&[("input", path.to_str().unwrap()), ("weights", "nope")]);
+        assert!(load_graph(&o).is_err());
+        let bad = dir.join("badw.txt");
+        std::fs::write(&bad, "0 1 x\n").unwrap();
+        let o = opts(&[("input", bad.to_str().unwrap())]);
+        assert!(load_graph(&o).unwrap_err().contains("bad edge weight"));
+    }
+
+    #[test]
+    fn weighted_end_to_end_through_the_cli() {
+        let dir = std::env::temp_dir().join("sdnd_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let edges = dir.join("w_e2e.txt");
+        std::fs::write(&edges, "0 1 4\n1 2 1\n2 3 2\n3 0 1\n2 0 8\n").unwrap();
+        let clusters = dir.join("w_e2e.csv");
+        // decompose (weighted balls) -> validate (weighted radius checks).
+        let args: Vec<String> = [
+            "decompose",
+            "--algorithm",
+            "thm2.3",
+            "--input",
+            edges.to_str().unwrap(),
+            "--output",
+            clusters.to_str().unwrap(),
+        ]
+        .map(String::from)
+        .to_vec();
+        assert!(run(&args).is_ok());
+        let args: Vec<String> = [
+            "validate",
+            "--input",
+            edges.to_str().unwrap(),
+            "--clusters",
+            clusters.to_str().unwrap(),
+        ]
+        .map(String::from)
+        .to_vec();
+        assert!(run(&args).is_ok());
+        // simulate selects the SpBfs kernel on both lanes.
+        for threads in ["1", "2"] {
+            let args: Vec<String> = [
+                "simulate",
+                "--input",
+                edges.to_str().unwrap(),
+                "--threads",
+                threads,
+                "--repeat",
+                "3",
+            ]
+            .map(String::from)
+            .to_vec();
+            assert!(run(&args).is_ok(), "weighted simulate x{threads}");
+        }
+    }
+
+    #[test]
+    fn gen_emits_weight_columns() {
+        // `gen --weights uniform` must produce a file that loads back
+        // weighted; `--weights file` is rejected for gen.
+        let o = opts(&[("family", "grid"), ("n", "16"), ("weights", "uniform:1,4")]);
+        assert!(cmd_gen(&o).is_ok());
+        let o = opts(&[("family", "grid"), ("n", "16"), ("weights", "file")]);
+        assert!(cmd_gen(&o).is_err());
     }
 
     #[test]
