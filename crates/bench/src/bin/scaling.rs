@@ -21,13 +21,14 @@
 
 use sdnd_baselines::SequentialGreedy;
 use sdnd_bench::{env_seed, env_usize, ls_slope, Table};
-use sdnd_clustering::{decompose_with_strong_carver, StrongCarver};
+use sdnd_clustering::{decompose_with_strong_carver, CarveCtx, StrongCarver};
 use sdnd_congest::RoundLedger;
 use sdnd_core::{Params, Theorem22Carver, Theorem33Carver};
 use sdnd_graph::{gen, Graph, NodeSet};
 
-/// A boxed "run the algorithm, return the round count" closure.
-type AlgoFn = Box<dyn Fn(&Graph, &mut RoundLedger) -> u64>;
+/// A boxed "run the algorithm, return the round count" closure. `FnMut`
+/// so each algorithm can hold a warm [`CarveCtx`] across its bins.
+type AlgoFn = Box<dyn FnMut(&Graph, &mut RoundLedger) -> u64>;
 
 fn rounds_of<F: FnOnce(&mut RoundLedger)>(f: F) -> u64 {
     let mut ledger = RoundLedger::new();
@@ -49,7 +50,14 @@ fn main() {
         }
     }
     if quick {
+        // CI smoke: the two smallest bins keep the sweep fast, plus the
+        // largest requested bin (if any beyond them) so the big `SDND_N`
+        // bins compile-and-run on every push.
+        let largest = *ns.last().expect("nonempty bins");
         ns.truncate(2);
+        if largest > *ns.last().expect("nonempty bins") {
+            ns.push(largest);
+        }
     }
     let mut table = Table::new(["algorithm", "n", "rounds", "rounds/dominant-term"]);
     let mut series: Vec<(&str, Vec<f64>, Vec<f64>)> = Vec::new();
@@ -57,31 +65,35 @@ fn main() {
     let algorithms: Vec<(&str, AlgoFn)> = vec![
         ("cg21-thm2.2-carve", {
             let p = params.clone();
+            let mut ctx = CarveCtx::new();
             Box::new(move |g: &Graph, l: &mut RoundLedger| {
                 let c = Theorem22Carver::new(p.clone());
-                let _ = c.carve_strong(g, &NodeSet::full(g.n()), 0.5, l);
+                let _ = c.carve_strong_in(g, &NodeSet::full(g.n()), 0.5, l, &mut ctx);
                 l.rounds()
             })
         }),
         ("cg21-thm2.3-decompose", {
             let p = params.clone();
+            let mut ctx = CarveCtx::new();
             Box::new(move |g: &Graph, l: &mut RoundLedger| {
-                let _ = sdnd_core::decompose_strong_with(g, &p, l);
+                let _ = sdnd_core::decompose_strong_with_in(g, &p, l, &mut ctx);
                 l.rounds()
             })
         }),
         ("cg21-thm3.3-carve", {
             let p = params.clone();
+            let mut ctx = CarveCtx::new();
             Box::new(move |g: &Graph, l: &mut RoundLedger| {
                 let c = Theorem33Carver::new(p.clone());
-                let _ = c.carve_strong(g, &NodeSet::full(g.n()), 0.5, l);
+                let _ = c.carve_strong_in(g, &NodeSet::full(g.n()), 0.5, l, &mut ctx);
                 l.rounds()
             })
         }),
         ("cg21-thm3.4-decompose", {
             let p = params.clone();
+            let mut ctx = CarveCtx::new();
             Box::new(move |g: &Graph, l: &mut RoundLedger| {
-                let _ = sdnd_core::decompose_strong_improved_with(g, &p, l);
+                let _ = sdnd_core::decompose_strong_improved_with_in(g, &p, l, &mut ctx);
                 l.rounds()
             })
         }),
@@ -96,7 +108,7 @@ fn main() {
     ];
 
     println!("# Scaling in n (grids, eps = 1/2)\n");
-    for (name, run) in &algorithms {
+    for (name, mut run) in algorithms {
         let mut xs = Vec::new();
         let mut ys = Vec::new();
         for &n in &ns {
@@ -134,11 +146,12 @@ fn main() {
     let side = 16;
     let g = gen::grid(side, side);
     let mut eps_table = Table::new(["algorithm", "eps", "rounds", "rounds*eps^2"]);
+    let mut ctx = CarveCtx::new();
     for eps in [0.5, 0.25, 0.125] {
         let p = params.clone();
         let r22 = rounds_of(|l| {
             let c = Theorem22Carver::new(p.clone());
-            let _ = c.carve_strong(&g, &NodeSet::full(g.n()), eps, l);
+            let _ = c.carve_strong_in(&g, &NodeSet::full(g.n()), eps, l, &mut ctx);
         });
         eps_table.row([
             "cg21-thm2.2-carve".to_string(),
@@ -148,7 +161,7 @@ fn main() {
         ]);
         let r33 = rounds_of(|l| {
             let c = Theorem33Carver::new(p.clone());
-            let _ = c.carve_strong(&g, &NodeSet::full(g.n()), eps, l);
+            let _ = c.carve_strong_in(&g, &NodeSet::full(g.n()), eps, l, &mut ctx);
         });
         eps_table.row([
             "cg21-thm3.3-carve".to_string(),

@@ -17,8 +17,8 @@
 
 use sdnd_baselines::{Abcp96, Mpx13, SequentialGreedy};
 use sdnd_clustering::{
-    decompose_with_strong_carver, decompose_with_weak_carver, metrics, NetworkDecomposition,
-    StrongCarver, WeakCarver,
+    decompose_with_strong_carver, decompose_with_weak_carver, metrics, CarveCtx,
+    NetworkDecomposition, StrongCarver, WeakCarver,
 };
 use sdnd_congest::{CostModel, RoundLedger};
 use sdnd_core::{Params, Theorem22Carver, Theorem33Carver};
@@ -122,8 +122,9 @@ impl Measurement {
         g: &Graph,
         d: &NetworkDecomposition,
         ledger: &RoundLedger,
+        ctx: &mut CarveCtx,
     ) -> Measurement {
-        let q = metrics::decomposition_quality(g, d);
+        let q = metrics::decomposition_quality_in(g, d, ctx);
         let cost = CostModel::congest_for(g.n());
         Measurement {
             algorithm: name.to_string(),
@@ -148,8 +149,9 @@ impl Measurement {
         g: &Graph,
         c: &sdnd_clustering::BallCarving,
         ledger: &RoundLedger,
+        ctx: &mut CarveCtx,
     ) -> Measurement {
-        let q = metrics::carving_quality(g, c);
+        let q = metrics::carving_quality_in(g, c, ctx);
         let cost = CostModel::congest_for(g.n());
         Measurement {
             algorithm: name.to_string(),
@@ -169,8 +171,13 @@ impl Measurement {
 }
 
 /// Runs every Table 1 algorithm (network decomposition) on `g`.
+///
+/// One [`CarveCtx`] serves every CG21 pipeline run and every quality
+/// sweep in the row set, so repeated bins amortize traversal scratch.
 pub fn run_table1_row_set(g: &Graph, seed: u64) -> Vec<Measurement> {
     let params = Params::default();
+    let mut ctx = CarveCtx::new();
+    let ctx = &mut ctx;
     let mut rows = Vec::new();
 
     // Weak-diameter rows.
@@ -179,14 +186,14 @@ pub fn run_table1_row_set(g: &Graph, seed: u64) -> Vec<Measurement> {
         let carver = Ls93::new(seed);
         let d = decompose_with_weak_carver(g, &carver, 0.5, &mut ledger);
         rows.push(Measurement::from_decomposition(
-            "ls93", "rand", "weak", g, &d, &ledger,
+            "ls93", "rand", "weak", g, &d, &ledger, ctx,
         ));
     }
     for (name, carver) in [("rg20", Rg20::rg20()), ("ggr21", Rg20::ggr21())] {
         let mut ledger = RoundLedger::new();
         let d = decompose_with_weak_carver(g, &carver, 0.5, &mut ledger);
         rows.push(Measurement::from_decomposition(
-            name, "det", "weak", g, &d, &ledger,
+            name, "det", "weak", g, &d, &ledger, ctx,
         ));
     }
 
@@ -201,6 +208,7 @@ pub fn run_table1_row_set(g: &Graph, seed: u64) -> Vec<Measurement> {
             g,
             &d,
             &ledger,
+            ctx,
         ));
     }
     {
@@ -214,6 +222,7 @@ pub fn run_table1_row_set(g: &Graph, seed: u64) -> Vec<Measurement> {
             g,
             &d,
             &ledger,
+            ctx,
         ));
     }
     {
@@ -227,11 +236,12 @@ pub fn run_table1_row_set(g: &Graph, seed: u64) -> Vec<Measurement> {
             g,
             &d,
             &ledger,
+            ctx,
         ));
     }
     {
         let mut ledger = RoundLedger::new();
-        let d = sdnd_core::decompose_strong_with(g, &params, &mut ledger);
+        let d = sdnd_core::decompose_strong_with_in(g, &params, &mut ledger, ctx);
         rows.push(Measurement::from_decomposition(
             "cg21-thm2.3",
             "det",
@@ -239,11 +249,12 @@ pub fn run_table1_row_set(g: &Graph, seed: u64) -> Vec<Measurement> {
             g,
             &d,
             &ledger,
+            ctx,
         ));
     }
     {
         let mut ledger = RoundLedger::new();
-        let d = sdnd_core::decompose_strong_improved_with(g, &params, &mut ledger);
+        let d = sdnd_core::decompose_strong_improved_with_in(g, &params, &mut ledger, ctx);
         rows.push(Measurement::from_decomposition(
             "cg21-thm3.4",
             "det",
@@ -251,6 +262,7 @@ pub fn run_table1_row_set(g: &Graph, seed: u64) -> Vec<Measurement> {
             g,
             &d,
             &ledger,
+            ctx,
         ));
     }
     rows
@@ -260,6 +272,8 @@ pub fn run_table1_row_set(g: &Graph, seed: u64) -> Vec<Measurement> {
 pub fn run_table2_row_set(g: &Graph, eps: f64, seed: u64) -> Vec<Measurement> {
     let params = Params::default();
     let alive = NodeSet::full(g.n());
+    let mut ctx = CarveCtx::new();
+    let ctx = &mut ctx;
     let mut rows = Vec::new();
 
     // Weak carvings.
@@ -273,6 +287,7 @@ pub fn run_table2_row_set(g: &Graph, eps: f64, seed: u64) -> Vec<Measurement> {
             g,
             wc.carving(),
             &ledger,
+            ctx,
         ));
     }
     for (name, carver) in [("rg20", Rg20::rg20()), ("ggr21", Rg20::ggr21())] {
@@ -285,6 +300,7 @@ pub fn run_table2_row_set(g: &Graph, eps: f64, seed: u64) -> Vec<Measurement> {
             g,
             wc.carving(),
             &ledger,
+            ctx,
         ));
     }
 
@@ -306,9 +322,9 @@ pub fn run_table2_row_set(g: &Graph, eps: f64, seed: u64) -> Vec<Measurement> {
     ];
     for (name, model, carver) in strong {
         let mut ledger = RoundLedger::new();
-        let c = carver.carve_strong(g, &alive, eps, &mut ledger);
+        let c = carver.carve_strong_in(g, &alive, eps, &mut ledger, ctx);
         rows.push(Measurement::from_carving(
-            name, model, "strong", g, &c, &ledger,
+            name, model, "strong", g, &c, &ledger, ctx,
         ));
     }
     rows

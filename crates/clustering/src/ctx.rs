@@ -1,0 +1,38 @@
+//! The carving context: one reusable traversal workspace threaded
+//! through the whole sequential pipeline.
+//!
+//! Every `_in` entry point in this crate and in `sdnd_core` takes a
+//! `&mut CarveCtx`; the public non-`_in` signatures are thin wrappers
+//! that spin up a throwaway context (the same wrapper-vs-session pattern
+//! as `Engine::run` vs `EngineSession`). Hold one `CarveCtx` across
+//! repeated carvings, decompositions, and validations on a thread to
+//! amortize every traversal's `O(n + m)` scratch down to `O(1)`
+//! allocations.
+//!
+//! The context is deliberately orthogonal to the CONGEST engine's
+//! [`EngineSession`](../sdnd_congest/struct.EngineSession.html): a
+//! session amortizes *message-passing* state per graph, a `CarveCtx`
+//! amortizes *traversal* state across any sequence of graphs. A
+//! kernel-level carver run composes them side by side — one session for
+//! its protocol executions, one context for its charged fast paths.
+
+use sdnd_graph::algo::TraversalWorkspace;
+
+/// Reusable state for the carving pipeline: the traversal workspace
+/// (stamped scratch + NodeSet pool).
+///
+/// Safe to reuse after a carve that panicked out of the pipeline: the
+/// workspace's next traversal advances the stamp epoch, which
+/// invalidates any partially written state wholesale.
+#[derive(Debug, Default)]
+pub struct CarveCtx {
+    /// The epoch-stamped traversal workspace.
+    pub ws: TraversalWorkspace,
+}
+
+impl CarveCtx {
+    /// Creates an empty context (arrays grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}

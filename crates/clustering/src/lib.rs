@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 
 mod carving;
+mod ctx;
 mod decomposition;
 pub mod edge;
 mod error;
@@ -33,13 +34,18 @@ pub mod validate;
 mod weak_edge;
 
 pub use carving::{BallCarving, WeakCarving};
+pub use ctx::CarveCtx;
 pub use decomposition::{ClusterId, NetworkDecomposition};
 pub use edge::{validate_edge_carving, EdgeCarver, EdgeCarving};
 pub use error::ClusteringError;
 pub use reduction::{
-    decompose_by_carving, decompose_with_strong_carver, decompose_with_weak_carver,
+    decompose_by_carving, decompose_with_strong_carver, decompose_with_strong_carver_in,
+    decompose_with_weak_carver,
 };
 pub use steiner::{SteinerForest, SteinerTree};
 pub use traits::{StrongCarver, WeakCarver};
-pub use validate::{validate_carving, validate_decomposition, validate_weak_carving};
+pub use validate::{
+    validate_carving, validate_carving_in, validate_decomposition, validate_decomposition_in,
+    validate_weak_carving,
+};
 pub use weak_edge::{WeakEdgeCarver, WeakEdgeCarving};

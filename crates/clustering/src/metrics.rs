@@ -12,58 +12,96 @@
 //! `weighted_*_diameter_of` helpers fix the Dijkstra metric for weighted
 //! graphs.
 
+use crate::CarveCtx;
 use sdnd_graph::algo::{self, DistanceOracle, HopOracle, WeightedOracle};
-use sdnd_graph::{Graph, NodeId, NodeSet};
+use sdnd_graph::{Graph, NodeId};
 
 /// Exact strong diameter of a node set under `oracle`: the diameter of
 /// `G[members]` in the oracle's metric.
 ///
 /// Returns `None` if the induced subgraph is disconnected (a weak
-/// cluster may legitimately be), `Some(0.0)` for singletons.
+/// cluster may legitimately be), `Some(0.0)` for singletons. Thin
+/// wrapper over [`strong_diameter_of_with_in`] with a throwaway context.
 pub fn strong_diameter_of_with<O: DistanceOracle>(
     g: &Graph,
     members: &[NodeId],
     oracle: &O,
 ) -> Option<f64> {
+    strong_diameter_of_with_in(g, members, oracle, &mut CarveCtx::new())
+}
+
+/// [`strong_diameter_of_with`] with a caller-held context: the member
+/// set comes from the workspace's NodeSet pool and every sweep reuses
+/// the same traversal scratch.
+pub fn strong_diameter_of_with_in<O: DistanceOracle>(
+    g: &Graph,
+    members: &[NodeId],
+    oracle: &O,
+    ctx: &mut CarveCtx,
+) -> Option<f64> {
     if members.is_empty() {
         return None;
     }
-    let set = NodeSet::from_nodes(g.n(), members.iter().copied());
+    let set = ctx.ws.take_set_from(g.n(), members.iter().copied());
     let view = g.view(&set);
     let mut max = 0.0_f64;
+    let mut connected = true;
     for &v in members {
-        let d = oracle.distances(&view, v);
+        let d = oracle.distances_in(&view, v, &mut ctx.ws);
         if d.reached_count() != members.len() {
-            return None;
+            connected = false;
+            break;
         }
         max = max.max(d.eccentricity().unwrap_or(0.0));
     }
-    Some(max)
+    ctx.ws.give_set(set);
+    connected.then_some(max)
 }
 
 /// Exact weak diameter of a node set under `oracle`: the maximum
 /// distance *in `G`* between any two members. Returns `None` if some
-/// pair is disconnected even in `G`, `Some(0.0)` for singletons.
+/// pair is disconnected even in `G`, `Some(0.0)` for singletons. Thin
+/// wrapper over [`weak_diameter_of_with_in`] with a throwaway context.
 pub fn weak_diameter_of_with<O: DistanceOracle>(
     g: &Graph,
     members: &[NodeId],
     oracle: &O,
 ) -> Option<f64> {
+    weak_diameter_of_with_in(g, members, oracle, &mut CarveCtx::new())
+}
+
+/// [`weak_diameter_of_with`] with a caller-held context.
+///
+/// Each per-member sweep runs over the *full* graph but early-terminates
+/// as soon as every member has been reached (a remaining-members count
+/// inside the traversal), so validating a small cluster no longer pays
+/// `O(m)` of the whole graph per source. Member distances are exact, so
+/// the result is value-identical to the unterminated sweep.
+pub fn weak_diameter_of_with_in<O: DistanceOracle>(
+    g: &Graph,
+    members: &[NodeId],
+    oracle: &O,
+    ctx: &mut CarveCtx,
+) -> Option<f64> {
     if members.is_empty() {
         return None;
     }
+    let targets = ctx.ws.take_set_from(g.n(), members.iter().copied());
     let view = g.full_view();
     let mut max = 0.0_f64;
-    for &v in members {
-        let d = oracle.distances(&view, v);
+    let mut connected = true;
+    'members: for &v in members {
+        let d = oracle.distances_to_in(&view, v, &targets, &mut ctx.ws);
         for &u in members {
             if !d.reached(u) {
-                return None;
+                connected = false;
+                break 'members;
             }
             max = max.max(d.dist(u));
         }
     }
-    Some(max)
+    ctx.ws.give_set(targets);
+    connected.then_some(max)
 }
 
 /// Exact strong diameter of a node set in hops: the diameter of
@@ -75,11 +113,21 @@ pub fn strong_diameter_of(g: &Graph, members: &[NodeId]) -> Option<u32> {
     strong_diameter_of_with(g, members, &HopOracle).map(|d| d as u32)
 }
 
+/// [`strong_diameter_of`] with a caller-held context.
+pub fn strong_diameter_of_in(g: &Graph, members: &[NodeId], ctx: &mut CarveCtx) -> Option<u32> {
+    strong_diameter_of_with_in(g, members, &HopOracle, ctx).map(|d| d as u32)
+}
+
 /// Exact weak diameter of a node set in hops: the maximum distance *in
 /// `G`* between any two members. Returns `None` if some pair is
 /// disconnected even in `G`, `Some(0)` for singletons.
 pub fn weak_diameter_of(g: &Graph, members: &[NodeId]) -> Option<u32> {
     weak_diameter_of_with(g, members, &HopOracle).map(|d| d as u32)
+}
+
+/// [`weak_diameter_of`] with a caller-held context.
+pub fn weak_diameter_of_in(g: &Graph, members: &[NodeId], ctx: &mut CarveCtx) -> Option<u32> {
+    weak_diameter_of_with_in(g, members, &HopOracle, ctx).map(|d| d as u32)
 }
 
 /// Exact strong diameter in the weighted metric (`None` if disconnected;
@@ -89,26 +137,57 @@ pub fn weighted_strong_diameter_of(g: &Graph, members: &[NodeId]) -> Option<f64>
     strong_diameter_of_with(g, members, &WeightedOracle)
 }
 
+/// [`weighted_strong_diameter_of`] with a caller-held context.
+pub fn weighted_strong_diameter_of_in(
+    g: &Graph,
+    members: &[NodeId],
+    ctx: &mut CarveCtx,
+) -> Option<f64> {
+    strong_diameter_of_with_in(g, members, &WeightedOracle, ctx)
+}
+
 /// Exact weak diameter in the weighted metric (`None` if some pair is
 /// disconnected in `G`).
 pub fn weighted_weak_diameter_of(g: &Graph, members: &[NodeId]) -> Option<f64> {
     weak_diameter_of_with(g, members, &WeightedOracle)
 }
 
+/// [`weighted_weak_diameter_of`] with a caller-held context.
+pub fn weighted_weak_diameter_of_in(
+    g: &Graph,
+    members: &[NodeId],
+    ctx: &mut CarveCtx,
+) -> Option<f64> {
+    weak_diameter_of_with_in(g, members, &WeightedOracle, ctx)
+}
+
 /// Cheap strong-diameter estimate via two BFS sweeps inside the cluster.
 /// A lower bound on the exact strong diameter; `None` if disconnected.
 pub fn strong_diameter_two_sweep(g: &Graph, members: &[NodeId]) -> Option<u32> {
+    strong_diameter_two_sweep_in(g, members, &mut CarveCtx::new())
+}
+
+/// [`strong_diameter_two_sweep`] with a caller-held context (pooled
+/// member set, workspace-backed sweeps).
+pub fn strong_diameter_two_sweep_in(
+    g: &Graph,
+    members: &[NodeId],
+    ctx: &mut CarveCtx,
+) -> Option<u32> {
     if members.is_empty() {
         return None;
     }
-    let set = NodeSet::from_nodes(g.n(), members.iter().copied());
+    let set = ctx.ws.take_set_from(g.n(), members.iter().copied());
     let view = g.view(&set);
-    let first = algo::bfs(&view, [members[0]]);
-    if first.reached_count() != members.len() {
-        return None;
-    }
-    let far = *first.order().last().expect("nonempty BFS");
-    algo::bfs(&view, [far]).eccentricity()
+    let first = algo::bfs_in(&mut ctx.ws, &view, [members[0]]);
+    let ecc = if first.reached_count() != members.len() {
+        None
+    } else {
+        let far = *first.order().last().expect("nonempty BFS");
+        algo::bfs_in(&mut ctx.ws, &view, [far]).eccentricity()
+    };
+    ctx.ws.give_set(set);
+    ecc
 }
 
 /// Per-carving quality summary.
@@ -137,28 +216,38 @@ pub struct CarvingQuality {
 
 /// Computes quality metrics for a carving (exact diameters; cost is one
 /// BFS per cluster member, doubled on weighted graphs for the weighted
-/// sweep).
+/// sweep). Thin wrapper over [`carving_quality_in`].
 pub fn carving_quality(g: &Graph, carving: &crate::BallCarving) -> CarvingQuality {
+    carving_quality_in(g, carving, &mut CarveCtx::new())
+}
+
+/// [`carving_quality`] with a caller-held context: one workspace serves
+/// every per-member sweep across all clusters.
+pub fn carving_quality_in(
+    g: &Graph,
+    carving: &crate::BallCarving,
+    ctx: &mut CarveCtx,
+) -> CarvingQuality {
     let mut max_strong = Some(0u32);
     let mut max_weak = Some(0u32);
     let weighted = g.is_weighted();
     let mut w_strong = weighted.then_some(0.0_f64);
     let mut w_weak = weighted.then_some(0.0_f64);
     for c in carving.clusters() {
-        max_strong = match (max_strong, strong_diameter_of(g, c)) {
+        max_strong = match (max_strong, strong_diameter_of_in(g, c, ctx)) {
             (Some(a), Some(b)) => Some(a.max(b)),
             _ => None,
         };
-        max_weak = match (max_weak, weak_diameter_of(g, c)) {
+        max_weak = match (max_weak, weak_diameter_of_in(g, c, ctx)) {
             (Some(a), Some(b)) => Some(a.max(b)),
             _ => None,
         };
         if weighted {
-            w_strong = match (w_strong, weighted_strong_diameter_of(g, c)) {
+            w_strong = match (w_strong, weighted_strong_diameter_of_in(g, c, ctx)) {
                 (Some(a), Some(b)) => Some(a.max(b)),
                 _ => None,
             };
-            w_weak = match (w_weak, weighted_weak_diameter_of(g, c)) {
+            w_weak = match (w_weak, weighted_weak_diameter_of_in(g, c, ctx)) {
                 (Some(a), Some(b)) => Some(a.max(b)),
                 _ => None,
             };
@@ -201,28 +290,38 @@ pub struct DecompositionQuality {
     pub max_cluster_size: usize,
 }
 
-/// Computes quality metrics for a decomposition.
+/// Computes quality metrics for a decomposition. Thin wrapper over
+/// [`decomposition_quality_in`].
 pub fn decomposition_quality(g: &Graph, d: &crate::NetworkDecomposition) -> DecompositionQuality {
+    decomposition_quality_in(g, d, &mut CarveCtx::new())
+}
+
+/// [`decomposition_quality`] with a caller-held context.
+pub fn decomposition_quality_in(
+    g: &Graph,
+    d: &crate::NetworkDecomposition,
+    ctx: &mut CarveCtx,
+) -> DecompositionQuality {
     let mut max_strong = Some(0u32);
     let mut max_weak = Some(0u32);
     let weighted = g.is_weighted();
     let mut w_strong = weighted.then_some(0.0_f64);
     let mut w_weak = weighted.then_some(0.0_f64);
     for c in d.clusters() {
-        max_strong = match (max_strong, strong_diameter_of(g, c)) {
+        max_strong = match (max_strong, strong_diameter_of_in(g, c, ctx)) {
             (Some(a), Some(b)) => Some(a.max(b)),
             _ => None,
         };
-        max_weak = match (max_weak, weak_diameter_of(g, c)) {
+        max_weak = match (max_weak, weak_diameter_of_in(g, c, ctx)) {
             (Some(a), Some(b)) => Some(a.max(b)),
             _ => None,
         };
         if weighted {
-            w_strong = match (w_strong, weighted_strong_diameter_of(g, c)) {
+            w_strong = match (w_strong, weighted_strong_diameter_of_in(g, c, ctx)) {
                 (Some(a), Some(b)) => Some(a.max(b)),
                 _ => None,
             };
-            w_weak = match (w_weak, weighted_weak_diameter_of(g, c)) {
+            w_weak = match (w_weak, weighted_weak_diameter_of_in(g, c, ctx)) {
                 (Some(a), Some(b)) => Some(a.max(b)),
                 _ => None,
             };
@@ -243,7 +342,7 @@ pub fn decomposition_quality(g: &Graph, d: &crate::NetworkDecomposition) -> Deco
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sdnd_graph::gen;
+    use sdnd_graph::{gen, NodeSet};
 
     fn ids(v: &[usize]) -> Vec<NodeId> {
         v.iter().copied().map(NodeId::new).collect()

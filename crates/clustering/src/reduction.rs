@@ -8,7 +8,7 @@
 //! (clusters of one repetition are pairwise non-adjacent by the carving
 //! guarantee).
 
-use crate::{BallCarving, NetworkDecomposition, StrongCarver, WeakCarver};
+use crate::{BallCarving, CarveCtx, NetworkDecomposition, StrongCarver, WeakCarver};
 use sdnd_congest::RoundLedger;
 use sdnd_graph::{Graph, NodeSet};
 
@@ -76,6 +76,22 @@ pub fn decompose_with_strong_carver<C: StrongCarver + ?Sized>(
     let start = NodeSet::full(g.n());
     decompose_by_carving(g, &start, eps, ledger, |g, alive, eps, ledger| {
         carver.carve_strong(g, alive, eps, ledger)
+    })
+}
+
+/// [`decompose_with_strong_carver`] with a caller-held [`CarveCtx`]: one
+/// traversal workspace serves every carving repetition (and stays warm
+/// for the caller's next decomposition).
+pub fn decompose_with_strong_carver_in<C: StrongCarver + ?Sized>(
+    g: &Graph,
+    carver: &C,
+    eps: f64,
+    ledger: &mut RoundLedger,
+    ctx: &mut CarveCtx,
+) -> NetworkDecomposition {
+    let start = NodeSet::full(g.n());
+    decompose_by_carving(g, &start, eps, ledger, |g, alive, eps, ledger| {
+        carver.carve_strong_in(g, alive, eps, ledger, ctx)
     })
 }
 

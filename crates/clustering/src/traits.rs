@@ -7,7 +7,7 @@
 //! constructions) all implement them, so the transformations and the
 //! experiment harness treat them uniformly.
 
-use crate::{BallCarving, WeakCarving};
+use crate::{BallCarving, CarveCtx, WeakCarving};
 use sdnd_congest::RoundLedger;
 use sdnd_graph::{Graph, NodeSet};
 
@@ -29,6 +29,23 @@ pub trait WeakCarver {
         ledger: &mut RoundLedger,
     ) -> WeakCarving;
 
+    /// [`carve_weak`](Self::carve_weak) with a caller-held [`CarveCtx`],
+    /// for carvers that can reuse its traversal workspace across
+    /// invocations (Theorem 2.1 calls its weak carver once per component
+    /// per iteration). The default ignores the context; implementations
+    /// must produce output bit-identical to `carve_weak`.
+    fn carve_weak_in(
+        &self,
+        g: &Graph,
+        alive: &NodeSet,
+        eps: f64,
+        ledger: &mut RoundLedger,
+        ctx: &mut CarveCtx,
+    ) -> WeakCarving {
+        let _ = ctx;
+        self.carve_weak(g, alive, eps, ledger)
+    }
+
     /// Human-readable algorithm name (for reports and experiment tables).
     fn name(&self) -> &'static str;
 }
@@ -49,6 +66,23 @@ pub trait StrongCarver {
         ledger: &mut RoundLedger,
     ) -> BallCarving;
 
+    /// [`carve_strong`](Self::carve_strong) with a caller-held
+    /// [`CarveCtx`], for carvers that can reuse its traversal workspace
+    /// across invocations. The default ignores the context, so existing
+    /// carvers need no change; implementations must produce output
+    /// bit-identical to `carve_strong`.
+    fn carve_strong_in(
+        &self,
+        g: &Graph,
+        alive: &NodeSet,
+        eps: f64,
+        ledger: &mut RoundLedger,
+        ctx: &mut CarveCtx,
+    ) -> BallCarving {
+        let _ = ctx;
+        self.carve_strong(g, alive, eps, ledger)
+    }
+
     /// Human-readable algorithm name.
     fn name(&self) -> &'static str;
 }
@@ -62,6 +96,17 @@ impl<T: WeakCarver + ?Sized> WeakCarver for &T {
         ledger: &mut RoundLedger,
     ) -> WeakCarving {
         (**self).carve_weak(g, alive, eps, ledger)
+    }
+
+    fn carve_weak_in(
+        &self,
+        g: &Graph,
+        alive: &NodeSet,
+        eps: f64,
+        ledger: &mut RoundLedger,
+        ctx: &mut CarveCtx,
+    ) -> WeakCarving {
+        (**self).carve_weak_in(g, alive, eps, ledger, ctx)
     }
 
     fn name(&self) -> &'static str {
@@ -78,6 +123,17 @@ impl<T: StrongCarver + ?Sized> StrongCarver for &T {
         ledger: &mut RoundLedger,
     ) -> BallCarving {
         (**self).carve_strong(g, alive, eps, ledger)
+    }
+
+    fn carve_strong_in(
+        &self,
+        g: &Graph,
+        alive: &NodeSet,
+        eps: f64,
+        ledger: &mut RoundLedger,
+        ctx: &mut CarveCtx,
+    ) -> BallCarving {
+        (**self).carve_strong_in(g, alive, eps, ledger, ctx)
     }
 
     fn name(&self) -> &'static str {

@@ -9,7 +9,7 @@
 //! property, and integration tests as well as the experiment harness's
 //! self-checks.
 
-use crate::{metrics, BallCarving, NetworkDecomposition, WeakCarving};
+use crate::{metrics, BallCarving, CarveCtx, NetworkDecomposition, WeakCarving};
 use sdnd_graph::{Graph, NodeSet};
 
 /// Validation report for a [`BallCarving`].
@@ -55,7 +55,16 @@ impl CarvingReport {
 ///
 /// Diameters are computed exactly (one BFS per cluster member), so the
 /// cost is `O(Σ|C| · m)`; intended for tests and experiment self-checks.
+/// Thin wrapper over [`validate_carving_in`] with a throwaway context.
 pub fn validate_carving(g: &Graph, carving: &BallCarving) -> CarvingReport {
+    validate_carving_in(g, carving, &mut CarveCtx::new())
+}
+
+/// [`validate_carving`] with a caller-held context: all-pairs diameter
+/// checks reuse one traversal workspace across sources and clusters,
+/// and the weak-diameter sweeps early-terminate once every cluster
+/// member is reached.
+pub fn validate_carving_in(g: &Graph, carving: &BallCarving, ctx: &mut CarveCtx) -> CarvingReport {
     let mut violations = Vec::new();
 
     // Non-adjacency: an edge between two different clusters is forbidden.
@@ -77,7 +86,7 @@ pub fn validate_carving(g: &Graph, carving: &BallCarving) -> CarvingReport {
     let mut w_strong = weighted.then_some(0.0_f64);
     let mut w_weak = weighted.then_some(0.0_f64);
     for (i, c) in carving.clusters().iter().enumerate() {
-        match metrics::strong_diameter_of(g, c) {
+        match metrics::strong_diameter_of_in(g, c, ctx) {
             Some(d) => {
                 if let Some(m) = max_strong {
                     max_strong = Some(m.max(d));
@@ -89,16 +98,16 @@ pub fn validate_carving(g: &Graph, carving: &BallCarving) -> CarvingReport {
                 violations.push(format!("cluster {i} induces a disconnected subgraph"));
             }
         }
-        max_weak = match (max_weak, metrics::weak_diameter_of(g, c)) {
+        max_weak = match (max_weak, metrics::weak_diameter_of_in(g, c, ctx)) {
             (Some(a), Some(b)) => Some(a.max(b)),
             _ => None,
         };
         if weighted {
-            w_strong = match (w_strong, metrics::weighted_strong_diameter_of(g, c)) {
+            w_strong = match (w_strong, metrics::weighted_strong_diameter_of_in(g, c, ctx)) {
                 (Some(a), Some(b)) => Some(a.max(b)),
                 _ => None,
             };
-            w_weak = match (w_weak, metrics::weighted_weak_diameter_of(g, c)) {
+            w_weak = match (w_weak, metrics::weighted_weak_diameter_of_in(g, c, ctx)) {
                 (Some(a), Some(b)) => Some(a.max(b)),
                 _ => None,
             };
@@ -237,8 +246,19 @@ impl DecompositionReport {
     }
 }
 
-/// Validates a network decomposition against `g`.
+/// Validates a network decomposition against `g`. Thin wrapper over
+/// [`validate_decomposition_in`] with a throwaway context.
 pub fn validate_decomposition(g: &Graph, d: &NetworkDecomposition) -> DecompositionReport {
+    validate_decomposition_in(g, d, &mut CarveCtx::new())
+}
+
+/// [`validate_decomposition`] with a caller-held context (shared
+/// traversal workspace across all diameter checks).
+pub fn validate_decomposition_in(
+    g: &Graph,
+    d: &NetworkDecomposition,
+    ctx: &mut CarveCtx,
+) -> DecompositionReport {
     let mut violations = Vec::new();
 
     let mut colors_separate = true;
@@ -261,7 +281,7 @@ pub fn validate_decomposition(g: &Graph, d: &NetworkDecomposition) -> Decomposit
     let mut w_strong = weighted.then_some(0.0_f64);
     let mut w_weak = weighted.then_some(0.0_f64);
     for (i, c) in d.clusters().iter().enumerate() {
-        match metrics::strong_diameter_of(g, c) {
+        match metrics::strong_diameter_of_in(g, c, ctx) {
             Some(diam) => {
                 if let Some(m) = max_strong {
                     max_strong = Some(m.max(diam));
@@ -273,16 +293,16 @@ pub fn validate_decomposition(g: &Graph, d: &NetworkDecomposition) -> Decomposit
                 violations.push(format!("cluster {i} induces a disconnected subgraph"));
             }
         }
-        max_weak = match (max_weak, metrics::weak_diameter_of(g, c)) {
+        max_weak = match (max_weak, metrics::weak_diameter_of_in(g, c, ctx)) {
             (Some(a), Some(b)) => Some(a.max(b)),
             _ => None,
         };
         if weighted {
-            w_strong = match (w_strong, metrics::weighted_strong_diameter_of(g, c)) {
+            w_strong = match (w_strong, metrics::weighted_strong_diameter_of_in(g, c, ctx)) {
                 (Some(a), Some(b)) => Some(a.max(b)),
                 _ => None,
             };
-            w_weak = match (w_weak, metrics::weighted_weak_diameter_of(g, c)) {
+            w_weak = match (w_weak, metrics::weighted_weak_diameter_of_in(g, c, ctx)) {
                 (Some(a), Some(b)) => Some(a.max(b)),
                 _ => None,
             };

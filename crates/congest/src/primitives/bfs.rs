@@ -8,8 +8,8 @@
 //! the last forwarding layer.
 
 use crate::{bits_for_value, Outbox, Protocol, RoundLedger};
+use sdnd_graph::algo::{BfsRun, TraversalWorkspace};
 use sdnd_graph::{Adjacency, NodeId};
-use std::collections::VecDeque;
 
 /// Output of a (bounded) distributed BFS.
 #[derive(Debug, Clone)]
@@ -18,6 +18,7 @@ pub struct BfsOutcome {
     parent: Vec<Option<NodeId>>,
     order: Vec<NodeId>,
     layer_sizes: Vec<usize>,
+    ball_sizes: Vec<usize>,
 }
 
 /// Distance marker for unreached nodes.
@@ -64,16 +65,10 @@ impl BfsOutcome {
         &self.layer_sizes
     }
 
-    /// Cumulative ball sizes `|B_r|` for `r = 0..`.
-    pub fn ball_sizes(&self) -> Vec<usize> {
-        let mut acc = 0;
-        self.layer_sizes
-            .iter()
-            .map(|&s| {
-                acc += s;
-                acc
-            })
-            .collect()
+    /// Cumulative ball sizes `|B_r|` for `r = 0..` (prefix sums are
+    /// computed once when the search finishes, not per call).
+    pub fn ball_sizes(&self) -> &[usize] {
+        &self.ball_sizes
     }
 
     /// Largest distance reached (`None` if nothing was reached).
@@ -102,78 +97,111 @@ where
     A: Adjacency,
     I: IntoIterator<Item = NodeId>,
 {
-    let n = view.universe();
-    let mut dist = vec![UNREACHED; n];
-    let mut order = Vec::new();
-    let mut layer_sizes = Vec::new();
-    let mut queue = VecDeque::new();
+    let mut ws = TraversalWorkspace::new();
+    let run = bfs_in(view, sources, r_max, ledger, &mut ws);
+    BfsOutcome::from_run(view.universe(), &run)
+}
 
-    for s in sources {
-        if view.contains(s) && dist[s.index()] == UNREACHED {
-            dist[s.index()] = 0;
-            queue.push_back(s);
-            order.push(s);
+impl BfsOutcome {
+    /// Materializes an owned outcome from a workspace run view.
+    pub(crate) fn from_run(universe: usize, run: &BfsRun<'_>) -> BfsOutcome {
+        let mut dist = vec![UNREACHED; universe];
+        let mut parent: Vec<Option<NodeId>> = vec![None; universe];
+        for &v in run.order() {
+            dist[v.index()] = run.dist(v);
+            parent[v.index()] = run.parent(v);
+        }
+        BfsOutcome {
+            dist,
+            parent,
+            order: run.order().to_vec(),
+            layer_sizes: run.layer_sizes().to_vec(),
+            ball_sizes: run.ball_sizes().to_vec(),
         }
     }
-    if !order.is_empty() {
-        layer_sizes.push(order.len());
-    }
-    while let Some(u) = queue.pop_front() {
-        let du = dist[u.index()];
-        if du >= r_max {
-            continue;
-        }
-        for v in view.neighbors(u) {
-            if dist[v.index()] == UNREACHED {
-                dist[v.index()] = du + 1;
-                if layer_sizes.len() <= (du + 1) as usize {
-                    layer_sizes.push(0);
-                }
-                layer_sizes[(du + 1) as usize] += 1;
-                order.push(v);
-                queue.push_back(v);
+}
+
+/// [`bfs`] into a caller-held workspace: no per-call allocation, and the
+/// discovery loop is **fused single-pass** — the kernel-consistent
+/// minimum-index parents and the round/message charges are accumulated
+/// during discovery itself (each node's alive neighborhood is swept
+/// exactly once), instead of the two extra `O(m)` adjacency sweeps the
+/// owning path historically made. Distances, parents, layer sizes, and
+/// ledger charges are value-identical to [`bfs`].
+pub fn bfs_in<'w, A, I>(
+    view: &A,
+    sources: I,
+    r_max: u32,
+    ledger: &mut RoundLedger,
+    ws: &'w mut TraversalWorkspace,
+) -> BfsRun<'w>
+where
+    A: Adjacency,
+    I: IntoIterator<Item = NodeId>,
+{
+    const NO_NODE: u32 = u32::MAX;
+    let n = view.universe();
+    let token_bits = bits_for_value(n.max(2) as u64 - 1);
+    let mut sends = 0u64;
+    let mut last_delivery = 0u64;
+    {
+        let mut p = ws.begin_hop(n);
+        for s in sources {
+            if view.contains(s) && !p.reached(s) {
+                p.visit(s, 0, NO_NODE);
             }
         }
-    }
-
-    // Kernel-consistent parents: minimum-index neighbor one layer closer.
-    let mut parent: Vec<Option<NodeId>> = vec![None; n];
-    for &v in &order {
-        let dv = dist[v.index()];
-        if dv == 0 {
-            continue;
+        if !p.order.is_empty() {
+            p.layer_sizes.push(p.order.len());
         }
-        parent[v.index()] = view
-            .neighbors(v)
-            .filter(|u| dist[u.index()] == dv - 1)
-            .min();
-    }
-
-    // Cost accounting: each reached node at distance d < r_max sends one
-    // token to every alive neighbor in round d + 1.
-    let token_bits = bits_for_value(n.max(2) as u64 - 1);
-    let mut last_delivery = 0u64;
-    let mut sends = 0u64;
-    for &v in &order {
-        let dv = dist[v.index()];
-        if dv >= r_max {
-            continue;
+        let mut head = 0usize;
+        while head < p.order.len() {
+            let u = p.order[head];
+            head += 1;
+            let du = p.dist[u.index()];
+            let forwards = du < r_max;
+            if !forwards && du == 0 {
+                // A source barred from forwarding needs no parent either:
+                // skip the neighborhood sweep entirely (and charge
+                // nothing), exactly like the unfused accounting.
+                continue;
+            }
+            // One fused sweep: discover the next layer, pick the
+            // minimum-index parent among the previous layer, and count
+            // the alive degree for the message charge.
+            let mut min_parent = NO_NODE;
+            let mut deg = 0u64;
+            for v in view.neighbors(u) {
+                deg += 1;
+                let vi = v.index();
+                if p.reached(v) {
+                    // Everything at distance du - 1 is final before u is
+                    // popped (FIFO layer invariant), so the parent choice
+                    // here equals the post-hoc minimum of the unfused path.
+                    if du > 0 && p.dist[vi] == du - 1 && (vi as u32) < min_parent {
+                        min_parent = vi as u32;
+                    }
+                } else if forwards {
+                    if p.layer_sizes.len() <= (du + 1) as usize {
+                        p.layer_sizes.push(0);
+                    }
+                    p.layer_sizes[(du + 1) as usize] += 1;
+                    p.visit(v, du + 1, NO_NODE);
+                }
+            }
+            if du > 0 {
+                p.parent[u.index()] = min_parent;
+            }
+            if forwards && deg > 0 {
+                sends += deg;
+                last_delivery = last_delivery.max(du as u64 + 1);
+            }
         }
-        let deg = view.neighbors(v).count() as u64;
-        if deg > 0 {
-            sends += deg;
-            last_delivery = last_delivery.max(dv as u64 + 1);
-        }
+        p.seal();
     }
     ledger.charge_rounds(last_delivery);
     ledger.record_messages(sends, token_bits);
-
-    BfsOutcome {
-        dist,
-        parent,
-        order,
-        layer_sizes,
-    }
+    ws.hop_run()
 }
 
 /// Kernel node program computing the same BFS on the

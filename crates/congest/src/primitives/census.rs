@@ -9,8 +9,9 @@
 //! so the upcast finishes in `L` extra rounds for `L` layers, matching
 //! the paper's `O(r*)` bound for computing `r*`.
 
-use super::bfs::{bfs, BfsOutcome, UNREACHED};
+use super::bfs::{bfs_in, BfsOutcome, UNREACHED};
 use crate::{bits_for_value, Outbox, Protocol, RoundLedger};
+use sdnd_graph::algo::{BfsRun, TraversalWorkspace};
 use sdnd_graph::{Adjacency, NodeId};
 
 /// Result of a layer census from a root node.
@@ -49,42 +50,96 @@ impl LayerCensus {
 /// counts back to the root. Charges the BFS cost plus `L` upcast rounds
 /// (where `L` is the deepest non-empty layer) and the pipelined upcast
 /// messages.
+///
+/// Thin wrapper over [`layer_census_in`] with a throwaway workspace.
 pub fn layer_census<A: Adjacency>(
     view: &A,
     root: NodeId,
     r_max: u32,
     ledger: &mut RoundLedger,
 ) -> LayerCensus {
-    let outcome = bfs(view, [root], r_max, ledger);
-    let layer_counts: Vec<u64> = outcome.layer_sizes().iter().map(|&s| s as u64).collect();
+    let mut ws = TraversalWorkspace::new();
+    let census = layer_census_in(view, root, r_max, ledger, &mut ws);
+    LayerCensus {
+        bfs: BfsOutcome::from_run(view.universe(), census.bfs()),
+        layer_counts: census.layer_counts().to_vec(),
+    }
+}
 
-    // Upcast accounting. sub_max[v] = deepest layer in v's BFS subtree;
-    // node v sends one count message per layer in d(v)..=sub_max(v).
+/// Borrowed result of [`layer_census_in`]: the BFS run view plus the
+/// `u64` layer counts and cumulative ball sizes cached in the workspace.
+pub struct LayerCensusIn<'w> {
+    run: BfsRun<'w>,
+    layer_counts: &'w [u64],
+    ball_sizes: &'w [u64],
+}
+
+impl<'w> LayerCensusIn<'w> {
+    /// The underlying BFS run (distances, parents, order).
+    pub fn bfs(&self) -> &BfsRun<'w> {
+        &self.run
+    }
+
+    /// `layer_counts()[d]` = number of nodes at distance exactly `d`
+    /// from the root, as learned at the root.
+    pub fn layer_counts(&self) -> &'w [u64] {
+        self.layer_counts
+    }
+
+    /// Cumulative ball sizes `|B_r|` (prefix sums, computed once).
+    pub fn ball_sizes(&self) -> &'w [u64] {
+        self.ball_sizes
+    }
+}
+
+/// [`layer_census`] into a caller-held workspace: the BFS runs through
+/// the fused [`bfs_in`], the upcast accounting reuses a pooled buffer,
+/// and the counts live in the workspace — no per-call allocation.
+pub fn layer_census_in<'w, A: Adjacency>(
+    view: &A,
+    root: NodeId,
+    r_max: u32,
+    ledger: &mut RoundLedger,
+    ws: &'w mut TraversalWorkspace,
+) -> LayerCensusIn<'w> {
     let count_bits = bits_for_value(view.universe().max(2) as u64);
-    let mut sub_max: Vec<u32> = (0..view.universe()).map(|_| 0).collect();
-    for &v in outcome.order().iter().rev() {
-        let d = outcome.dist(v);
-        sub_max[v.index()] = sub_max[v.index()].max(d);
-        if let Some(p) = outcome.parent(v) {
-            let up = sub_max[v.index()];
-            if up > sub_max[p.index()] {
-                sub_max[p.index()] = up;
+    let mut sub_max = ws.take_aux_u32();
+    {
+        let outcome = bfs_in(view, [root], r_max, ledger, ws);
+        // Upcast accounting. sub_max[v] = deepest layer in v's BFS
+        // subtree; node v sends one count message per layer in
+        // d(v)..=sub_max(v). Only reached entries are (re)initialized,
+        // so the pooled buffer needs no O(n) clear.
+        if sub_max.len() < view.universe() {
+            sub_max.resize(view.universe(), 0);
+        }
+        for &v in outcome.order() {
+            sub_max[v.index()] = outcome.dist(v);
+        }
+        for &v in outcome.order().iter().rev() {
+            if let Some(p) = outcome.parent(v) {
+                let up = sub_max[v.index()];
+                if up > sub_max[p.index()] {
+                    sub_max[p.index()] = up;
+                }
             }
         }
-    }
-    let mut messages = 0u64;
-    for &v in outcome.order() {
-        if outcome.parent(v).is_some() {
-            messages += (sub_max[v.index()] - outcome.dist(v) + 1) as u64;
+        let mut messages = 0u64;
+        for &v in outcome.order() {
+            if outcome.parent(v).is_some() {
+                messages += (sub_max[v.index()] - outcome.dist(v) + 1) as u64;
+            }
         }
+        let upcast_rounds = outcome.eccentricity().unwrap_or(0) as u64;
+        ledger.charge_rounds(upcast_rounds);
+        ledger.record_messages(messages, count_bits);
     }
-    let upcast_rounds = outcome.eccentricity().unwrap_or(0) as u64;
-    ledger.charge_rounds(upcast_rounds);
-    ledger.record_messages(messages, count_bits);
-
-    LayerCensus {
-        bfs: outcome,
-        layer_counts,
+    ws.give_aux_u32(sub_max);
+    ws.fill_hop_counts_u64();
+    LayerCensusIn {
+        run: ws.hop_run(),
+        layer_counts: ws.hop_layer_counts_u64(),
+        ball_sizes: ws.hop_ball_sizes_u64(),
     }
 }
 
@@ -173,7 +228,7 @@ mod tests {
 
         // Kernel phase 1: BFS.
         let mut bfs_ledger = RoundLedger::new();
-        let outcome = bfs(view, [root], r_max, &mut bfs_ledger);
+        let outcome = crate::primitives::bfs(view, [root], r_max, &mut bfs_ledger);
         let dists: Vec<u32> = (0..view.universe())
             .map(|i| {
                 if outcome.reached(NodeId::new(i)) {

@@ -76,46 +76,59 @@ pub fn elect_leader<A: Adjacency>(view: &A, ledger: &mut RoundLedger) -> LeaderI
 
     let mut rounds = 0u64;
     let mut messages = 0u64;
+    // Per-round delivery scratch: the lexicographically smallest
+    // (id, dist, sender) delivery per receiver — exactly the pair the
+    // kernel adopts from its whole-round inbox — maintained in a single
+    // pass instead of collecting and sorting every delivery.
+    let mut cand: Vec<Option<Best>> = vec![None; n];
+    let mut touched: Vec<NodeId> = Vec::new();
+    let mut improved: Vec<NodeId> = Vec::new();
     while !frontier.is_empty() {
         // Deliveries from the current frontier.
         let mut delivered = false;
-        let mut improved: Vec<NodeId> = Vec::new();
-        // Collect candidate improvements; process deterministically.
-        let mut candidates: Vec<(NodeId, Best)> = Vec::new();
+        touched.clear();
         for &u in &frontier {
             let bu = best[u.index()].expect("frontier node has state");
             for v in view.neighbors(u) {
                 delivered = true;
                 messages += 1;
-                candidates.push((
-                    v,
-                    Best {
-                        id: bu.id,
-                        dist: bu.dist + 1,
-                        parent: Some(u),
-                    },
-                ));
+                let c = Best {
+                    id: bu.id,
+                    dist: bu.dist + 1,
+                    parent: Some(u),
+                };
+                match &mut cand[v.index()] {
+                    slot @ None => {
+                        *slot = Some(c);
+                        touched.push(v);
+                    }
+                    Some(cur) => {
+                        if (c.id, c.dist, c.parent) < (cur.id, cur.dist, cur.parent) {
+                            *cur = c;
+                        }
+                    }
+                }
             }
         }
         if delivered {
             rounds += 1;
         }
-        // Apply: a node adopts the lexicographically smallest (id, dist),
-        // breaking parent ties by minimum sender index — identical to the
-        // kernel, which sees the whole round's inbox at once.
-        candidates.sort_by_key(|&(v, c)| (v, c.id, c.dist, c.parent));
-        for (v, c) in candidates {
+        // Apply: a node adopts the round's best pair iff it improves on
+        // (id, dist) — identical to the kernel, which sees the whole
+        // round's inbox at once and keeps the minimum-sender tie-break.
+        improved.clear();
+        touched.sort_unstable();
+        for &v in &touched {
+            let c = cand[v.index()]
+                .take()
+                .expect("touched entries hold a candidate");
             let cur = best[v.index()].expect("alive node has state");
             if (c.id, c.dist) < (cur.id, cur.dist) {
                 best[v.index()] = Some(c);
-                if improved.last() != Some(&v) {
-                    improved.push(v);
-                }
+                improved.push(v);
             }
         }
-        improved.sort_unstable();
-        improved.dedup();
-        frontier = improved;
+        std::mem::swap(&mut frontier, &mut improved);
     }
 
     ledger.charge_rounds(rounds);

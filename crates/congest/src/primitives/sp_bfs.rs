@@ -21,6 +21,7 @@
 //!   [`Engine`](crate::Engine).
 
 use crate::{bits_for_value, Outbox, Protocol, RoundLedger};
+use sdnd_graph::algo::{SpRun, TraversalWorkspace};
 use sdnd_graph::{Adjacency, Graph, NodeId};
 
 /// Distance marker for unreached nodes.
@@ -114,82 +115,173 @@ where
     A: Adjacency,
     I: IntoIterator<Item = NodeId>,
 {
+    let mut ws = TraversalWorkspace::new();
+    let run = sp_bfs_in(view, sources, r_max, ledger, &mut ws);
     let n = view.universe();
     let mut dist = vec![UNREACHED_W; n];
     let mut parent: Vec<Option<NodeId>> = vec![None; n];
-    let mut frontier: Vec<NodeId> = Vec::new();
-
-    for s in sources {
-        if view.contains(s) && dist[s.index()] != 0.0 {
-            dist[s.index()] = 0.0;
-            frontier.push(s);
-        }
+    for &v in run.order() {
+        dist[v.index()] = run.dist(v);
+        parent[v.index()] = run.parent(v);
     }
-    frontier.sort_unstable();
+    SpBfsOutcome {
+        dist,
+        parent,
+        order: run.order().to_vec(),
+        rounds: run.rounds(),
+    }
+}
 
-    // Per-round relaxation scratch, reset via the touched list.
-    let mut cand = vec![UNREACHED_W; n];
-    let mut cand_from: Vec<NodeId> = vec![NodeId::new(0); n];
-    let mut touched: Vec<NodeId> = Vec::new();
+/// Borrowed result of [`sp_bfs_in`]: the weighted run view plus the
+/// round charge.
+#[derive(Clone, Copy)]
+pub struct SpBfsRun<'w> {
+    run: SpRun<'w>,
+    rounds: u64,
+}
 
+impl<'w> SpBfsRun<'w> {
+    /// Weighted distance from the source set, or `f64::INFINITY`.
+    #[inline]
+    pub fn dist(&self, v: NodeId) -> f64 {
+        self.run.dist(v)
+    }
+
+    /// Whether `v` was reached.
+    #[inline]
+    pub fn reached(&self, v: NodeId) -> bool {
+        self.run.reached(v)
+    }
+
+    /// Relaxation parent (minimum-index tie-break), `None` for sources
+    /// and unreached nodes.
+    #[inline]
+    pub fn parent(&self, v: NodeId) -> Option<NodeId> {
+        self.run.parent(v)
+    }
+
+    /// Reached nodes in non-decreasing distance order (ties by index).
+    pub fn order(&self) -> &'w [NodeId] {
+        self.run.order()
+    }
+
+    /// Number of reached nodes.
+    pub fn reached_count(&self) -> usize {
+        self.run.reached_count()
+    }
+
+    /// Largest distance reached (`None` if nothing was reached).
+    pub fn eccentricity(&self) -> Option<f64> {
+        self.run.eccentricity()
+    }
+
+    /// Reached nodes with distance at most `r`, in distance order.
+    pub fn ball(self, r: f64) -> impl Iterator<Item = NodeId> + 'w {
+        self.run.ball(r)
+    }
+
+    /// Number of reached nodes with distance at most `r`.
+    pub fn ball_count(&self, r: f64) -> usize {
+        self.run.ball_count(r)
+    }
+
+    /// Number of synchronous rounds the flooding used (the charge made
+    /// to the ledger).
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+}
+
+/// [`sp_bfs`] into a caller-held workspace: the relaxation waves run
+/// over the stamped weighted arena (candidates in the auxiliary lane),
+/// with distances, parents, order, and ledger charges value-identical to
+/// the owning path and no per-call allocation.
+pub fn sp_bfs_in<'w, A, I>(
+    view: &A,
+    sources: I,
+    r_max: f64,
+    ledger: &mut RoundLedger,
+    ws: &'w mut TraversalWorkspace,
+) -> SpBfsRun<'w>
+where
+    A: Adjacency,
+    I: IntoIterator<Item = NodeId>,
+{
+    const NO_NODE: u32 = u32::MAX;
     let bits = dist_bits(view);
     let mut sends = 0u64;
     let mut last_delivery = 0u64;
     let mut round = 0u64;
-
-    while !frontier.is_empty() {
-        round += 1;
-        let mut delivered = false;
-        touched.clear();
-        // Senders broadcast in ascending index order — together with the
-        // strict `<` below this reproduces the kernel's sorted-inbox,
-        // minimum-sender tie-break exactly.
-        for &v in &frontier {
-            if dist[v.index()] >= r_max {
-                continue;
+    {
+        let mut p = ws.begin_sp(view.universe());
+        for s in sources {
+            if view.contains(s) && !p.reached(s) {
+                p.set_dist(s, 0.0, NO_NODE);
+                p.frontier.push(s);
             }
-            for (u, w) in view.neighbors_weighted(v) {
-                delivered = true;
-                sends += 1;
-                let c = dist[v.index()] + w;
-                if c < cand[u.index()] {
-                    if cand[u.index()] == UNREACHED_W {
-                        touched.push(u);
+        }
+        p.frontier.sort_unstable();
+
+        while !p.frontier.is_empty() {
+            round += 1;
+            let mut delivered = false;
+            p.touched.clear();
+            // Senders broadcast in ascending index order — together with
+            // the strict `<` below this reproduces the kernel's
+            // sorted-inbox, minimum-sender tie-break exactly.
+            for fi in 0..p.frontier.len() {
+                let v = p.frontier[fi];
+                if p.dist[v.index()] >= r_max {
+                    continue;
+                }
+                for (u, w) in view.neighbors_weighted(v) {
+                    delivered = true;
+                    sends += 1;
+                    let c = p.dist[v.index()] + w;
+                    let ui = u.index();
+                    // Candidate lane: unstamped entries read as
+                    // unreached, and entries are reset (not unstamped)
+                    // at the end of each round.
+                    let cur = if p.aux_stamp[ui] == p.epoch {
+                        p.aux_dist[ui]
+                    } else {
+                        UNREACHED_W
+                    };
+                    if c < cur {
+                        if cur == UNREACHED_W {
+                            p.touched.push(u);
+                        }
+                        p.aux_stamp[ui] = p.epoch;
+                        p.aux_dist[ui] = c;
+                        p.aux_from[ui] = v.index() as u32;
                     }
-                    cand[u.index()] = c;
-                    cand_from[u.index()] = v;
                 }
             }
-        }
-        if delivered {
-            last_delivery = round;
-        }
-        frontier.clear();
-        touched.sort_unstable();
-        for &u in &touched {
-            let c = cand[u.index()];
-            if c <= r_max && c < dist[u.index()] {
-                dist[u.index()] = c;
-                parent[u.index()] = Some(cand_from[u.index()]);
-                frontier.push(u);
+            if delivered {
+                last_delivery = round;
             }
-            cand[u.index()] = UNREACHED_W;
+            p.frontier.clear();
+            p.touched.sort_unstable();
+            for ti in 0..p.touched.len() {
+                let u = p.touched[ti];
+                let ui = u.index();
+                let c = p.aux_dist[ui];
+                if c <= r_max && c < p.dist_of(u) {
+                    let from = p.aux_from[ui];
+                    p.set_dist(u, c, from);
+                    p.frontier.push(u);
+                }
+                p.aux_dist[ui] = UNREACHED_W;
+            }
         }
+        let dist = &*p.dist;
+        p.order
+            .sort_unstable_by(|&a, &b| dist[a.index()].total_cmp(&dist[b.index()]).then(a.cmp(&b)));
     }
-
     ledger.charge_rounds(last_delivery);
     ledger.record_messages(sends, bits);
-
-    let mut order: Vec<NodeId> = (0..n)
-        .map(NodeId::new)
-        .filter(|&v| dist[v.index()] != UNREACHED_W)
-        .collect();
-    order.sort_unstable_by(|&a, &b| dist[a.index()].total_cmp(&dist[b.index()]).then(a.cmp(&b)));
-
-    SpBfsOutcome {
-        dist,
-        parent,
-        order,
+    SpBfsRun {
+        run: ws.sp_run(),
         rounds: last_delivery,
     }
 }

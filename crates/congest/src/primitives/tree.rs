@@ -24,13 +24,7 @@ pub(crate) struct TreeShape {
 
 /// Number of tree nodes (the root plus everything with a parent chain).
 pub(crate) fn tree_shape(universe: usize, root: NodeId, parent: &[Option<NodeId>]) -> TreeShape {
-    assert_eq!(parent.len(), universe, "parent vector length mismatch");
-    let mut children: Vec<Vec<NodeId>> = vec![Vec::new(); universe];
-    for (i, p) in parent.iter().enumerate() {
-        if let Some(p) = p {
-            children[p.index()].push(NodeId::new(i));
-        }
-    }
+    let (start, children) = sdnd_graph::algo::children_csr(universe, parent);
     let mut depth = vec![u32::MAX; universe];
     let mut order = Vec::new();
     depth[root.index()] = 0;
@@ -39,7 +33,7 @@ pub(crate) fn tree_shape(universe: usize, root: NodeId, parent: &[Option<NodeId>
     while head < order.len() {
         let v = order[head];
         head += 1;
-        for &c in &children[v.index()] {
+        for &c in &children[start[v.index()]..start[v.index() + 1]] {
             if depth[c.index()] == u32::MAX {
                 depth[c.index()] = depth[v.index()] + 1;
                 order.push(c);

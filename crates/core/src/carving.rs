@@ -7,7 +7,7 @@
 //! stand-in) into the weak→strong transformation.
 
 use crate::{transform, Params};
-use sdnd_clustering::{BallCarving, StrongCarver};
+use sdnd_clustering::{BallCarving, CarveCtx, StrongCarver};
 use sdnd_congest::RoundLedger;
 use sdnd_graph::{Graph, NodeSet};
 
@@ -41,8 +41,19 @@ impl StrongCarver for Theorem22Carver {
         eps: f64,
         ledger: &mut RoundLedger,
     ) -> BallCarving {
+        self.carve_strong_in(g, alive, eps, ledger, &mut CarveCtx::new())
+    }
+
+    fn carve_strong_in(
+        &self,
+        g: &Graph,
+        alive: &NodeSet,
+        eps: f64,
+        ledger: &mut RoundLedger,
+        ctx: &mut CarveCtx,
+    ) -> BallCarving {
         let weak = self.params.weak_carver();
-        transform::weak_to_strong(g, alive, eps, &weak, &self.params, ledger)
+        transform::weak_to_strong_in(g, alive, eps, &weak, &self.params, ledger, ctx)
     }
 
     fn name(&self) -> &'static str {
@@ -59,6 +70,18 @@ pub fn strong_ball_carving(
     ledger: &mut RoundLedger,
 ) -> BallCarving {
     Theorem22Carver::new(params.clone()).carve_strong(g, alive, eps, ledger)
+}
+
+/// [`strong_ball_carving`] with a caller-held [`CarveCtx`].
+pub fn strong_ball_carving_in(
+    g: &Graph,
+    alive: &NodeSet,
+    eps: f64,
+    params: &Params,
+    ledger: &mut RoundLedger,
+    ctx: &mut CarveCtx,
+) -> BallCarving {
+    Theorem22Carver::new(params.clone()).carve_strong_in(g, alive, eps, ledger, ctx)
 }
 
 #[cfg(test)]

@@ -5,7 +5,9 @@
 //! of the remaining nodes; repetition `i` becomes color `i`.
 
 use crate::{CoreError, Params, Theorem22Carver, Theorem33Carver};
-use sdnd_clustering::{decompose_with_strong_carver, NetworkDecomposition, StrongCarver};
+use sdnd_clustering::{
+    decompose_with_strong_carver_in, CarveCtx, NetworkDecomposition, StrongCarver,
+};
 use sdnd_congest::RoundLedger;
 use sdnd_graph::Graph;
 
@@ -36,8 +38,20 @@ pub fn decompose_strong_with(
     params: &Params,
     ledger: &mut RoundLedger,
 ) -> NetworkDecomposition {
+    decompose_strong_with_in(g, params, ledger, &mut CarveCtx::new())
+}
+
+/// Theorem 2.3 with caller-provided ledger and [`CarveCtx`]: one
+/// traversal workspace serves every carving repetition of the LS93
+/// reduction (and stays warm across repeated decompositions).
+pub fn decompose_strong_with_in(
+    g: &Graph,
+    params: &Params,
+    ledger: &mut RoundLedger,
+    ctx: &mut CarveCtx,
+) -> NetworkDecomposition {
     let carver = Theorem22Carver::new(params.clone());
-    decompose_with_strong_carver(g, &carver, 0.5, ledger)
+    decompose_with_strong_carver_in(g, &carver, 0.5, ledger, ctx)
 }
 
 /// Theorem 3.4: the improved decomposition with `O(log n)` colors and
@@ -64,8 +78,18 @@ pub fn decompose_strong_improved_with(
     params: &Params,
     ledger: &mut RoundLedger,
 ) -> NetworkDecomposition {
+    decompose_strong_improved_with_in(g, params, ledger, &mut CarveCtx::new())
+}
+
+/// Theorem 3.4 with caller-provided ledger and [`CarveCtx`].
+pub fn decompose_strong_improved_with_in(
+    g: &Graph,
+    params: &Params,
+    ledger: &mut RoundLedger,
+    ctx: &mut CarveCtx,
+) -> NetworkDecomposition {
     let carver = Theorem33Carver::new(params.clone());
-    decompose_with_strong_carver(g, &carver, 0.5, ledger)
+    decompose_with_strong_carver_in(g, &carver, 0.5, ledger, ctx)
 }
 
 /// Generic form: decompose with any strong carver (used by the
@@ -76,7 +100,17 @@ pub fn decompose_with<C: StrongCarver + ?Sized>(
     carver: &C,
     ledger: &mut RoundLedger,
 ) -> NetworkDecomposition {
-    decompose_with_strong_carver(g, carver, 0.5, ledger)
+    decompose_with_in(g, carver, ledger, &mut CarveCtx::new())
+}
+
+/// [`decompose_with`] with a caller-held [`CarveCtx`].
+pub fn decompose_with_in<C: StrongCarver + ?Sized>(
+    g: &Graph,
+    carver: &C,
+    ledger: &mut RoundLedger,
+    ctx: &mut CarveCtx,
+) -> NetworkDecomposition {
+    decompose_with_strong_carver_in(g, carver, 0.5, ledger, ctx)
 }
 
 #[cfg(test)]

@@ -14,9 +14,9 @@
 //! leave parts with unbounded diameter. Deaths per level are
 //! `O(eps / log n)`, totalling at most `eps`.
 
-use crate::sparse_cut::{cut_or_component, CutOrComponent};
+use crate::sparse_cut::{cut_or_component_in, CutOrComponent};
 use crate::Params;
-use sdnd_clustering::{BallCarving, StrongCarver};
+use sdnd_clustering::{BallCarving, CarveCtx, StrongCarver};
 use sdnd_congest::RoundLedger;
 use sdnd_graph::{Graph, NodeId, NodeSet};
 
@@ -35,6 +35,24 @@ pub fn improve_diameter<C: StrongCarver + ?Sized>(
     a1: &C,
     params: &Params,
     ledger: &mut RoundLedger,
+) -> BallCarving {
+    improve_diameter_in(g, alive, eps, a1, params, ledger, &mut CarveCtx::new())
+}
+
+/// [`improve_diameter`] with a caller-held [`CarveCtx`]: the context is
+/// threaded into every `A1` invocation (via
+/// [`StrongCarver::carve_strong_in`]) and every Lemma 3.1 cut, and the
+/// per-cluster member sets come from its NodeSet pool instead of being
+/// rebuilt per cluster per level. Output and ledger charges are
+/// bit-identical to the wrapper.
+pub fn improve_diameter_in<C: StrongCarver + ?Sized>(
+    g: &Graph,
+    alive: &NodeSet,
+    eps: f64,
+    a1: &C,
+    params: &Params,
+    ledger: &mut RoundLedger,
+    ctx: &mut CarveCtx,
 ) -> BallCarving {
     assert!(eps > 0.0 && eps < 1.0, "eps must lie in (0,1), got {eps}");
     let n0 = alive.len();
@@ -57,12 +75,14 @@ pub fn improve_diameter<C: StrongCarver + ?Sized>(
 
         for part in work {
             if part.is_empty() {
+                ctx.ws.give_set(part);
                 continue;
             }
             let mut branch = RoundLedger::new();
             // A1: strong carving with the shrunken boundary. Its dead
             // nodes are dead for good.
-            let carving = a1.carve_strong(g, &part, eps_inner, &mut branch);
+            let carving = a1.carve_strong_in(g, &part, eps_inner, &mut branch, ctx);
+            ctx.ws.give_set(part);
 
             for members in carving.clusters() {
                 if members.len() <= 2 {
@@ -70,19 +90,22 @@ pub fn improve_diameter<C: StrongCarver + ?Sized>(
                     out_clusters.push(members.clone());
                     continue;
                 }
-                let cluster_set = NodeSet::from_nodes(g.n(), members.iter().copied());
-                match cut_or_component(g, &cluster_set, eps, params, &mut branch) {
+                let cluster_set = ctx.ws.take_set_from(g.n(), members.iter().copied());
+                match cut_or_component_in(g, &cluster_set, eps, params, &mut branch, ctx) {
                     CutOrComponent::SparseCut { v1, v2, middle: _ } => {
                         next_work.push(v1);
                         next_work.push(v2);
                         // middle dies (simply not forwarded anywhere).
+                        ctx.ws.give_set(cluster_set);
                     }
                     CutOrComponent::Component { u, boundary } => {
                         out_clusters.push(u.iter().collect());
                         let mut rest = cluster_set;
                         rest.subtract(&u);
                         rest.subtract(&boundary);
-                        if !rest.is_empty() {
+                        if rest.is_empty() {
+                            ctx.ws.give_set(rest);
+                        } else {
                             next_work.push(rest);
                         }
                     }
@@ -124,8 +147,19 @@ impl StrongCarver for Theorem33Carver {
         eps: f64,
         ledger: &mut RoundLedger,
     ) -> BallCarving {
+        self.carve_strong_in(g, alive, eps, ledger, &mut CarveCtx::new())
+    }
+
+    fn carve_strong_in(
+        &self,
+        g: &Graph,
+        alive: &NodeSet,
+        eps: f64,
+        ledger: &mut RoundLedger,
+        ctx: &mut CarveCtx,
+    ) -> BallCarving {
         let base = crate::Theorem22Carver::new(self.params.clone());
-        improve_diameter(g, alive, eps, &base, &self.params, ledger)
+        improve_diameter_in(g, alive, eps, &base, &self.params, ledger, ctx)
     }
 
     fn name(&self) -> &'static str {

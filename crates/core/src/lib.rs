@@ -46,14 +46,16 @@ pub mod sparse_cut;
 pub mod transform;
 pub mod transform_edge;
 
-pub use carving::{strong_ball_carving, Theorem22Carver};
+pub use carving::{strong_ball_carving, strong_ball_carving_in, Theorem22Carver};
 pub use decomposition::{
     decompose_strong, decompose_strong_improved, decompose_strong_improved_with,
-    decompose_strong_with, decompose_with,
+    decompose_strong_improved_with_in, decompose_strong_with, decompose_strong_with_in,
+    decompose_with, decompose_with_in,
 };
 pub use error::CoreError;
 pub use improve::Theorem33Carver;
 pub use params::Params;
+pub use sdnd_clustering::CarveCtx;
 pub use sparse_cut::CutOrComponent;
 
 use sdnd_congest::RoundLedger;
@@ -73,4 +75,17 @@ pub fn strong_ball_carving_improved(
 ) -> sdnd_clustering::BallCarving {
     let carver = Theorem33Carver::new(params.clone());
     sdnd_clustering::StrongCarver::carve_strong(&carver, g, alive, eps, ledger)
+}
+
+/// [`strong_ball_carving_improved`] with a caller-held [`CarveCtx`].
+pub fn strong_ball_carving_improved_in(
+    g: &Graph,
+    alive: &NodeSet,
+    eps: f64,
+    params: &Params,
+    ledger: &mut RoundLedger,
+    ctx: &mut CarveCtx,
+) -> sdnd_clustering::BallCarving {
+    let carver = Theorem33Carver::new(params.clone());
+    sdnd_clustering::StrongCarver::carve_strong_in(&carver, g, alive, eps, ledger, ctx)
 }

@@ -22,7 +22,9 @@
 //! it to the thinnest layer within one more window yields `U`.
 
 use crate::Params;
+use sdnd_clustering::CarveCtx;
 use sdnd_congest::{bits_for_value, primitives, RoundLedger};
+use sdnd_graph::algo::TraversalWorkspace;
 use sdnd_graph::{Adjacency, Graph, NodeId, NodeSet};
 
 /// The two possible outcomes of Lemma 3.1.
@@ -74,6 +76,22 @@ pub fn cut_or_component(
     params: &Params,
     ledger: &mut RoundLedger,
 ) -> CutOrComponent {
+    cut_or_component_in(g, alive, eps, params, ledger, &mut CarveCtx::new())
+}
+
+/// [`cut_or_component`] with a caller-held [`CarveCtx`]: the `O(log n)`
+/// BFS runs per invocation share one traversal workspace and the split
+/// halves come from its NodeSet pool, so a whole invocation performs
+/// `O(1)` heap allocations per traversal. Outcome and ledger charges are
+/// bit-identical to the wrapper.
+pub fn cut_or_component_in(
+    g: &Graph,
+    alive: &NodeSet,
+    eps: f64,
+    params: &Params,
+    ledger: &mut RoundLedger,
+    ctx: &mut CarveCtx,
+) -> CutOrComponent {
     assert!(eps > 0.0 && eps < 1.0, "eps must lie in (0,1), got {eps}");
     assert!(!alive.is_empty(), "Lemma 3.1 needs a nonempty set");
     let n = alive.len();
@@ -91,7 +109,11 @@ pub fn cut_or_component(
     let tree_height = primitives::tree_height(g.n(), leader, leader_info.parents()) as u64;
     let count_bits = bits_for_value(g.n().max(2) as u64);
 
-    let mut s: NodeSet = alive.clone();
+    let mut s: NodeSet = {
+        let mut s = ctx.ws.take_set(g.n());
+        s.assign(alive);
+        s
+    };
     let max_iters = Params::log2n(n) + 2;
 
     for _ in 0..max_iters {
@@ -99,19 +121,19 @@ pub fn cut_or_component(
             break;
         }
         // Layer census from the source set S.
-        let bfs = primitives::bfs(&view, s.iter(), u32::MAX, ledger);
+        let bfs = primitives::bfs_in(&view, s.iter(), u32::MAX, ledger, &mut ctx.ws);
         let balls = bfs.ball_sizes();
         // Aggregating the layer counts to the leader: pipelined over the
         // leader's BFS tree.
         ledger.charge_rounds(tree_height + balls.len() as u64);
         ledger.record_messages(s.len() as u64 + balls.len() as u64, count_bits);
 
-        let a = smallest_radius_reaching(&balls, third);
-        let b = smallest_radius_reaching(&balls, two_thirds);
+        let a = smallest_radius_reaching(balls, third);
+        let b = smallest_radius_reaching(balls, two_thirds);
 
         if b.saturating_sub(a) >= window {
             // Wide annulus: cut along the thinnest layer in [a, b-2].
-            let r_star = thinnest_layer(&balls, a, b - 2);
+            let r_star = thinnest_layer(balls, a, b - 2);
             let mut v1 = NodeSet::empty(g.n());
             let mut middle = NodeSet::empty(g.n());
             let mut v2 = NodeSet::empty(g.n());
@@ -128,14 +150,15 @@ pub fn cut_or_component(
             debug_assert!(
                 v1.len() >= third && v2.len() + middle.len() >= n - balls[b as usize - 1]
             );
+            ctx.ws.give_set(s);
             return CutOrComponent::SparseCut { v1, v2, middle };
         }
 
         // Narrow annulus: split S along the DFS order of the leader tree.
         let ranks = primitives::subset_dfs_ranks(&view, leader, leader_info.parents(), &s, ledger);
         let half = (s.len() as u32).div_ceil(2);
-        let mut s1 = NodeSet::empty(g.n());
-        let mut s2 = NodeSet::empty(g.n());
+        let mut s1 = ctx.ws.take_set(g.n());
+        let mut s2 = ctx.ws.take_set(g.n());
         for v in s.iter() {
             match ranks[v.index()] {
                 Some(r) if r < half => {
@@ -152,19 +175,22 @@ pub fn cut_or_component(
             }
         }
         // Keep the half with the smaller a-radius.
-        let a1 = radius_to_third(&view, &s1, third, ledger);
-        let a2 = radius_to_third(&view, &s2, third, ledger);
+        let a1 = radius_to_third(&view, &s1, third, ledger, &mut ctx.ws);
+        let a2 = radius_to_third(&view, &s2, third, ledger, &mut ctx.ws);
         ledger.charge_rounds(2 * tree_height);
-        s = if a1 <= a2 { s1 } else { s2 };
+        let (winner, loser) = if a1 <= a2 { (s1, s2) } else { (s2, s1) };
+        ctx.ws.give_set(loser);
+        ctx.ws.give_set(std::mem::replace(&mut s, winner));
     }
 
     // S is a single seed: grow to the thinnest layer past the n/3 ball.
     let seed = s.iter().next().expect("seed remains");
-    let bfs = primitives::bfs(&view, [seed], u32::MAX, ledger);
+    ctx.ws.give_set(s);
+    let bfs = primitives::bfs_in(&view, [seed], u32::MAX, ledger, &mut ctx.ws);
     let balls = bfs.ball_sizes();
     ledger.charge_rounds(tree_height + balls.len() as u64);
-    let a = smallest_radius_reaching(&balls, third);
-    let r_star = thinnest_layer(&balls, a, a + window);
+    let a = smallest_radius_reaching(balls, third);
+    let r_star = thinnest_layer(balls, a, a + window);
 
     let mut u = NodeSet::empty(g.n());
     let mut boundary = NodeSet::empty(g.n());
@@ -213,12 +239,13 @@ fn radius_to_third<A: Adjacency>(
     seed: &NodeSet,
     target: usize,
     ledger: &mut RoundLedger,
+    ws: &mut TraversalWorkspace,
 ) -> u32 {
     if seed.is_empty() {
         return u32::MAX;
     }
-    let bfs = primitives::bfs(view, seed.iter(), u32::MAX, ledger);
-    smallest_radius_reaching(&bfs.ball_sizes(), target)
+    let bfs = primitives::bfs_in(view, seed.iter(), u32::MAX, ledger, ws);
+    smallest_radius_reaching(bfs.ball_sizes(), target)
 }
 
 /// Convenience wrapper verifying the Lemma 3.1 guarantees (used by tests
@@ -231,12 +258,13 @@ pub fn cut_or_component_report(
     params: &Params,
     ledger: &mut RoundLedger,
 ) -> (CutOrComponent, f64, Option<u32>) {
-    let outcome = cut_or_component(g, alive, eps, params, ledger);
+    let mut ctx = CarveCtx::new();
+    let outcome = cut_or_component_in(g, alive, eps, params, ledger, &mut ctx);
     let removed_fraction = outcome.removed().len() as f64 / alive.len() as f64;
     let diam = match &outcome {
         CutOrComponent::Component { u, .. } => {
             let members: Vec<NodeId> = u.iter().collect();
-            sdnd_clustering::metrics::strong_diameter_of(g, &members)
+            sdnd_clustering::metrics::strong_diameter_of_in(g, &members, &mut ctx)
         }
         CutOrComponent::SparseCut { .. } => None,
     };

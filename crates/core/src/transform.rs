@@ -33,7 +33,7 @@
 //! fraction of its removed ball, and removed balls are disjoint).
 
 use crate::Params;
-use sdnd_clustering::{BallCarving, WeakCarver};
+use sdnd_clustering::{BallCarving, CarveCtx, WeakCarver};
 use sdnd_congest::{bits_for_value, primitives, RoundLedger};
 use sdnd_graph::algo::MetricOracle;
 use sdnd_graph::{algo, Adjacency as _, Graph, NodeId, NodeSet};
@@ -63,6 +63,22 @@ pub fn weak_to_strong<A: WeakCarver + ?Sized>(
     weak_to_strong_with_oracle(g, alive, eps, a, params, algo::oracle_for(g), ledger)
 }
 
+/// [`weak_to_strong`] with a caller-held [`CarveCtx`]: every Case II
+/// ball growth (layer census or weighted flood) and component scan
+/// reuses the context's traversal workspace. Output and ledger charges
+/// are bit-identical to the wrapper.
+pub fn weak_to_strong_in<A: WeakCarver + ?Sized>(
+    g: &Graph,
+    alive: &NodeSet,
+    eps: f64,
+    a: &A,
+    params: &Params,
+    ledger: &mut RoundLedger,
+    ctx: &mut CarveCtx,
+) -> BallCarving {
+    weak_to_strong_with_oracle_in(g, alive, eps, a, params, algo::oracle_for(g), ledger, ctx)
+}
+
 /// [`weak_to_strong`] with an explicit distance metric for the Case II
 /// ball growth.
 ///
@@ -90,6 +106,30 @@ pub fn weak_to_strong_with_oracle<A: WeakCarver + ?Sized>(
     params: &Params,
     oracle: MetricOracle,
     ledger: &mut RoundLedger,
+) -> BallCarving {
+    weak_to_strong_with_oracle_in(
+        g,
+        alive,
+        eps,
+        a,
+        params,
+        oracle,
+        ledger,
+        &mut CarveCtx::new(),
+    )
+}
+
+/// [`weak_to_strong_with_oracle`] with a caller-held [`CarveCtx`].
+#[allow(clippy::too_many_arguments)]
+pub fn weak_to_strong_with_oracle_in<A: WeakCarver + ?Sized>(
+    g: &Graph,
+    alive: &NodeSet,
+    eps: f64,
+    a: &A,
+    params: &Params,
+    oracle: MetricOracle,
+    ledger: &mut RoundLedger,
+    ctx: &mut CarveCtx,
 ) -> BallCarving {
     assert!(eps > 0.0 && eps < 1.0, "eps must lie in (0,1), got {eps}");
     let n0 = alive.len();
@@ -136,8 +176,10 @@ pub fn weak_to_strong_with_oracle<A: WeakCarver + ?Sized>(
                 &mut out_clusters,
                 &mut next_work,
                 &mut branch,
+                ctx,
             );
             branch_ledgers.push(branch);
+            ctx.ws.give_set(s);
         }
         ledger.merge_parallel(branch_ledgers);
         work = next_work;
@@ -165,6 +207,7 @@ fn process_component<A: WeakCarver + ?Sized>(
     out_clusters: &mut Vec<Vec<NodeId>>,
     next_work: &mut Vec<NodeSet>,
     ledger: &mut RoundLedger,
+    ctx: &mut CarveCtx,
 ) {
     if s.is_empty() {
         return;
@@ -174,8 +217,9 @@ fn process_component<A: WeakCarver + ?Sized>(
         return;
     }
 
-    // Step 1: the black-box weak carving on G[S].
-    let wc = a.carve_weak(g, s, eps_inner, ledger);
+    // Step 1: the black-box weak carving on G[S] (workspace-threaded
+    // for carvers that support it).
+    let wc = a.carve_weak_in(g, s, eps_inner, ledger, ctx);
 
     // Giant detection: sizes are gathered over the Steiner trees
     // (depth x congestion rounds, one counter message per tree node).
@@ -197,13 +241,14 @@ fn process_component<A: WeakCarver + ?Sized>(
     match giant {
         None => {
             // Case I: drop the carver's dead nodes, recurse on components.
-            let mut remaining = s.clone();
+            let mut remaining = ctx.ws.take_set(g.n());
+            remaining.assign(s);
             remaining.subtract(wc.carving().dead());
-            if remaining.is_empty() {
-                return;
+            if !remaining.is_empty() {
+                let view = g.view(&remaining);
+                next_work.extend(algo::connected_components(&view).into_sets());
             }
-            let view = g.view(&remaining);
-            next_work.extend(algo::connected_components(&view).into_sets());
+            ctx.ws.give_set(remaining);
         }
         Some(ci) => match oracle {
             MetricOracle::Hop(_) => {
@@ -216,7 +261,8 @@ fn process_component<A: WeakCarver + ?Sized>(
                 let r_hi = r_lo + window;
 
                 let view = g.view(s);
-                let census = primitives::layer_census(&view, root, r_hi + 1, ledger);
+                let census =
+                    primitives::layer_census_in(&view, root, r_hi + 1, ledger, &mut ctx.ws);
                 let balls = census.ball_sizes();
                 debug_assert!(
                     wc.carving().clusters()[ci]
@@ -252,7 +298,8 @@ fn process_component<A: WeakCarver + ?Sized>(
 
                 out_clusters.push(ball.clone());
 
-                let mut remaining = s.clone();
+                let mut remaining = ctx.ws.take_set(g.n());
+                remaining.assign(s);
                 for v in ball.into_iter().chain(boundary) {
                     remaining.remove(v);
                 }
@@ -260,6 +307,7 @@ fn process_component<A: WeakCarver + ?Sized>(
                     let view = g.view(&remaining);
                     next_work.extend(algo::connected_components(&view).into_sets());
                 }
+                ctx.ws.give_set(remaining);
             }
             MetricOracle::Weighted(_) => {
                 // Case II in the weighted metric: grow `B_r(a)` in steps
@@ -270,6 +318,12 @@ fn process_component<A: WeakCarver + ?Sized>(
                 // size by `1 / (1 - eps/2)`.
                 let root = wc.forest().tree(ci).root();
                 let tree_depth = wc.forest().tree(ci).depth().expect("valid tree");
+
+                // Scratch sets for the shell computation, taken before
+                // the flood so the pool and the run view never borrow
+                // the workspace at the same time.
+                let mut in_ball = ctx.ws.take_set(g.n());
+                let mut shell = ctx.ws.take_set(g.n());
 
                 let view = g.view(s);
                 let w_max = s
@@ -285,7 +339,7 @@ fn process_component<A: WeakCarver + ?Sized>(
                 // flooding the whole component would inflate the round
                 // charge far beyond the paper's window-bounded analysis.
                 let r_cap = tree_depth as f64 * step.max(1.0) + (window as f64 + 1.0) * step;
-                let sp = primitives::sp_bfs(&view, [root], r_cap, ledger);
+                let sp = primitives::sp_bfs_in(&view, [root], r_cap, ledger, &mut ctx.ws);
                 // Ball counts and the component's max edge weight reach
                 // the root by a convergecast over the relaxation tree:
                 // its height is at most the flooding round count, with
@@ -338,32 +392,37 @@ fn process_component<A: WeakCarver + ?Sized>(
                 // keeps non-adjacency of the output immune to `f64`
                 // rounding at the shell's outer rim. Under unit weights
                 // both sets are exactly the hop layer `r* + 1`.
-                let in_ball = NodeSet::from_nodes(g.n(), ball.iter().copied());
-                let mut boundary = NodeSet::empty(g.n());
+                for &v in &ball {
+                    in_ball.insert(v);
+                }
                 for v in sp.ball(r_star + step) {
                     if !in_ball.contains(v) {
-                        boundary.insert(v);
+                        shell.insert(v);
                     }
                 }
                 for &v in &ball {
                     for u in view.neighbors(v) {
                         if !in_ball.contains(u) {
-                            boundary.insert(u);
+                            shell.insert(u);
                         }
                     }
                 }
 
                 out_clusters.push(ball.clone());
 
-                let mut remaining = s.clone();
+                let mut remaining = ctx.ws.take_set(g.n());
+                remaining.assign(s);
                 for v in ball {
                     remaining.remove(v);
                 }
-                remaining.subtract(&boundary);
+                remaining.subtract(&shell);
                 if !remaining.is_empty() {
                     let view = g.view(&remaining);
                     next_work.extend(algo::connected_components(&view).into_sets());
                 }
+                ctx.ws.give_set(remaining);
+                ctx.ws.give_set(in_ball);
+                ctx.ws.give_set(shell);
             }
         },
     }

@@ -22,7 +22,7 @@
 //!   `eps m / 2`.
 
 use crate::Params;
-use sdnd_clustering::{EdgeCarving, WeakEdgeCarver};
+use sdnd_clustering::{CarveCtx, EdgeCarving, WeakEdgeCarver};
 use sdnd_congest::{bits_for_value, primitives, RoundLedger};
 use sdnd_graph::{algo, Adjacency, Graph, NodeId, NodeSet};
 use std::collections::HashSet;
@@ -41,6 +41,22 @@ pub fn weak_to_strong_edges<A: WeakEdgeCarver + ?Sized>(
     a: &A,
     params: &Params,
     ledger: &mut RoundLedger,
+) -> EdgeCarving {
+    weak_to_strong_edges_in(g, alive, eps, a, params, ledger, &mut CarveCtx::new())
+}
+
+/// [`weak_to_strong_edges`] with a caller-held [`CarveCtx`] (the Case II
+/// layer censuses run through the context's traversal workspace; the
+/// per-iteration filtered graphs are still materialized, as the cut set
+/// changes the edge structure itself).
+pub fn weak_to_strong_edges_in<A: WeakEdgeCarver + ?Sized>(
+    g: &Graph,
+    alive: &NodeSet,
+    eps: f64,
+    a: &A,
+    params: &Params,
+    ledger: &mut RoundLedger,
+    ctx: &mut CarveCtx,
 ) -> EdgeCarving {
     assert!(eps > 0.0 && eps < 1.0, "eps must lie in (0,1), got {eps}");
     let n0 = alive.len();
@@ -89,6 +105,7 @@ pub fn weak_to_strong_edges<A: WeakEdgeCarver + ?Sized>(
                 &mut out_clusters,
                 &mut next_work,
                 &mut branch,
+                ctx,
             );
             branch_ledgers.push(branch);
         }
@@ -135,6 +152,7 @@ fn process_component<A: WeakEdgeCarver + ?Sized>(
     out_clusters: &mut Vec<Vec<NodeId>>,
     next_work: &mut Vec<NodeSet>,
     ledger: &mut RoundLedger,
+    ctx: &mut CarveCtx,
 ) {
     if s.is_empty() {
         return;
@@ -197,7 +215,7 @@ fn process_component<A: WeakEdgeCarver + ?Sized>(
             let r_lo = wc.forest().tree(ci).depth().expect("valid tree");
             let r_hi = r_lo + window;
 
-            let census = primitives::layer_census(&view, root, r_hi + 1, ledger);
+            let census = primitives::layer_census_in(&view, root, r_hi + 1, ledger, &mut ctx.ws);
             let bfs = census.bfs();
 
             // Edge census per radius: E_in[r] (edges inside B_r) and

@@ -1,7 +1,6 @@
 //! Breadth-first search, single- and multi-source, with layer censuses.
 
 use crate::{Adjacency, NodeId};
-use std::collections::VecDeque;
 
 /// Distance value for nodes not reached by a BFS.
 pub const UNREACHED: u32 = u32::MAX;
@@ -16,6 +15,7 @@ pub struct BfsResult {
     parent: Vec<Option<NodeId>>,
     order: Vec<NodeId>,
     layer_sizes: Vec<usize>,
+    ball_sizes: Vec<usize>,
 }
 
 impl BfsResult {
@@ -53,16 +53,10 @@ impl BfsResult {
     }
 
     /// Cumulative ball sizes: `ball_sizes()[r] = |B_r|`, the number of
-    /// nodes within distance `r` of the source set.
-    pub fn ball_sizes(&self) -> Vec<usize> {
-        let mut acc = 0;
-        self.layer_sizes
-            .iter()
-            .map(|&s| {
-                acc += s;
-                acc
-            })
-            .collect()
+    /// nodes within distance `r` of the source set. Prefix sums are
+    /// computed once when the search finishes, not per call.
+    pub fn ball_sizes(&self) -> &[usize] {
+        &self.ball_sizes
     }
 
     /// The largest distance reached, i.e. the eccentricity of the source
@@ -99,53 +93,36 @@ where
 /// Runs a BFS truncated at distance `max_dist` (inclusive).
 ///
 /// Nodes farther than `max_dist` from every source are left [`UNREACHED`].
+///
+/// Thin wrapper over [`super::bfs_bounded_in`] with a throwaway
+/// [`super::TraversalWorkspace`]; repeated callers should hold a
+/// workspace and use the `_in` form directly.
 pub fn bfs_bounded<A, I>(view: &A, sources: I, max_dist: u32) -> BfsResult
 where
     A: Adjacency,
     I: IntoIterator<Item = NodeId>,
 {
-    let n = view.universe();
-    let mut dist = vec![UNREACHED; n];
-    let mut parent: Vec<Option<NodeId>> = vec![None; n];
-    let mut order = Vec::new();
-    let mut layer_sizes = Vec::new();
-    let mut queue = VecDeque::new();
+    let mut ws = super::TraversalWorkspace::new();
+    let run = super::bfs_bounded_in(&mut ws, view, sources, max_dist);
+    BfsResult::from_run(view.universe(), &run)
+}
 
-    for s in sources {
-        if view.contains(s) && dist[s.index()] == UNREACHED {
-            dist[s.index()] = 0;
-            queue.push_back(s);
-            order.push(s);
+impl BfsResult {
+    /// Materializes an owned result from a workspace run view.
+    pub(super) fn from_run(universe: usize, run: &super::BfsRun<'_>) -> BfsResult {
+        let mut dist = vec![UNREACHED; universe];
+        let mut parent: Vec<Option<NodeId>> = vec![None; universe];
+        for &v in run.order() {
+            dist[v.index()] = run.dist(v);
+            parent[v.index()] = run.parent(v);
         }
-    }
-    if !order.is_empty() {
-        layer_sizes.push(order.len());
-    }
-
-    while let Some(u) = queue.pop_front() {
-        let du = dist[u.index()];
-        if du >= max_dist {
-            continue;
+        BfsResult {
+            dist,
+            parent,
+            order: run.order().to_vec(),
+            layer_sizes: run.layer_sizes().to_vec(),
+            ball_sizes: run.ball_sizes().to_vec(),
         }
-        for v in view.neighbors(u) {
-            if dist[v.index()] == UNREACHED {
-                dist[v.index()] = du + 1;
-                parent[v.index()] = Some(u);
-                if layer_sizes.len() <= (du + 1) as usize {
-                    layer_sizes.push(0);
-                }
-                layer_sizes[(du + 1) as usize] += 1;
-                order.push(v);
-                queue.push_back(v);
-            }
-        }
-    }
-
-    BfsResult {
-        dist,
-        parent,
-        order,
-        layer_sizes,
     }
 }
 

@@ -34,6 +34,38 @@ impl TreeOrder {
     }
 }
 
+/// Child lists of a parent-pointer forest as a flat CSR: node `p`'s
+/// children are `children[start[p.index()]..start[p.index() + 1]]`, in
+/// increasing index order.
+///
+/// A counting sort over the parent pointers: filling in increasing
+/// child index leaves every parent's children already sorted, with
+/// three flat arrays instead of one `Vec` per node. Shared by the DFS
+/// numbering here and the congest tree primitives.
+pub fn children_csr(universe: usize, parent: &[Option<NodeId>]) -> (Vec<usize>, Vec<NodeId>) {
+    assert_eq!(
+        parent.len(),
+        universe,
+        "parent vector must cover the index space"
+    );
+    let mut start = vec![0usize; universe + 1];
+    for p in parent.iter().flatten() {
+        start[p.index() + 1] += 1;
+    }
+    for i in 0..universe {
+        start[i + 1] += start[i];
+    }
+    let mut children = vec![NodeId::new(0); start[universe]];
+    let mut cursor = start.clone();
+    for (i, p) in parent.iter().enumerate() {
+        if let Some(p) = p {
+            children[cursor[p.index()]] = NodeId::new(i);
+            cursor[p.index()] += 1;
+        }
+    }
+    (start, children)
+}
+
 /// Computes the DFS pre-order of the tree rooted at `root`, where
 /// `parent[v] = Some(p)` links `v` to its parent and the root has
 /// `parent[root] = None`. Children are visited in increasing index order.
@@ -45,17 +77,7 @@ impl TreeOrder {
 /// Panics if the parent pointers contain a cycle reachable from a child
 /// list (detected as a visit count exceeding `n`).
 pub fn dfs_order_of_tree(n: usize, root: NodeId, parent: &[Option<NodeId>]) -> TreeOrder {
-    assert_eq!(parent.len(), n, "parent vector must cover the index space");
-    // Build child lists.
-    let mut children: Vec<Vec<NodeId>> = vec![Vec::new(); n];
-    for (i, p) in parent.iter().enumerate() {
-        if let Some(p) = p {
-            children[p.index()].push(NodeId::new(i));
-        }
-    }
-    for list in &mut children {
-        list.sort_unstable();
-    }
+    let (start, children) = children_csr(n, parent);
 
     let mut order = Vec::new();
     let mut position = vec![NOT_IN_TREE; n];
@@ -69,7 +91,10 @@ pub fn dfs_order_of_tree(n: usize, root: NodeId, parent: &[Option<NodeId>]) -> T
         position[v.index()] = order.len() as u32;
         order.push(v);
         assert!(order.len() <= n, "cycle in parent pointers");
-        for &c in children[v.index()].iter().rev() {
+        for &c in children[start[v.index()]..start[v.index() + 1]]
+            .iter()
+            .rev()
+        {
             stack.push(c);
         }
     }

@@ -11,18 +11,23 @@ mod induced;
 mod oracle;
 mod power;
 mod weighted;
+mod workspace;
 
 pub use bfs::{bfs, bfs_bounded, BfsResult, UNREACHED};
 pub use components::{component_of, connected_components, is_connected, Components};
-pub use dfs::{dfs_order_of_tree, TreeOrder};
+pub use dfs::{children_csr, dfs_order_of_tree, TreeOrder};
 pub use distance::{diameter_exact, diameter_two_sweep, eccentricity, pairwise_distances};
 pub use induced::{induced_subgraph, InducedSubgraph};
 pub use oracle::{
-    oracle_for, DistanceMap, DistanceOracle, HopOracle, MetricOracle, WeightedOracle,
-    ORACLE_UNREACHED,
+    oracle_for, DistanceMap, DistanceMapIn, DistanceOracle, HopOracle, MetricOracle,
+    WeightedOracle, ORACLE_UNREACHED,
 };
 pub use power::{graph_power, power_graph};
 pub use weighted::{
     bellman_ford, dijkstra, dijkstra_bounded, weighted_diameter_exact, weighted_eccentricity,
     weighted_pairwise_distances, DijkstraResult, W_UNREACHED,
+};
+pub use workspace::{
+    bfs_bounded_in, bfs_in, bfs_to_in, dijkstra_bounded_in, dijkstra_in, dijkstra_to_in, BfsRun,
+    HopParts, SpParts, SpRun, TraversalWorkspace,
 };

@@ -12,8 +12,11 @@
 //! to the pre-oracle code: hop distances are integers, exactly
 //! representable as `f64`, and the hop oracle runs the very same BFS.
 
-use crate::algo::{bfs, dijkstra};
-use crate::{Adjacency, Graph, NodeId};
+use crate::algo::{
+    bfs, bfs_in, bfs_to_in, dijkstra, dijkstra_in, dijkstra_to_in, BfsRun, SpRun,
+    TraversalWorkspace, UNREACHED,
+};
+use crate::{Adjacency, Graph, NodeId, NodeSet};
 
 /// Distance value for unreached nodes, shared by both metrics.
 pub const ORACLE_UNREACHED: f64 = f64::INFINITY;
@@ -80,11 +83,93 @@ impl DistanceMap {
     }
 }
 
+/// Borrowed distance map over a [`TraversalWorkspace`] run: the
+/// allocation-free counterpart of [`DistanceMap`], produced by
+/// [`DistanceOracle::distances_in`].
+#[derive(Clone, Copy)]
+pub enum DistanceMapIn<'w> {
+    /// Backed by a hop BFS run.
+    Hop(BfsRun<'w>),
+    /// Backed by a weighted (Dijkstra) run.
+    Weighted(SpRun<'w>),
+}
+
+impl DistanceMapIn<'_> {
+    /// Distance to `v`, or [`ORACLE_UNREACHED`].
+    #[inline]
+    pub fn dist(&self, v: NodeId) -> f64 {
+        match self {
+            DistanceMapIn::Hop(r) => {
+                let d = r.dist(v);
+                if d == UNREACHED {
+                    ORACLE_UNREACHED
+                } else {
+                    d as f64
+                }
+            }
+            DistanceMapIn::Weighted(r) => r.dist(v),
+        }
+    }
+
+    /// Whether `v` was reached.
+    #[inline]
+    pub fn reached(&self, v: NodeId) -> bool {
+        match self {
+            DistanceMapIn::Hop(r) => r.reached(v),
+            DistanceMapIn::Weighted(r) => r.reached(v),
+        }
+    }
+
+    /// The reached nodes in non-decreasing distance order.
+    pub fn order(&self) -> &[NodeId] {
+        match self {
+            DistanceMapIn::Hop(r) => r.order(),
+            DistanceMapIn::Weighted(r) => r.order(),
+        }
+    }
+
+    /// Number of reached nodes.
+    pub fn reached_count(&self) -> usize {
+        self.order().len()
+    }
+
+    /// Largest distance reached (`None` if nothing was reached).
+    pub fn eccentricity(&self) -> Option<f64> {
+        self.order().last().map(|&v| self.dist(v))
+    }
+
+    /// Number of reached nodes with distance at most `r`.
+    pub fn ball_count(&self, r: f64) -> usize {
+        self.order().partition_point(|&v| self.dist(v) <= r)
+    }
+}
+
 /// A single-source distance computation over a view, in a fixed metric.
 pub trait DistanceOracle {
     /// Distances from `source` within `view` (unreached nodes carry
     /// [`ORACLE_UNREACHED`]).
     fn distances<A: Adjacency>(&self, view: &A, source: NodeId) -> DistanceMap;
+
+    /// [`distances`](Self::distances) into a caller-held workspace: no
+    /// per-call allocation, value-identical distances.
+    fn distances_in<'w, A: Adjacency>(
+        &self,
+        view: &A,
+        source: NodeId,
+        ws: &'w mut TraversalWorkspace,
+    ) -> DistanceMapIn<'w>;
+
+    /// Like [`distances_in`](Self::distances_in), but the sweep may stop
+    /// as soon as every member of `targets` is reached — only target
+    /// distances are guaranteed final. Used by the early-terminating
+    /// weak-diameter validators.
+    fn distances_to_in<'w, A: Adjacency>(
+        &self,
+        view: &A,
+        source: NodeId,
+        targets: &NodeSet,
+        ws: &'w mut TraversalWorkspace,
+    ) -> DistanceMapIn<'w>;
 
     /// Whether this oracle measures edge weights (as opposed to hops).
     fn is_weighted_metric(&self) -> bool;
@@ -113,6 +198,25 @@ impl DistanceOracle for HopOracle {
         DistanceMap::new(dist, r.order().to_vec())
     }
 
+    fn distances_in<'w, A: Adjacency>(
+        &self,
+        view: &A,
+        source: NodeId,
+        ws: &'w mut TraversalWorkspace,
+    ) -> DistanceMapIn<'w> {
+        DistanceMapIn::Hop(bfs_in(ws, view, [source]))
+    }
+
+    fn distances_to_in<'w, A: Adjacency>(
+        &self,
+        view: &A,
+        source: NodeId,
+        targets: &NodeSet,
+        ws: &'w mut TraversalWorkspace,
+    ) -> DistanceMapIn<'w> {
+        DistanceMapIn::Hop(bfs_to_in(ws, view, [source], targets))
+    }
+
     fn is_weighted_metric(&self) -> bool {
         false
     }
@@ -133,6 +237,25 @@ impl DistanceOracle for WeightedOracle {
             .map(|i| r.dist(NodeId::new(i)))
             .collect();
         DistanceMap::new(dist, r.order().to_vec())
+    }
+
+    fn distances_in<'w, A: Adjacency>(
+        &self,
+        view: &A,
+        source: NodeId,
+        ws: &'w mut TraversalWorkspace,
+    ) -> DistanceMapIn<'w> {
+        DistanceMapIn::Weighted(dijkstra_in(ws, view, [source]))
+    }
+
+    fn distances_to_in<'w, A: Adjacency>(
+        &self,
+        view: &A,
+        source: NodeId,
+        targets: &NodeSet,
+        ws: &'w mut TraversalWorkspace,
+    ) -> DistanceMapIn<'w> {
+        DistanceMapIn::Weighted(dijkstra_to_in(ws, view, [source], targets))
     }
 
     fn is_weighted_metric(&self) -> bool {
@@ -159,6 +282,31 @@ impl DistanceOracle for MetricOracle {
         match self {
             MetricOracle::Hop(o) => o.distances(view, source),
             MetricOracle::Weighted(o) => o.distances(view, source),
+        }
+    }
+
+    fn distances_in<'w, A: Adjacency>(
+        &self,
+        view: &A,
+        source: NodeId,
+        ws: &'w mut TraversalWorkspace,
+    ) -> DistanceMapIn<'w> {
+        match self {
+            MetricOracle::Hop(o) => o.distances_in(view, source, ws),
+            MetricOracle::Weighted(o) => o.distances_in(view, source, ws),
+        }
+    }
+
+    fn distances_to_in<'w, A: Adjacency>(
+        &self,
+        view: &A,
+        source: NodeId,
+        targets: &NodeSet,
+        ws: &'w mut TraversalWorkspace,
+    ) -> DistanceMapIn<'w> {
+        match self {
+            MetricOracle::Hop(o) => o.distances_to_in(view, source, targets, ws),
+            MetricOracle::Weighted(o) => o.distances_to_in(view, source, targets, ws),
         }
     }
 

@@ -13,8 +13,6 @@
 //! pins this equivalence.
 
 use crate::{Adjacency, NodeId};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 /// Distance value for nodes not reached by a weighted search.
 pub const W_UNREACHED: f64 = f64::INFINITY;
@@ -100,51 +98,37 @@ where
 ///
 /// Nodes farther than `max_dist` from every source are left
 /// [`W_UNREACHED`].
+///
+/// Thin wrapper over [`super::dijkstra_bounded_in`] with a throwaway
+/// [`super::TraversalWorkspace`]; repeated callers should hold a
+/// workspace and use the `_in` form directly. The priority queue is a
+/// max-heap of `Reverse((distance-bits, node))`: f64 bit patterns of
+/// non-negative finite values order like the values themselves, and the
+/// node index breaks ties deterministically.
 pub fn dijkstra_bounded<A, I>(view: &A, sources: I, max_dist: f64) -> DijkstraResult
 where
     A: Adjacency,
     I: IntoIterator<Item = NodeId>,
 {
-    let n = view.universe();
-    let mut dist = vec![W_UNREACHED; n];
-    let mut parent: Vec<Option<NodeId>> = vec![None; n];
-    let mut order = Vec::new();
-    let mut settled = vec![false; n];
-    // Max-heap of Reverse((distance-bits, node)): f64 bit patterns of
-    // non-negative finite values order like the values themselves, and
-    // the node index breaks ties deterministically.
-    let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+    let mut ws = super::TraversalWorkspace::new();
+    let run = super::dijkstra_bounded_in(&mut ws, view, sources, max_dist);
+    DijkstraResult::from_run(view.universe(), &run)
+}
 
-    for s in sources {
-        if view.contains(s) && dist[s.index()] == W_UNREACHED {
-            dist[s.index()] = 0.0;
-            heap.push(Reverse((0, s.index())));
+impl DijkstraResult {
+    /// Materializes an owned result from a workspace run view.
+    pub(super) fn from_run(universe: usize, run: &super::SpRun<'_>) -> DijkstraResult {
+        let mut dist = vec![W_UNREACHED; universe];
+        let mut parent: Vec<Option<NodeId>> = vec![None; universe];
+        for &v in run.order() {
+            dist[v.index()] = run.dist(v);
+            parent[v.index()] = run.parent(v);
         }
-    }
-
-    while let Some(Reverse((dbits, vi))) = heap.pop() {
-        if settled[vi] {
-            continue;
+        DijkstraResult {
+            dist,
+            parent,
+            order: run.order().to_vec(),
         }
-        let dv = f64::from_bits(dbits);
-        debug_assert_eq!(dv, dist[vi], "heap entry is stale iff settled");
-        settled[vi] = true;
-        let v = NodeId::new(vi);
-        order.push(v);
-        for (u, w) in view.neighbors_weighted(v) {
-            let cand = dv + w;
-            if cand <= max_dist && cand < dist[u.index()] {
-                dist[u.index()] = cand;
-                parent[u.index()] = Some(v);
-                heap.push(Reverse((cand.to_bits(), u.index())));
-            }
-        }
-    }
-
-    DijkstraResult {
-        dist,
-        parent,
-        order,
     }
 }
 

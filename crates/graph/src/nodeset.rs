@@ -125,6 +125,37 @@ impl NodeSet {
         }
     }
 
+    /// Removes every node, keeping the allocation.
+    pub fn clear(&mut self) {
+        for w in self.words.iter_mut() {
+            *w = 0;
+        }
+        self.len = 0;
+    }
+
+    /// Re-targets this set to an empty set over `universe`, reusing the
+    /// word buffer (the recycling step of the workspace NodeSet pool).
+    pub fn reset_to_universe(&mut self, universe: usize) {
+        if universe == self.universe {
+            self.clear();
+        } else {
+            self.words.clear();
+            self.words.resize(universe.div_ceil(64), 0);
+            self.universe = universe;
+            self.len = 0;
+        }
+    }
+
+    /// Makes `self` a copy of `other` without allocating when the word
+    /// buffer already has capacity (allocation-free `clone_from` for
+    /// pooled sets).
+    pub fn assign(&mut self, other: &NodeSet) {
+        self.words.clear();
+        self.words.extend_from_slice(&other.words);
+        self.universe = other.universe;
+        self.len = other.len;
+    }
+
     /// Removes every node of `other` from `self`.
     pub fn subtract(&mut self, other: &NodeSet) {
         assert_eq!(self.universe, other.universe, "universe mismatch");

@@ -33,7 +33,7 @@
 //! adjacency) extends the agreement to the current bit. After the last
 //! phase, adjacent nodes agree on every bit — i.e. they share a label.
 
-use sdnd_clustering::{BallCarving, SteinerForest, SteinerTree, WeakCarver, WeakCarving};
+use sdnd_clustering::{BallCarving, CarveCtx, SteinerForest, SteinerTree, WeakCarver, WeakCarving};
 use sdnd_congest::{bits_for_value, RoundLedger};
 use sdnd_graph::{Graph, NodeId, NodeSet};
 use std::collections::hash_map::Entry;
@@ -116,6 +116,11 @@ struct TreeData {
     members: u64,
     /// Deepest entry.
     depth: u32,
+    /// Whether the tree or its member set changed since the last
+    /// rebuild. A clean tree would rebuild to the identical result (the
+    /// BFS is deterministic over fixed root, members, and input set), so
+    /// rebuilding it — and charging rounds for it — is pure waste.
+    dirty: bool,
 }
 
 impl TreeData {
@@ -127,6 +132,7 @@ impl TreeData {
             entries,
             members: 1,
             depth: 0,
+            dirty: true,
         }
     }
 }
@@ -299,12 +305,14 @@ impl<'g> Run<'g> {
         debug_assert_ne!(old, l);
         if let Some(t) = self.trees.get_mut(&old) {
             t.members -= 1;
+            t.dirty = true;
             // v stays in the old tree as a helper.
         }
         self.label[v.index()] = l;
         let w_depth = self.trees[&l].entries[&u32::from(w)].1;
         let t = self.trees.get_mut(&l).expect("target cluster exists");
         t.members += 1;
+        t.dirty = true;
         if let Entry::Vacant(entry) = t.entries.entry(u32::from(v)) {
             let d = w_depth + 1;
             entry.insert((Some(w), d));
@@ -324,6 +332,7 @@ impl<'g> Run<'g> {
         let old = self.label[v.index()];
         if let Some(t) = self.trees.get_mut(&old) {
             t.members -= 1;
+            t.dirty = true;
         }
         self.alive.remove(v);
     }
@@ -331,15 +340,26 @@ impl<'g> Run<'g> {
     /// GGR21-style rebuild: replace deep trees with truncated BFS trees
     /// from their roots over the *input* set (dead nodes may serve as
     /// helpers, exactly as the incremental trees allow).
-    fn rebuild_trees(&mut self, threshold: u32, ledger: &mut RoundLedger) {
+    fn rebuild_trees(&mut self, threshold: u32, ledger: &mut RoundLedger, ctx: &mut CarveCtx) {
         let labels: Vec<u64> = self
             .trees
             .iter()
-            .filter(|(_, t)| t.members >= 2 && t.depth > threshold)
+            .filter(|(_, t)| t.dirty && t.members >= 2 && t.depth > threshold)
             .map(|(&l, _)| l)
             .collect();
         if labels.is_empty() {
             return;
+        }
+        // One pass over the alive set groups the members of every
+        // rebuilt label (instead of one O(n) scan per label).
+        let mut members_of: HashMap<u64, Vec<NodeId>> = HashMap::with_capacity(labels.len());
+        for &l in &labels {
+            members_of.insert(l, Vec::new());
+        }
+        for v in self.alive.iter() {
+            if let Some(ms) = members_of.get_mut(&self.label[v.index()]) {
+                ms.push(v);
+            }
         }
         // Pass 1: compute the replacement trees (immutable borrows only).
         let mut replacements: Vec<TreeRebuild> = Vec::new();
@@ -347,18 +367,26 @@ impl<'g> Run<'g> {
             let view = self.g.view(&self.input);
             for &l in &labels {
                 let root = self.trees[&l].root;
-                let members: Vec<NodeId> = self
-                    .alive
-                    .iter()
-                    .filter(|&v| self.label[v.index()] == l)
-                    .collect();
+                let members = &members_of[&l];
                 let mut scratch = RoundLedger::new();
-                let bfs = sdnd_congest::primitives::bfs(&view, [root], u32::MAX, &mut scratch);
+                // Every member is a terminal of the old tree, whose
+                // root-to-member paths are real edges in the input view,
+                // so all members lie within the old depth of the root —
+                // the BFS can truncate there instead of flooding the
+                // whole component (distances and min-index parents within
+                // the bound are unaffected by truncation).
+                let bfs = sdnd_congest::primitives::bfs_in(
+                    &view,
+                    [root],
+                    self.trees[&l].depth,
+                    &mut scratch,
+                    &mut ctx.ws,
+                );
                 // Prune to the union of root-to-member paths.
                 let mut entries: HashMap<u32, (Option<NodeId>, u32)> = HashMap::new();
                 entries.insert(u32::from(root), (None, 0));
                 let mut depth = 0u32;
-                for &m in &members {
+                for &m in members {
                     debug_assert!(bfs.reached(m), "member must be reachable from root");
                     depth = depth.max(bfs.dist(m));
                     let mut cur = m;
@@ -379,6 +407,7 @@ impl<'g> Run<'g> {
             let old = self.trees.get_mut(&l).expect("tree exists");
             let old_entries = std::mem::take(&mut old.entries);
             old.depth = depth;
+            old.dirty = false;
             for (&vi, &(p, _)) in &old_entries {
                 if let Some(p) = p {
                     let key = (vi.min(u32::from(p)), vi.max(u32::from(p)));
@@ -461,6 +490,25 @@ impl Rg20 {
         eps: f64,
         ledger: &mut RoundLedger,
     ) -> WeakCarving {
+        self.carve_in(g, alive, eps, ledger, &mut CarveCtx::new())
+    }
+
+    /// [`carve`](Self::carve) with a caller-held [`CarveCtx`]: the
+    /// per-phase tree rebuilds (the GGR21 variant) run their BFS through
+    /// the context's traversal workspace. Output bit-identical to
+    /// [`carve`](Self::carve).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eps` is not in `(0, 1)`.
+    pub fn carve_in(
+        &self,
+        g: &Graph,
+        alive: &NodeSet,
+        eps: f64,
+        ledger: &mut RoundLedger,
+        ctx: &mut CarveCtx,
+    ) -> WeakCarving {
         assert!(eps > 0.0 && eps < 1.0, "eps must lie in (0,1), got {eps}");
         if alive.is_empty() {
             let carving = BallCarving::new(alive.clone(), vec![]).expect("empty carving");
@@ -472,7 +520,7 @@ impl Rg20 {
         for bit in (0..b).rev() {
             run.phase(bit, eps_p, ledger);
             if self.config.rebuild_trees {
-                run.rebuild_trees(self.config.rebuild_depth_threshold, ledger);
+                run.rebuild_trees(self.config.rebuild_depth_threshold, ledger, ctx);
             }
         }
         let out = run.finish();
@@ -497,6 +545,17 @@ impl WeakCarver for Rg20 {
         ledger: &mut RoundLedger,
     ) -> WeakCarving {
         self.carve(g, alive, eps, ledger)
+    }
+
+    fn carve_weak_in(
+        &self,
+        g: &Graph,
+        alive: &NodeSet,
+        eps: f64,
+        ledger: &mut RoundLedger,
+        ctx: &mut CarveCtx,
+    ) -> WeakCarving {
+        self.carve_in(g, alive, eps, ledger, ctx)
     }
 
     fn name(&self) -> &'static str {
