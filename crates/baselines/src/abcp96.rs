@@ -123,8 +123,7 @@ impl StrongCarver for Abcp96 {
                     let lview = g.view(&local_remaining);
                     let mut scratch = RoundLedger::new();
                     let bfs = primitives::bfs(&lview, [center], d + 1, &mut scratch);
-                    let balls = bfs.ball_sizes();
-                    let at = |r: u32| -> usize { balls[(r as usize).min(balls.len() - 1)] };
+                    let at = |r: u32| bfs.ball_size(r);
                     let mut r_star = d;
                     for r in 0..=d {
                         if at(r) as f64 >= (1.0 - eps) * at(r + 1) as f64 {

@@ -50,8 +50,9 @@ impl StrongCarver for SequentialGreedy {
             let view = g.view(&remaining);
             let mut scratch = RoundLedger::new();
             let bfs = primitives::bfs(&view, [center], u32::MAX, &mut scratch);
-            let balls = bfs.ball_sizes();
-            let at = |r: usize| balls[r.min(balls.len() - 1)];
+            // Clamped accessor: safe past the eccentricity (where the
+            // ball stops growing) and on an empty run.
+            let at = |r: usize| bfs.ball_size(r as u32);
             let mut r_star = 0;
             while (at(r_star) as f64) < (1.0 - eps) * at(r_star + 1) as f64 {
                 r_star += 1;

@@ -1,0 +1,82 @@
+//! Criterion benches for the validation tier: the exact all-pairs
+//! diameter validators against the HyperBall estimator tier over the
+//! same carvings.
+//!
+//! The exact strong-diameter check is `O(Σ |C| · |C|)` BFS work by
+//! definition — one sweep per member of every cluster. The approximate
+//! tier replaces those sweeps with one synchronous HyperBall sweep per
+//! cluster (`O(iterations · Σ |C| · 2^p)` register merges), keeping the
+//! structural gates (non-adjacency, connectivity, dead fraction) exact.
+//!
+//! Sizes mirror `carve.rs`: grids at n = 256 and 1024 always; the
+//! `scaling` bins (64x64 = 4096, 102x102 = 10404) join when `SDND_N`
+//! allows. `-ctx` rows reuse one [`CarveCtx`] across iterations.
+//! `BENCH_validate.json` records the committed exact-vs-approx baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sdnd_bench::env_usize;
+use sdnd_clustering::{
+    validate_carving, validate_carving_approx, validate_carving_approx_in, validate_carving_in,
+    BallCarving, CarveCtx, StrongCarver,
+};
+use sdnd_congest::RoundLedger;
+use sdnd_core::{Params, Theorem22Carver};
+use sdnd_graph::algo::HyperBallParams;
+use sdnd_graph::{gen, Graph, NodeSet};
+
+fn graphs() -> Vec<(String, Graph)> {
+    let n_max = env_usize("SDND_N", 1024);
+    let mut out = vec![
+        ("grid-16x16".to_string(), gen::grid(16, 16)),
+        ("grid-32x32".to_string(), gen::grid(32, 32)),
+        (
+            "gnp-1024".to_string(),
+            gen::gnp_connected(1024, 6.0 / 1024.0, 7),
+        ),
+    ];
+    if n_max >= 4096 {
+        out.push(("grid-64x64".to_string(), gen::grid(64, 64)));
+    }
+    if n_max >= 10404 {
+        out.push(("grid-102x102".to_string(), gen::grid(102, 102)));
+    }
+    out
+}
+
+fn bench_validate(c: &mut Criterion) {
+    let params = Params::default();
+    let hb = HyperBallParams::default();
+    let mut group = c.benchmark_group("validate");
+    group.sample_size(10);
+
+    for (name, g) in graphs() {
+        let alive = NodeSet::full(g.n());
+        // One fixed carving per graph: every row validates the same input.
+        let carving: BallCarving = {
+            let mut l = RoundLedger::new();
+            Theorem22Carver::new(params.clone()).carve_strong(&g, &alive, 0.5, &mut l)
+        };
+
+        group.bench_with_input(BenchmarkId::new("exact", &name), &g, |b, g| {
+            b.iter(|| validate_carving(g, &carving))
+        });
+
+        group.bench_with_input(BenchmarkId::new("exact-ctx", &name), &g, |b, g| {
+            let mut ctx = CarveCtx::new();
+            b.iter(|| validate_carving_in(g, &carving, &mut ctx))
+        });
+
+        group.bench_with_input(BenchmarkId::new("approx", &name), &g, |b, g| {
+            b.iter(|| validate_carving_approx(g, &carving, hb))
+        });
+
+        group.bench_with_input(BenchmarkId::new("approx-ctx", &name), &g, |b, g| {
+            let mut ctx = CarveCtx::new();
+            b.iter(|| validate_carving_approx_in(g, &carving, hb, &mut ctx))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_validate);
+criterion_main!(benches);

@@ -45,7 +45,9 @@ pub use reduction::{
 pub use steiner::{SteinerForest, SteinerTree};
 pub use traits::{StrongCarver, WeakCarver};
 pub use validate::{
-    validate_carving, validate_carving_in, validate_decomposition, validate_decomposition_in,
-    validate_weak_carving,
+    validate_carving, validate_carving_approx, validate_carving_approx_in, validate_carving_in,
+    validate_decomposition, validate_decomposition_approx, validate_decomposition_approx_in,
+    validate_decomposition_in, validate_weak_carving, ApproxCarvingReport,
+    ApproxDecompositionReport, VALIDATION_TOLERANCE,
 };
 pub use weak_edge::{WeakEdgeCarver, WeakEdgeCarving};

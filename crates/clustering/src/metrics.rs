@@ -13,7 +13,7 @@
 //! graphs.
 
 use crate::CarveCtx;
-use sdnd_graph::algo::{self, DistanceOracle, HopOracle, WeightedOracle};
+use sdnd_graph::algo::{self, DistanceOracle, HopOracle, HyperBall, WeightedOracle};
 use sdnd_graph::{Graph, NodeId};
 
 /// Exact strong diameter of a node set under `oracle`: the diameter of
@@ -188,6 +188,68 @@ pub fn strong_diameter_two_sweep_in(
     };
     ctx.ws.give_set(set);
     ecc
+}
+
+/// Approximate (HyperBall) strong-diameter estimate of `G[members]`,
+/// plus the estimator's count of the cluster it swept.
+///
+/// Connectivity is still checked **exactly** (one BFS in the induced
+/// view — the cheap part; the `O(Σ|C| · m)` cost of exact validation is
+/// the per-member diameter sweeps). For connected clusters the returned
+/// hop-diameter estimate is *one-sided*: never larger than the exact
+/// strong diameter (register collisions only stop the sketch early).
+/// The count estimate approximates `|members|` with relative standard
+/// error `hb.params().rel_std_error()` — since `|members|` is known
+/// exactly, the caller can use it to check the estimator itself.
+///
+/// Returns `None` if the induced subgraph is disconnected (mirroring
+/// [`strong_diameter_of_in`]).
+pub fn approx_strong_diameter_of_in(
+    g: &Graph,
+    members: &[NodeId],
+    hb: &mut HyperBall,
+    ctx: &mut CarveCtx,
+) -> Option<(u32, f64)> {
+    if members.is_empty() {
+        return None;
+    }
+    let set = ctx.ws.take_set_from(g.n(), members.iter().copied());
+    let view = g.view(&set);
+    let connected = algo::bfs_in(&mut ctx.ws, &view, [members[0]]).reached_count() == members.len();
+    let out = connected.then(|| {
+        let s = hb.sweep(&view);
+        (s.seed_diameter_est, s.max_seed_count)
+    });
+    ctx.ws.give_set(set);
+    out
+}
+
+/// Approximate (HyperBall) weak-diameter estimate of a member set: the
+/// members seed sketches that spread over the *full* graph, so the last
+/// round a member's sketch changes bounds its distance to the farthest
+/// member from below. One-sided like [`approx_strong_diameter_of_in`].
+///
+/// Member-pair reachability is checked exactly (one full-graph BFS,
+/// early-terminating on the member set); returns `None` if some pair is
+/// disconnected in `G` (mirroring [`weak_diameter_of_in`]). Each sweep
+/// iterates the whole graph, so this is meant for the rare internally
+/// disconnected cluster, not as the bulk path.
+pub fn approx_weak_diameter_of_in(
+    g: &Graph,
+    members: &[NodeId],
+    hb: &mut HyperBall,
+    ctx: &mut CarveCtx,
+) -> Option<u32> {
+    if members.is_empty() {
+        return None;
+    }
+    let targets = ctx.ws.take_set_from(g.n(), members.iter().copied());
+    let view = g.full_view();
+    let reach = algo::bfs_to_in(&mut ctx.ws, &view, [members[0]], &targets);
+    let connected = members.iter().all(|&u| reach.reached(u));
+    let out = connected.then(|| hb.sweep_seeded(&view, &targets).seed_diameter_est);
+    ctx.ws.give_set(targets);
+    out
 }
 
 /// Per-carving quality summary.
@@ -438,6 +500,45 @@ mod tests {
         assert_eq!(
             weak_diameter_of(&g, &members).map(f64::from),
             weak_diameter_of_with(&g, &members, &HopOracle)
+        );
+    }
+
+    #[test]
+    fn approx_diameters_are_one_sided_and_detect_disconnection() {
+        use sdnd_graph::algo::{HyperBall, HyperBallParams};
+        let g = gen::grid(6, 6);
+        let members: Vec<NodeId> = (0..12).map(NodeId::new).collect(); // rows 0-1
+        let mut hb = HyperBall::new(HyperBallParams::default());
+        let mut ctx = CarveCtx::new();
+        let exact_strong = strong_diameter_of(&g, &members).unwrap();
+        let exact_weak = weak_diameter_of(&g, &members).unwrap();
+        let (est, count) = approx_strong_diameter_of_in(&g, &members, &mut hb, &mut ctx).unwrap();
+        assert!(est <= exact_strong, "est {est} > exact {exact_strong}");
+        let band = hb.params().error_band();
+        let rel = (count - members.len() as f64).abs() / members.len() as f64;
+        assert!(rel <= band, "count {count} off by {rel} (band {band})");
+        let west = approx_weak_diameter_of_in(&g, &members, &mut hb, &mut ctx).unwrap();
+        assert!(west <= exact_weak);
+        // {0, 2} is disconnected inside the cluster but connected in G.
+        let split = ids(&[0, 2]);
+        assert_eq!(
+            approx_strong_diameter_of_in(&g, &split, &mut hb, &mut ctx),
+            None
+        );
+        assert_eq!(
+            approx_weak_diameter_of_in(&g, &split, &mut hb, &mut ctx),
+            Some(2),
+            "two seeds are collision-free: exact"
+        );
+        // Disconnected even in G: both report None.
+        let two = sdnd_graph::Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        assert_eq!(
+            approx_weak_diameter_of_in(&two, &ids(&[0, 2]), &mut hb, &mut ctx),
+            None
+        );
+        assert_eq!(
+            approx_strong_diameter_of_in(&two, &[], &mut hb, &mut ctx),
+            None
         );
     }
 

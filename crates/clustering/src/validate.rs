@@ -10,7 +10,22 @@
 //! self-checks.
 
 use crate::{metrics, BallCarving, CarveCtx, NetworkDecomposition, WeakCarving};
+use sdnd_graph::algo::{HyperBall, HyperBallParams};
 use sdnd_graph::{Graph, NodeSet};
+
+/// Absolute slack applied to every floating-point acceptance check in
+/// this module: dead-fraction budgets (`dead <= eps +
+/// VALIDATION_TOLERANCE`) and the estimator acceptance bands of the
+/// approximate tier (`rel_err <= band + VALIDATION_TOLERANCE`).
+///
+/// Budgets like `eps` are produced by chains of f64 arithmetic (ratios
+/// of counts, `1 - eps/2` ball-growth conditions), so comparing them
+/// exactly would reject configurations that differ from a passing one
+/// only in the last few ulps. `1e-9` is far above the rounding error of
+/// any such chain on graphs that fit in memory and far below any
+/// meaningful parameter difference. Weighted *diameters* are reported
+/// raw (no tolerance): they are measurements, not acceptance checks.
+pub const VALIDATION_TOLERANCE: f64 = 1e-9;
 
 /// Validation report for a [`BallCarving`].
 #[derive(Debug, Clone)]
@@ -39,15 +54,18 @@ pub struct CarvingReport {
 
 impl CarvingReport {
     /// Whether the carving satisfies the *strong-diameter* contract:
-    /// non-adjacent, connected clusters, dead fraction at most `eps`.
+    /// non-adjacent, connected clusters, dead fraction at most `eps`
+    /// (within [`VALIDATION_TOLERANCE`]).
     pub fn is_valid_strong(&self, eps: f64) -> bool {
-        self.clusters_nonadjacent && self.clusters_connected && self.dead_fraction <= eps + 1e-9
+        self.clusters_nonadjacent
+            && self.clusters_connected
+            && self.dead_fraction <= eps + VALIDATION_TOLERANCE
     }
 
     /// Whether the carving satisfies the *weak-diameter* contract
     /// (clusters may be internally disconnected).
     pub fn is_valid_weak(&self, eps: f64) -> bool {
-        self.clusters_nonadjacent && self.dead_fraction <= eps + 1e-9
+        self.clusters_nonadjacent && self.dead_fraction <= eps + VALIDATION_TOLERANCE
     }
 }
 
@@ -98,11 +116,24 @@ pub fn validate_carving_in(g: &Graph, carving: &BallCarving, ctx: &mut CarveCtx)
                 violations.push(format!("cluster {i} induces a disconnected subgraph"));
             }
         }
-        max_weak = match (max_weak, metrics::weak_diameter_of_in(g, c, ctx)) {
+        let weak_d = metrics::weak_diameter_of_in(g, c, ctx);
+        if weak_d.is_none() {
+            // A silently-`None` weak diameter would make the report look
+            // clean while the field vanishes: a weak carving tolerates
+            // internal disconnection (reported above) but never members
+            // in different components of `G`.
+            violations.push(format!(
+                "cluster {i}: some member pair is disconnected in G (weak diameter undefined)"
+            ));
+        }
+        max_weak = match (max_weak, weak_d) {
             (Some(a), Some(b)) => Some(a.max(b)),
             _ => None,
         };
         if weighted {
+            // The weighted sweeps can only be `None` for the same
+            // connectivity reasons already reported above (reachability
+            // is metric-independent), so no extra violation strings.
             w_strong = match (w_strong, metrics::weighted_strong_diameter_of_in(g, c, ctx)) {
                 (Some(a), Some(b)) => Some(a.max(b)),
                 _ => None,
@@ -122,6 +153,312 @@ pub fn validate_carving_in(g: &Graph, carving: &BallCarving, ctx: &mut CarveCtx)
         weighted_strong_diameter: w_strong,
         weighted_weak_diameter: w_weak,
         dead_fraction: carving.dead_fraction(),
+        violations,
+    }
+}
+
+/// Validation report of the **approximate tier**: exact structural
+/// checks, estimated diameters.
+///
+/// The contract gates (`is_valid_strong` / `is_valid_weak`) depend only
+/// on non-adjacency, connectivity, and the dead fraction — all of which
+/// this tier still computes **exactly** (connectivity is one BFS per
+/// cluster; the expensive part of exact validation is the per-member
+/// diameter sweeps). So the approximate validator accepts a carving iff
+/// the exact one does; only the *diameter observations* are estimates.
+///
+/// Diameter estimates are one-sided hop-metric lower bounds (HyperBall
+/// sketches can stabilize early, never late), accurate to within the
+/// estimator's error band with high probability. The sketch cardinality
+/// at each cluster is compared against the exactly-known cluster size:
+/// an out-of-band estimate is recorded as a violation, turning every
+/// validation into a self-check of the estimator.
+#[derive(Debug, Clone)]
+pub struct ApproxCarvingReport {
+    /// No edge of `G` joins two distinct clusters (exact).
+    pub clusters_nonadjacent: bool,
+    /// Every cluster induces a connected subgraph (exact).
+    pub clusters_connected: bool,
+    /// Fraction of the input set left dead (exact).
+    pub dead_fraction: f64,
+    /// One-sided estimate of the maximum strong (hop) diameter; `None`
+    /// if some cluster is disconnected (then only the weak side below is
+    /// meaningful).
+    pub est_max_strong_diameter: Option<u32>,
+    /// One-sided estimate of the maximum weak (hop) diameter; `None` if
+    /// some member pair is disconnected even in `G`. For connected
+    /// clusters the strong estimate stands in (weak ≤ strong, so the
+    /// bound direction is preserved w.r.t. the strong metric); truly
+    /// seeded full-graph sweeps run only for disconnected clusters.
+    pub est_max_weak_diameter: Option<u32>,
+    /// Register exponent the estimates were computed with.
+    pub precision: u8,
+    /// The estimator's relative standard error, `1.04 / √(2^p)`.
+    pub rel_std_error: f64,
+    /// Relative acceptance half-width (`sigmas · rel_std_error`).
+    pub error_band: f64,
+    /// Largest relative cardinality error observed across clusters
+    /// (sketch estimate vs exactly-known `|C|`).
+    pub max_cardinality_error: f64,
+    /// Human-readable violations (exact checks plus out-of-band
+    /// estimates).
+    pub violations: Vec<String>,
+}
+
+impl ApproxCarvingReport {
+    /// Same contract as [`CarvingReport::is_valid_strong`] — the inputs
+    /// to this gate are exact even in the approximate tier.
+    pub fn is_valid_strong(&self, eps: f64) -> bool {
+        self.clusters_nonadjacent
+            && self.clusters_connected
+            && self.dead_fraction <= eps + VALIDATION_TOLERANCE
+    }
+
+    /// Same contract as [`CarvingReport::is_valid_weak`].
+    pub fn is_valid_weak(&self, eps: f64) -> bool {
+        self.clusters_nonadjacent && self.dead_fraction <= eps + VALIDATION_TOLERANCE
+    }
+
+    /// Whether every cluster's sketch cardinality landed inside the
+    /// acceptance band (the estimator's self-check).
+    pub fn estimator_in_band(&self) -> bool {
+        self.max_cardinality_error <= self.error_band + VALIDATION_TOLERANCE
+    }
+}
+
+/// Validates a carving with estimated diameters. Thin wrapper over
+/// [`validate_carving_approx_in`] with a throwaway context.
+pub fn validate_carving_approx(
+    g: &Graph,
+    carving: &BallCarving,
+    params: HyperBallParams,
+) -> ApproxCarvingReport {
+    validate_carving_approx_in(g, carving, params, &mut CarveCtx::new())
+}
+
+/// [`validate_carving_approx`] with a caller-held context.
+///
+/// Cost: the edge scan, one BFS per cluster, and one HyperBall sweep per
+/// cluster — `O(m + Σ D(C) · |E(C)| · 2^p / 8)` instead of the exact
+/// tier's `O(Σ |C| · |E(C)|)` per-member sweeps, which is the difference
+/// the committed `BENCH_validate.json` measures.
+pub fn validate_carving_approx_in(
+    g: &Graph,
+    carving: &BallCarving,
+    params: HyperBallParams,
+    ctx: &mut CarveCtx,
+) -> ApproxCarvingReport {
+    let mut violations = Vec::new();
+
+    // Non-adjacency: exact, same scan as the exact tier.
+    let mut nonadjacent = true;
+    for (u, v) in g.edges() {
+        if let (Some(cu), Some(cv)) = (carving.cluster_of(u), carving.cluster_of(v)) {
+            if cu != cv {
+                nonadjacent = false;
+                violations.push(format!("edge ({u}, {v}) joins clusters {cu} and {cv}"));
+            }
+        }
+    }
+
+    let mut hb = HyperBall::new(params);
+    let mut connected = true;
+    let mut est_strong = Some(0u32);
+    let mut est_weak = Some(0u32);
+    let mut max_card_err = 0.0_f64;
+    for (i, c) in carving.clusters().iter().enumerate() {
+        match metrics::approx_strong_diameter_of_in(g, c, &mut hb, ctx) {
+            Some((d, count)) => {
+                if let Some(m) = est_strong {
+                    est_strong = Some(m.max(d));
+                }
+                // Weak ≤ strong: the strong estimate covers the weak
+                // field for connected clusters.
+                if let Some(m) = est_weak {
+                    est_weak = Some(m.max(d));
+                }
+                let rel = (count - c.len() as f64).abs() / c.len().max(1) as f64;
+                max_card_err = max_card_err.max(rel);
+                if rel > params.error_band() + VALIDATION_TOLERANCE {
+                    violations.push(format!(
+                        "cluster {i}: sketch cardinality {count:.1} is off the exact size {} \
+                         by {rel:.3} (band {:.3})",
+                        c.len(),
+                        params.error_band()
+                    ));
+                }
+            }
+            None => {
+                connected = false;
+                est_strong = None;
+                violations.push(format!("cluster {i} induces a disconnected subgraph"));
+                match metrics::approx_weak_diameter_of_in(g, c, &mut hb, ctx) {
+                    Some(d) => {
+                        if let Some(m) = est_weak {
+                            est_weak = Some(m.max(d));
+                        }
+                    }
+                    None => {
+                        est_weak = None;
+                        violations.push(format!(
+                            "cluster {i}: some member pair is disconnected in G \
+                             (weak diameter undefined)"
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    ApproxCarvingReport {
+        clusters_nonadjacent: nonadjacent,
+        clusters_connected: connected,
+        dead_fraction: carving.dead_fraction(),
+        est_max_strong_diameter: est_strong,
+        est_max_weak_diameter: est_weak,
+        precision: params.precision,
+        rel_std_error: params.rel_std_error(),
+        error_band: params.error_band(),
+        max_cardinality_error: max_card_err,
+        violations,
+    }
+}
+
+/// Approximate-tier report for a [`NetworkDecomposition`]: exact color
+/// separation and connectivity, estimated diameters (see
+/// [`ApproxCarvingReport`] for the error model).
+#[derive(Debug, Clone)]
+pub struct ApproxDecompositionReport {
+    /// No edge joins two same-colored clusters (exact).
+    pub colors_separate: bool,
+    /// Every cluster induces a connected subgraph (exact).
+    pub clusters_connected: bool,
+    /// One-sided estimate of the maximum strong diameter.
+    pub est_max_strong_diameter: Option<u32>,
+    /// One-sided estimate of the maximum weak diameter.
+    pub est_max_weak_diameter: Option<u32>,
+    /// Number of colors used.
+    pub colors: u32,
+    /// Register exponent the estimates were computed with.
+    pub precision: u8,
+    /// The estimator's relative standard error.
+    pub rel_std_error: f64,
+    /// Relative acceptance half-width.
+    pub error_band: f64,
+    /// Largest relative cardinality error observed across clusters.
+    pub max_cardinality_error: f64,
+    /// Human-readable violations.
+    pub violations: Vec<String>,
+}
+
+impl ApproxDecompositionReport {
+    /// Same contract as [`DecompositionReport::is_valid`] (exact
+    /// inputs).
+    pub fn is_valid(&self) -> bool {
+        self.colors_separate && self.clusters_connected
+    }
+
+    /// Same contract as [`DecompositionReport::is_valid_weak`].
+    pub fn is_valid_weak(&self) -> bool {
+        self.colors_separate
+    }
+
+    /// Whether every cluster's sketch cardinality landed inside the
+    /// acceptance band.
+    pub fn estimator_in_band(&self) -> bool {
+        self.max_cardinality_error <= self.error_band + VALIDATION_TOLERANCE
+    }
+}
+
+/// Validates a decomposition with estimated diameters. Thin wrapper over
+/// [`validate_decomposition_approx_in`].
+pub fn validate_decomposition_approx(
+    g: &Graph,
+    d: &NetworkDecomposition,
+    params: HyperBallParams,
+) -> ApproxDecompositionReport {
+    validate_decomposition_approx_in(g, d, params, &mut CarveCtx::new())
+}
+
+/// [`validate_decomposition_approx`] with a caller-held context.
+pub fn validate_decomposition_approx_in(
+    g: &Graph,
+    d: &NetworkDecomposition,
+    params: HyperBallParams,
+    ctx: &mut CarveCtx,
+) -> ApproxDecompositionReport {
+    let mut violations = Vec::new();
+
+    let mut colors_separate = true;
+    for (u, v) in g.edges() {
+        if let (Some(cu), Some(cv)) = (d.cluster_of(u), d.cluster_of(v)) {
+            if cu != cv && d.color(cu) == d.color(cv) {
+                colors_separate = false;
+                violations.push(format!(
+                    "edge ({u}, {v}) joins same-colored clusters {} and {}",
+                    cu.0, cv.0
+                ));
+            }
+        }
+    }
+
+    let mut hb = HyperBall::new(params);
+    let mut connected = true;
+    let mut est_strong = Some(0u32);
+    let mut est_weak = Some(0u32);
+    let mut max_card_err = 0.0_f64;
+    for (i, c) in d.clusters().iter().enumerate() {
+        match metrics::approx_strong_diameter_of_in(g, c, &mut hb, ctx) {
+            Some((diam, count)) => {
+                if let Some(m) = est_strong {
+                    est_strong = Some(m.max(diam));
+                }
+                if let Some(m) = est_weak {
+                    est_weak = Some(m.max(diam));
+                }
+                let rel = (count - c.len() as f64).abs() / c.len().max(1) as f64;
+                max_card_err = max_card_err.max(rel);
+                if rel > params.error_band() + VALIDATION_TOLERANCE {
+                    violations.push(format!(
+                        "cluster {i}: sketch cardinality {count:.1} is off the exact size {} \
+                         by {rel:.3} (band {:.3})",
+                        c.len(),
+                        params.error_band()
+                    ));
+                }
+            }
+            None => {
+                connected = false;
+                est_strong = None;
+                violations.push(format!("cluster {i} induces a disconnected subgraph"));
+                match metrics::approx_weak_diameter_of_in(g, c, &mut hb, ctx) {
+                    Some(diam) => {
+                        if let Some(m) = est_weak {
+                            est_weak = Some(m.max(diam));
+                        }
+                    }
+                    None => {
+                        est_weak = None;
+                        violations.push(format!(
+                            "cluster {i}: some member pair is disconnected in G \
+                             (weak diameter undefined)"
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    ApproxDecompositionReport {
+        colors_separate,
+        clusters_connected: connected,
+        est_max_strong_diameter: est_strong,
+        est_max_weak_diameter: est_weak,
+        colors: d.num_colors(),
+        precision: params.precision,
+        rel_std_error: params.rel_std_error(),
+        error_band: params.error_band(),
+        max_cardinality_error: max_card_err,
         violations,
     }
 }
@@ -293,11 +630,20 @@ pub fn validate_decomposition_in(
                 violations.push(format!("cluster {i} induces a disconnected subgraph"));
             }
         }
-        max_weak = match (max_weak, metrics::weak_diameter_of_in(g, c, ctx)) {
+        let weak_d = metrics::weak_diameter_of_in(g, c, ctx);
+        if weak_d.is_none() {
+            // Same silent-`None` hazard as in `validate_carving_in`.
+            violations.push(format!(
+                "cluster {i}: some member pair is disconnected in G (weak diameter undefined)"
+            ));
+        }
+        max_weak = match (max_weak, weak_d) {
             (Some(a), Some(b)) => Some(a.max(b)),
             _ => None,
         };
         if weighted {
+            // `None` here coincides with the connectivity violations
+            // already recorded (reachability is metric-independent).
             w_strong = match (w_strong, metrics::weighted_strong_diameter_of_in(g, c, ctx)) {
                 (Some(a), Some(b)) => Some(a.max(b)),
                 _ => None,
@@ -507,6 +853,124 @@ mod tests {
             validate_decomposition(&plain, &d).weighted_strong_diameter,
             None
         );
+    }
+
+    #[test]
+    fn weak_disconnection_records_a_violation() {
+        // Two components of G, one cluster spanning both: the weak
+        // diameter is undefined. Regression: `max_weak_diameter` used to
+        // become `None` with no violations entry, so a weak-contract
+        // report looked clean while the field silently vanished.
+        let g = sdnd_graph::Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        let carving = BallCarving::new(NodeSet::full(4), vec![ids(&[0, 1, 2, 3])]).unwrap();
+        let report = validate_carving(&g, &carving);
+        assert_eq!(report.max_weak_diameter, None);
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.contains("weak diameter undefined")),
+            "weak-None must be recorded: {:?}",
+            report.violations
+        );
+        assert!(
+            report.is_valid_weak(0.0),
+            "the gate itself still only checks adjacency + dead budget"
+        );
+
+        // Same hazard in the decomposition validator.
+        let d =
+            NetworkDecomposition::new(&NodeSet::full(4), vec![(ids(&[0, 1, 2, 3]), 0)]).unwrap();
+        let dreport = validate_decomposition(&g, &d);
+        assert_eq!(dreport.max_weak_diameter, None);
+        assert!(dreport
+            .violations
+            .iter()
+            .any(|v| v.contains("weak diameter undefined")));
+
+        // An internally disconnected cluster whose members stay connected
+        // in G keeps its weak diameter and gets no weak violation.
+        let path = gen::path(5);
+        let c2 = BallCarving::new(NodeSet::full(5), vec![ids(&[0, 2])]).unwrap();
+        let r2 = validate_carving(&path, &c2);
+        assert_eq!(r2.max_weak_diameter, Some(2));
+        assert!(!r2.violations.iter().any(|v| v.contains("weak diameter")));
+    }
+
+    #[test]
+    fn tolerance_is_applied_consistently() {
+        // Dead fraction 1/7; an eps short of it by far less than the
+        // documented tolerance still passes, a materially smaller eps
+        // does not.
+        let g = gen::path(7);
+        let carving =
+            BallCarving::new(NodeSet::full(7), vec![ids(&[0, 1, 2]), ids(&[4, 5, 6])]).unwrap();
+        let report = validate_carving(&g, &carving);
+        let dead = report.dead_fraction;
+        assert!(report.is_valid_strong(dead - VALIDATION_TOLERANCE / 10.0));
+        assert!(report.is_valid_weak(dead - VALIDATION_TOLERANCE / 10.0));
+        assert!(!report.is_valid_strong(dead - 1e-3));
+        // The approximate tier shares the same constant and behavior.
+        let approx = validate_carving_approx(&g, &carving, HyperBallParams::default());
+        assert!(approx.is_valid_strong(dead - VALIDATION_TOLERANCE / 10.0));
+        assert!(!approx.is_valid_strong(dead - 1e-3));
+    }
+
+    #[test]
+    fn approx_gates_match_exact_and_estimates_are_one_sided() {
+        // Grid rows 0-1 and 3-4 as clusters, row 2 dead.
+        let g = gen::grid(5, 5);
+        let top: Vec<_> = (0..10).map(NodeId::new).collect();
+        let bottom: Vec<_> = (15..25).map(NodeId::new).collect();
+        let carving = BallCarving::new(NodeSet::full(25), vec![top, bottom]).unwrap();
+        let exact = validate_carving(&g, &carving);
+        let approx = validate_carving_approx(&g, &carving, HyperBallParams::default());
+        for eps in [0.0, 0.1, 0.2, 0.5] {
+            assert_eq!(approx.is_valid_strong(eps), exact.is_valid_strong(eps));
+            assert_eq!(approx.is_valid_weak(eps), exact.is_valid_weak(eps));
+        }
+        assert!(approx.clusters_connected);
+        assert!(
+            approx.est_max_strong_diameter.unwrap() <= exact.max_strong_diameter.unwrap(),
+            "estimates never exceed the exact diameter"
+        );
+        assert!(approx.estimator_in_band(), "{:?}", approx.violations);
+        assert!(approx.violations.is_empty());
+
+        // A cluster-joining edge is rejected by both tiers.
+        let path = gen::path(4);
+        let bad = BallCarving::new(NodeSet::full(4), vec![ids(&[0, 1]), ids(&[2, 3])]).unwrap();
+        let bad_exact = validate_carving(&path, &bad);
+        let bad_approx = validate_carving_approx(&path, &bad, HyperBallParams::default());
+        assert!(!bad_approx.clusters_nonadjacent);
+        assert_eq!(bad_approx.is_valid_weak(1.0), bad_exact.is_valid_weak(1.0));
+    }
+
+    #[test]
+    fn approx_decomposition_reports_disconnection() {
+        let g = sdnd_graph::Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        let d =
+            NetworkDecomposition::new(&NodeSet::full(4), vec![(ids(&[0, 1, 2, 3]), 0)]).unwrap();
+        let report = validate_decomposition_approx(&g, &d, HyperBallParams::default());
+        assert!(!report.clusters_connected);
+        assert_eq!(report.est_max_strong_diameter, None);
+        assert_eq!(report.est_max_weak_diameter, None);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.contains("weak diameter undefined")));
+        // Members disconnected inside the cluster but connected in G:
+        // the weak estimate survives.
+        let path = gen::path(5);
+        let d2 = NetworkDecomposition::new(
+            &NodeSet::from_nodes(5, ids(&[0, 2])),
+            vec![(ids(&[0, 2]), 0)],
+        )
+        .unwrap();
+        let r2 = validate_decomposition_approx(&path, &d2, HyperBallParams::default());
+        assert!(!r2.clusters_connected);
+        assert_eq!(r2.est_max_weak_diameter, Some(2));
+        assert!(r2.is_valid_weak());
     }
 
     #[test]

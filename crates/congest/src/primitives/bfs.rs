@@ -8,7 +8,7 @@
 //! the last forwarding layer.
 
 use crate::{bits_for_value, Outbox, Protocol, RoundLedger};
-use sdnd_graph::algo::{BfsRun, TraversalWorkspace};
+use sdnd_graph::algo::{BfsRun, TraversalWorkspace, MAX_HOP_DIST};
 use sdnd_graph::{Adjacency, NodeId};
 
 /// Output of a (bounded) distributed BFS.
@@ -67,8 +67,25 @@ impl BfsOutcome {
 
     /// Cumulative ball sizes `|B_r|` for `r = 0..` (prefix sums are
     /// computed once when the search finishes, not per call).
+    ///
+    /// The slice only extends to the eccentricity of the run; prefer
+    /// [`BfsOutcome::ball_size`] for radius lookups, which clamps
+    /// instead of panicking when `r` exceeds it.
     pub fn ball_sizes(&self) -> &[usize] {
         &self.ball_sizes
+    }
+
+    /// `|B_r|` for an arbitrary radius: indexing [`BfsOutcome::ball_sizes`]
+    /// panics for `r` beyond the eccentricity even though the ball is
+    /// perfectly well defined there (it has simply stopped growing), so
+    /// this accessor clamps to the last entry — and returns 0 when
+    /// nothing was reached at all.
+    #[inline]
+    pub fn ball_size(&self, r: u32) -> usize {
+        match self.ball_sizes.len() {
+            0 => 0,
+            len => self.ball_sizes[(r as usize).min(len - 1)],
+        }
     }
 
     /// Largest distance reached (`None` if nothing was reached).
@@ -140,6 +157,12 @@ where
     I: IntoIterator<Item = NodeId>,
 {
     const NO_NODE: u32 = u32::MAX;
+    // `du + 1` below must never mint the `UNREACHED` sentinel: with an
+    // unbounded `r_max = u32::MAX` a (hypothetical) path of 2^32 hops
+    // would wrap a discovered distance into "unreached". Clamping the
+    // bound to `MAX_HOP_DIST` is value-identical for every realizable
+    // input (hop distances are < universe < 2^32 - 1).
+    let r_max = r_max.min(MAX_HOP_DIST);
     let n = view.universe();
     let token_bits = bits_for_value(n.max(2) as u64 - 1);
     let mut sends = 0u64;
@@ -232,7 +255,9 @@ impl BfsKernel {
         let token_bits = bits_for_value(view.universe().max(2) as u64 - 1);
         BfsKernel {
             is_source,
-            r_max,
+            // Same sentinel guard as `bfs_in`: `d + 1` in `step` must not
+            // overflow when the caller passes an unbounded radius.
+            r_max: r_max.min(MAX_HOP_DIST),
             token_bits,
         }
     }
@@ -392,6 +417,47 @@ mod tests {
             8,
             "layer 6 forwards in round 7; node 7 forwards in round 8"
         );
+    }
+
+    #[test]
+    fn ball_size_clamps_beyond_eccentricity() {
+        let g = gen::path(5);
+        let mut ledger = RoundLedger::new();
+        let r = bfs(&g.full_view(), [NodeId::new(0)], u32::MAX, &mut ledger);
+        // In range: agrees with the raw slice.
+        assert_eq!(r.ball_size(0), 1);
+        assert_eq!(r.ball_size(4), 5);
+        // Beyond the eccentricity the ball has stopped growing; the raw
+        // slice would panic here.
+        assert_eq!(r.ball_size(5), 5);
+        assert_eq!(r.ball_size(u32::MAX), 5);
+
+        // Nothing reached: no sources at all.
+        let mut ledger = RoundLedger::new();
+        let empty = bfs(&g.full_view(), std::iter::empty(), u32::MAX, &mut ledger);
+        assert_eq!(empty.ball_size(0), 0);
+        assert_eq!(empty.ball_size(7), 0);
+    }
+
+    #[test]
+    fn unbounded_radius_is_clamped_below_the_sentinel() {
+        // `r_max = u32::MAX` must behave exactly like `MAX_HOP_DIST`:
+        // the forwarding guard may never produce `du + 1 == UNREACHED`.
+        let g = gen::path(9);
+        let mut a = RoundLedger::new();
+        let mut b = RoundLedger::new();
+        let unbounded = bfs(&g.full_view(), [NodeId::new(0)], u32::MAX, &mut a);
+        let clamped = bfs(&g.full_view(), [NodeId::new(0)], MAX_HOP_DIST, &mut b);
+        for i in 0..9 {
+            let v = NodeId::new(i);
+            assert_eq!(unbounded.dist(v), clamped.dist(v));
+            assert_eq!(unbounded.parent(v), clamped.parent(v));
+        }
+        assert_eq!(a.rounds(), b.rounds());
+        assert_eq!(a.messages(), b.messages());
+        // The kernel stores the clamped bound too, so its `d + 1`
+        // broadcast can't wrap either.
+        cross_validate(&g.full_view(), &[NodeId::new(0)], u32::MAX);
     }
 
     #[test]

@@ -44,6 +44,16 @@ impl LayerCensus {
             })
             .collect()
     }
+
+    /// `|B_r|` for an arbitrary radius, clamped: radii beyond the deepest
+    /// census layer return the full reached count (the ball has stopped
+    /// growing), and an empty census returns 0.
+    pub fn ball_size(&self, r: u32) -> u64 {
+        self.layer_counts
+            .iter()
+            .take((r as usize).saturating_add(1))
+            .sum()
+    }
 }
 
 /// Runs a BFS from `root` truncated at `r_max` and pipelines the layer
@@ -87,8 +97,20 @@ impl<'w> LayerCensusIn<'w> {
     }
 
     /// Cumulative ball sizes `|B_r|` (prefix sums, computed once).
+    ///
+    /// Only extends to the deepest census layer; prefer
+    /// [`LayerCensusIn::ball_size`] for radius lookups that may exceed it.
     pub fn ball_sizes(&self) -> &'w [u64] {
         self.ball_sizes
+    }
+
+    /// `|B_r|` for an arbitrary radius, clamped: radii beyond the deepest
+    /// layer return the full reached count, and an empty census returns 0.
+    pub fn ball_size(&self, r: u32) -> u64 {
+        match self.ball_sizes.len() {
+            0 => 0,
+            len => self.ball_sizes[(r as usize).min(len - 1)],
+        }
     }
 }
 
@@ -297,6 +319,24 @@ mod tests {
         let census = layer_census(&g.full_view(), NodeId::new(0), 4, &mut ledger);
         assert_eq!(census.layer_counts().len(), 5);
         assert_eq!(census.ball_sizes().last(), Some(&5));
+    }
+
+    #[test]
+    fn ball_size_clamps_beyond_the_deepest_layer() {
+        let g = gen::path(6);
+        let mut ledger = RoundLedger::new();
+        let census = layer_census(&g.full_view(), NodeId::new(0), u32::MAX, &mut ledger);
+        assert_eq!(census.ball_size(0), 1);
+        assert_eq!(census.ball_size(5), 6);
+        // Indexing `ball_sizes()` here would be out of bounds.
+        assert_eq!(census.ball_size(6), 6);
+        assert_eq!(census.ball_size(u32::MAX), 6);
+
+        let mut ws = TraversalWorkspace::new();
+        let mut ledger = RoundLedger::new();
+        let census_in = layer_census_in(&g.full_view(), NodeId::new(2), 1, &mut ledger, &mut ws);
+        assert_eq!(census_in.ball_size(1), 3);
+        assert_eq!(census_in.ball_size(400), 3);
     }
 
     #[test]

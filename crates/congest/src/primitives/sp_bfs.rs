@@ -237,7 +237,10 @@ where
                 for (u, w) in view.neighbors_weighted(v) {
                     delivered = true;
                     sends += 1;
-                    let c = p.dist[v.index()] + w;
+                    // Saturate: an overflowing sum must stay a finite
+                    // (huge) distance rather than aliasing the
+                    // `UNREACHED_W` infinity sentinel.
+                    let c = (p.dist[v.index()] + w).min(f64::MAX);
                     let ui = u.index();
                     // Candidate lane: unstamped entries read as
                     // unreached, and entries are reset (not unstamped)
@@ -367,7 +370,9 @@ impl Protocol for SpBfsKernel<'_> {
                 .g
                 .edge_weight(node, from)
                 .expect("inbox sender is a neighbor");
-            let c = d_from + w;
+            // Same saturation as the fast path: keep overflowing sums
+            // finite instead of aliasing the unreached sentinel.
+            let c = (d_from + w).min(f64::MAX);
             if c <= self.r_max && c < best {
                 best = c;
                 best_from = Some(from);
@@ -518,6 +523,22 @@ mod tests {
         assert_eq!(sp.ball(2.0).count(), 2);
         let dists: Vec<f64> = sp.order().iter().map(|&v| sp.dist(v)).collect();
         assert!(dists.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn extreme_weights_saturate_instead_of_reading_unreached() {
+        // Two f64::MAX hops in a row: the naive sum is +inf, which would
+        // alias the unreached sentinel and make node 2 look unreachable.
+        let g = Graph::from_weighted_edges(3, [(0, 1, f64::MAX), (1, 2, f64::MAX)]).unwrap();
+        let mut ledger = RoundLedger::new();
+        let sp = sp_bfs(&g.full_view(), [NodeId::new(0)], f64::INFINITY, &mut ledger);
+        assert!(
+            sp.reached(NodeId::new(2)),
+            "saturated distance stays finite"
+        );
+        assert_eq!(sp.dist(NodeId::new(2)), f64::MAX);
+        // (No kernel cross-check here: a distance this large exceeds the
+        // CONGEST message-bit budget by construction.)
     }
 
     #[test]

@@ -217,9 +217,14 @@ fn smallest_radius_reaching(balls: &[usize], target: usize) -> u32 {
 /// The radius `r` in `[lo, hi]` minimizing `balls[r+1] / balls[r]`
 /// (layers past the BFS frontier count as ratio 1).
 fn thinnest_layer(balls: &[usize], lo: u32, hi: u32) -> u32 {
+    // Clamped lookup: radii past the frontier read the final ball size,
+    // and an empty run (no prefix sums at all) reads 0 instead of
+    // underflowing `len - 1`.
     let at = |r: u32| -> usize {
-        let idx = (r as usize).min(balls.len() - 1);
-        balls[idx]
+        match balls.len() {
+            0 => 0,
+            len => balls[(r as usize).min(len - 1)],
+        }
     };
     let mut best = lo;
     let mut best_ratio = f64::INFINITY;

@@ -263,7 +263,6 @@ fn process_component<A: WeakCarver + ?Sized>(
                 let view = g.view(s);
                 let census =
                     primitives::layer_census_in(&view, root, r_hi + 1, ledger, &mut ctx.ws);
-                let balls = census.ball_sizes();
                 debug_assert!(
                     wc.carving().clusters()[ci]
                         .iter()
@@ -271,10 +270,9 @@ fn process_component<A: WeakCarver + ?Sized>(
                     "tree depth bounds the root-to-member distance in G[S]"
                 );
 
-                let ball_at = |r: u32| -> u64 {
-                    let idx = (r as usize).min(balls.len() - 1);
-                    balls[idx]
-                };
+                // Clamped accessor: safe past the deepest census layer
+                // and (vacuously) on an empty census.
+                let ball_at = |r: u32| -> u64 { census.ball_size(r) };
                 let mut r_star = r_hi;
                 for r in r_lo..=r_hi {
                     if ball_at(r) as f64 >= (1.0 - eps / 2.0) * ball_at(r + 1) as f64 {
@@ -309,7 +307,9 @@ fn process_component<A: WeakCarver + ?Sized>(
                 }
                 ctx.ws.give_set(remaining);
             }
-            MetricOracle::Weighted(_) => {
+            // Both weighted backends share the flood: they answer the
+            // same metric with identical distances.
+            MetricOracle::Weighted(_) | MetricOracle::Delta(_) => {
                 // Case II in the weighted metric: grow `B_r(a)` in steps
                 // of the largest alive edge weight `W`. Every neighbor
                 // of `B_r` lies inside `B_{r + W}`, so the usual ratio

@@ -59,6 +59,16 @@ impl BfsResult {
         &self.ball_sizes
     }
 
+    /// Number of reached nodes within distance `r`, clamped: any `r`
+    /// beyond the eccentricity returns the total reached count, and an
+    /// empty result returns 0 (where `ball_sizes()[r]` would panic).
+    pub fn ball_size(&self, r: u32) -> usize {
+        match self.ball_sizes.len() {
+            0 => 0,
+            len => self.ball_sizes[(r as usize).min(len - 1)],
+        }
+    }
+
     /// The largest distance reached, i.e. the eccentricity of the source
     /// set within its component. `None` if nothing was reached.
     pub fn eccentricity(&self) -> Option<u32> {
@@ -197,5 +207,24 @@ mod tests {
         let g = Graph::empty(0);
         let r = bfs(&g.full_view(), []);
         assert_eq!(r.reached_count(), 0);
+    }
+
+    #[test]
+    fn ball_size_clamps_beyond_eccentricity() {
+        let g = gen::path(5);
+        let r = bfs(&g.full_view(), [NodeId::new(0)]);
+        assert_eq!(r.ball_size(2), 3);
+        assert_eq!(r.ball_size(4), 5);
+        assert_eq!(
+            r.ball_size(999),
+            5,
+            "clamped, where ball_sizes()[999] panics"
+        );
+        // A BFS that reached nothing reports 0 for every radius.
+        let alive = NodeSet::from_nodes(4, [1, 2, 3].map(NodeId::new));
+        let g4 = gen::path(4);
+        let empty = bfs(&g4.view(&alive), [NodeId::new(0)]);
+        assert_eq!(empty.ball_size(0), 0);
+        assert_eq!(empty.ball_size(3), 0);
     }
 }

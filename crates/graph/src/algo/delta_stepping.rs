@@ -1,0 +1,526 @@
+//! Bucketed Δ-stepping shortest paths (Meyer–Sanders).
+//!
+//! Δ-stepping partitions tentative distances into buckets of width `Δ`
+//! and settles one bucket at a time: *light* edges (weight ≤ Δ) are
+//! relaxed to a fixpoint inside the current bucket, then *heavy* edges
+//! (weight > Δ) are relaxed once per settled node. With bounded weight
+//! spread the bucket count per sweep stays small and the traversal
+//! avoids the binary heap entirely — the sublinear-validation backend
+//! the experiment harness uses on weighted graphs.
+//!
+//! The final distances are the unique fixpoint of the Bellman-style
+//! relaxation equations (non-negative weights), so they are *bit
+//! identical* to [`super::dijkstra`]'s: both algorithms evaluate the
+//! same `dist(u) + w` sums and take the same minima. The published
+//! visit order is sorted by `(distance bits, node index)`, which equals
+//! Dijkstra's settle order, so every downstream consumer (ball counts,
+//! eccentricities, the carving pipeline) sees identical outputs. The
+//! test suite and `tests/approx_validation.rs` pin this equivalence
+//! against both Dijkstra and Bellman–Ford.
+//!
+//! Buckets live in the [`TraversalWorkspace`]'s weighted arena
+//! ([`SpParts::buckets`]), indexed cyclically: a relaxation from bucket
+//! `i` lands in an absolute bucket `< i + ⌈w_max/Δ⌉ + 1`, so
+//! `⌈w_max/Δ⌉ + 2` slots suffice and memory stays `O(w_max/Δ)`
+//! regardless of how far the traversal runs.
+
+use crate::{Adjacency, Graph, NodeId, NodeSet};
+
+use super::oracle::{DistanceMap, DistanceMapIn, DistanceOracle};
+use super::weighted::{DijkstraResult, W_UNREACHED};
+use super::workspace::{SpParts, SpRun, TraversalWorkspace};
+
+/// Sentinel for "no parent" in the packed parent arrays.
+const NO_NODE: u32 = u32::MAX;
+
+/// Upper bound on the weight spread (`w_max / w_min`) up to which
+/// [`auto_delta`] considers bucketing effective; beyond it (or with
+/// non-positive weights) [`super::oracle_for`] falls back to the binary
+/// heap.
+pub const DELTA_SPREAD_LIMIT: f64 = 1024.0;
+
+/// Picks a bucket width for `g`: the classic `Δ = w_max / avg_degree`
+/// choice, clamped below by the lightest edge so a single bucket never
+/// splits an edge relaxation into many rounds.
+///
+/// Returns `None` when bucketing is not worthwhile: unweighted or
+/// edgeless graphs, non-positive weights, or weight spread above
+/// [`DELTA_SPREAD_LIMIT`] (where Δ-stepping degenerates toward
+/// Bellman–Ford or Dijkstra and the heap is the better backend).
+pub fn auto_delta(g: &Graph) -> Option<f64> {
+    let weights = g.weights()?;
+    if weights.is_empty() {
+        return None;
+    }
+    let mut min_w = f64::INFINITY;
+    let mut max_w = 0.0_f64;
+    for &w in weights {
+        min_w = min_w.min(w);
+        max_w = max_w.max(w);
+    }
+    // Graph construction rejects non-finite or negative weights, so the
+    // only degenerate case left is an exact zero.
+    if min_w <= 0.0 || max_w / min_w > DELTA_SPREAD_LIMIT {
+        return None;
+    }
+    let avg_degree = (2 * g.m()) as f64 / g.n().max(1) as f64;
+    Some((max_w / avg_degree.max(1.0)).max(min_w))
+}
+
+/// Runs Δ-stepping from the given source set over `view` with bucket
+/// width `delta`, using the base graph's edge weights.
+///
+/// Output-identical to [`super::dijkstra`] (see the module docs). Thin
+/// wrapper over [`delta_stepping_in`] with a throwaway workspace.
+///
+/// # Panics
+///
+/// Panics if `delta` is not a finite positive number.
+pub fn delta_stepping<A, I>(view: &A, sources: I, delta: f64) -> DijkstraResult
+where
+    A: Adjacency,
+    I: IntoIterator<Item = NodeId>,
+{
+    let mut ws = TraversalWorkspace::new();
+    let run = delta_stepping_in(&mut ws, view, sources, delta);
+    DijkstraResult::from_run(view.universe(), &run)
+}
+
+/// [`delta_stepping`] into a workspace: no per-call allocation once the
+/// arena has grown, value-identical distances.
+pub fn delta_stepping_in<'w, A, I>(
+    ws: &'w mut TraversalWorkspace,
+    view: &A,
+    sources: I,
+    delta: f64,
+) -> SpRun<'w>
+where
+    A: Adjacency,
+    I: IntoIterator<Item = NodeId>,
+{
+    delta_core(ws, view, sources, delta, W_UNREACHED, None)
+}
+
+/// Δ-stepping truncated at distance `max_dist` (inclusive); the
+/// bucketed sibling of [`super::dijkstra_bounded_in`].
+pub fn delta_stepping_bounded_in<'w, A, I>(
+    ws: &'w mut TraversalWorkspace,
+    view: &A,
+    sources: I,
+    delta: f64,
+    max_dist: f64,
+) -> SpRun<'w>
+where
+    A: Adjacency,
+    I: IntoIterator<Item = NodeId>,
+{
+    delta_core(ws, view, sources, delta, max_dist, None)
+}
+
+/// Δ-stepping that stops once every member of `targets` has settled
+/// (their bucket has been fully processed, so their distances are
+/// final); the bucketed sibling of [`super::dijkstra_to_in`].
+pub fn delta_stepping_to_in<'w, A, I>(
+    ws: &'w mut TraversalWorkspace,
+    view: &A,
+    sources: I,
+    delta: f64,
+    targets: &NodeSet,
+) -> SpRun<'w>
+where
+    A: Adjacency,
+    I: IntoIterator<Item = NodeId>,
+{
+    delta_core(ws, view, sources, delta, W_UNREACHED, Some(targets))
+}
+
+/// Relaxes `u` to candidate distance `cand` discovered from `from`,
+/// filing it under its (cyclic) bucket slot. Returns whether an entry
+/// was filed (the caller keeps the outstanding-entry count).
+#[inline]
+fn relax(
+    p: &mut SpParts<'_>,
+    slots: usize,
+    delta: f64,
+    max_dist: f64,
+    u: NodeId,
+    cand: f64,
+    from: u32,
+) -> bool {
+    if cand <= max_dist && cand < p.dist_of(u) {
+        // Stamp without recording in `order` (as in `dijkstra_core`):
+        // the node enters `order` when it settles, not when it is filed.
+        let ui = u.index();
+        if p.stamp[ui] != p.epoch {
+            p.stamp[ui] = p.epoch;
+        }
+        p.dist[ui] = cand;
+        p.parent[ui] = from;
+        let abs = (cand / delta) as usize;
+        p.buckets[abs % slots].push(u);
+        true
+    } else {
+        false
+    }
+}
+
+fn delta_core<'w, A, I>(
+    ws: &'w mut TraversalWorkspace,
+    view: &A,
+    sources: I,
+    delta: f64,
+    max_dist: f64,
+    targets: Option<&NodeSet>,
+) -> SpRun<'w>
+where
+    A: Adjacency,
+    I: IntoIterator<Item = NodeId>,
+{
+    assert!(
+        delta.is_finite() && delta > 0.0,
+        "delta must be a finite positive bucket width, got {delta}"
+    );
+    // A relaxation out of bucket `i` lands in an absolute bucket
+    // `<= i + ceil(w_max / delta)`, so this many cyclic slots guarantee
+    // an in-flight entry never collides with a future bucket.
+    let w_max = view.graph().max_edge_weight().max(delta);
+    let slots = (w_max / delta).ceil() as usize + 2;
+    {
+        let mut p = ws.begin_sp(view.universe());
+        if p.buckets.len() < slots {
+            p.buckets.resize_with(slots, Vec::new);
+        }
+        let mut remaining = targets.map_or(usize::MAX, NodeSet::len);
+        let mut items = 0usize;
+        for s in sources {
+            if view.contains(s) && !p.reached(s) {
+                p.set_dist(s, 0.0, NO_NODE);
+                p.buckets[0].push(s);
+                items += 1;
+            }
+        }
+        // As in `dijkstra_core`, the published order holds only *settled*
+        // nodes (nodes filed into buckets are stamped with tentative
+        // distances on first touch; rebuild order from settles below).
+        p.order.clear();
+        if remaining == 0 {
+            // Vacuous target set: nothing to settle (mirrors the other
+            // cores' early exits).
+            items = 0;
+        }
+        let mut i = 0usize; // absolute index of the bucket in flight
+        while items > 0 {
+            while p.buckets[i % slots].is_empty() {
+                i += 1;
+            }
+            let settled_from = p.order.len();
+            // Light phase: relax edges of weight <= delta to a fixpoint
+            // within bucket i (a relaxation may re-file a node into the
+            // bucket currently being drained).
+            loop {
+                let slot = i % slots;
+                if p.buckets[slot].is_empty() {
+                    break;
+                }
+                core::mem::swap(&mut p.buckets[slot], &mut *p.frontier);
+                let mut idx = 0;
+                while idx < p.frontier.len() {
+                    let v = p.frontier[idx];
+                    idx += 1;
+                    items -= 1;
+                    let vi = v.index();
+                    let dv = p.dist[vi];
+                    if (dv / delta) as usize != i {
+                        // Superseded entry: the node's distance improved
+                        // after this entry was filed; its live entry sits
+                        // in the right bucket.
+                        continue;
+                    }
+                    if p.aux_stamp[vi] != p.epoch {
+                        // First settle in this bucket: record for the
+                        // heavy phase and the published order
+                        // (`aux_stamp` is the settled lane, as in
+                        // Dijkstra).
+                        p.aux_stamp[vi] = p.epoch;
+                        p.order.push(v);
+                        if targets.is_some_and(|t| t.contains(v)) {
+                            remaining -= 1;
+                        }
+                    }
+                    for (u, w) in view.neighbors_weighted(v) {
+                        if w <= delta {
+                            let cand = (dv + w).min(f64::MAX);
+                            if relax(&mut p, slots, delta, max_dist, u, cand, vi as u32) {
+                                items += 1;
+                            }
+                        }
+                    }
+                }
+                p.frontier.clear();
+            }
+            // Heavy phase: one pass of the > delta edges from every node
+            // settled in this bucket, at its now-final distance. A heavy
+            // relaxation lands strictly past bucket i, so it never
+            // reopens the bucket just drained.
+            for idx in settled_from..p.order.len() {
+                let v = p.order[idx];
+                let dv = p.dist[v.index()];
+                for (u, w) in view.neighbors_weighted(v) {
+                    if w > delta {
+                        let cand = (dv + w).min(f64::MAX);
+                        if relax(&mut p, slots, delta, max_dist, u, cand, v.index() as u32) {
+                            items += 1;
+                        }
+                    }
+                }
+            }
+            if remaining == 0 {
+                // All targets settled and their bucket fully processed:
+                // their distances are final.
+                break;
+            }
+            i += 1;
+        }
+        // Publish in non-decreasing distance order, ties by node index
+        // (bit patterns of non-negative finite f64s order like the
+        // values) — the same shape `dijkstra_core`'s pop order has.
+        let dist: &[f64] = p.dist;
+        p.order
+            .sort_unstable_by_key(|v| (dist[v.index()].to_bits(), v.index()));
+    }
+    ws.sp_run()
+}
+
+/// Δ-stepping as a [`DistanceOracle`]: the weighted metric answered with
+/// buckets instead of a binary heap. Distances are bit-identical to
+/// [`super::WeightedOracle`]'s (see the module docs), so swapping one for
+/// the other never changes pipeline output — only wall clock.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeltaSteppingOracle {
+    delta: f64,
+}
+
+impl DeltaSteppingOracle {
+    /// An oracle with a fixed bucket width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta` is not a finite positive number.
+    pub fn new(delta: f64) -> Self {
+        assert!(
+            delta.is_finite() && delta > 0.0,
+            "delta must be a finite positive bucket width, got {delta}"
+        );
+        DeltaSteppingOracle { delta }
+    }
+
+    /// An oracle with the [`auto_delta`] bucket width for `g`, or `None`
+    /// when bucketing is not worthwhile for this graph.
+    pub fn for_graph(g: &Graph) -> Option<Self> {
+        auto_delta(g).map(Self::new)
+    }
+
+    /// The bucket width.
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+}
+
+impl DistanceOracle for DeltaSteppingOracle {
+    fn distances<A: Adjacency>(&self, view: &A, source: NodeId) -> DistanceMap {
+        let r = delta_stepping(view, [source], self.delta);
+        let dist = (0..view.universe())
+            .map(|i| r.dist(NodeId::new(i)))
+            .collect();
+        DistanceMap::new(dist, r.order().to_vec())
+    }
+
+    fn distances_in<'w, A: Adjacency>(
+        &self,
+        view: &A,
+        source: NodeId,
+        ws: &'w mut TraversalWorkspace,
+    ) -> DistanceMapIn<'w> {
+        DistanceMapIn::Weighted(delta_stepping_in(ws, view, [source], self.delta))
+    }
+
+    fn distances_to_in<'w, A: Adjacency>(
+        &self,
+        view: &A,
+        source: NodeId,
+        targets: &NodeSet,
+        ws: &'w mut TraversalWorkspace,
+    ) -> DistanceMapIn<'w> {
+        DistanceMapIn::Weighted(delta_stepping_to_in(
+            ws,
+            view,
+            [source],
+            self.delta,
+            targets,
+        ))
+    }
+
+    fn is_weighted_metric(&self) -> bool {
+        true
+    }
+
+    fn name(&self) -> &'static str {
+        "delta"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::{dijkstra, dijkstra_in};
+    use crate::{gen, NodeSet};
+
+    fn assert_same_run(g: &Graph, sources: &[NodeId], delta: f64) {
+        let mut ws = TraversalWorkspace::new();
+        let view = g.full_view();
+        let d = dijkstra(&view, sources.iter().copied());
+        let run = delta_stepping_in(&mut ws, &view, sources.iter().copied(), delta);
+        for v in g.nodes() {
+            assert_eq!(
+                run.dist(v),
+                d.dist(v),
+                "dist mismatch at {v} (delta = {delta})"
+            );
+        }
+        assert_eq!(run.order().len(), d.order().len());
+        for (a, b) in run.order().iter().zip(d.order()) {
+            assert_eq!(run.dist(*a), d.dist(*b), "order distance profile differs");
+        }
+    }
+
+    #[test]
+    fn matches_dijkstra_on_weighted_grid() {
+        let g =
+            gen::grid_weighted(7, 9, gen::WeightDist::Uniform { lo: 0.5, hi: 3.5 }, 42).unwrap();
+        for delta in [0.5, 1.0, 3.5, 10.0] {
+            assert_same_run(&g, &[NodeId::new(0)], delta);
+            assert_same_run(&g, &[NodeId::new(17), NodeId::new(60)], delta);
+        }
+    }
+
+    #[test]
+    fn matches_dijkstra_on_random_graphs() {
+        for seed in 0..4 {
+            let g = gen::gnp_connected_weighted(
+                60,
+                0.08,
+                seed,
+                gen::WeightDist::Uniform { lo: 0.25, hi: 4.0 },
+            )
+            .unwrap();
+            let delta = auto_delta(&g).expect("sane spread");
+            assert_same_run(&g, &[NodeId::new(seed as usize)], delta);
+        }
+    }
+
+    #[test]
+    fn heavy_edges_exercised() {
+        // delta = 1.0 makes the 5.0 edges heavy; path alternates light
+        // and heavy.
+        let g = Graph::from_weighted_edges(
+            6,
+            [
+                (0, 1, 0.5),
+                (1, 2, 5.0),
+                (2, 3, 0.5),
+                (3, 4, 5.0),
+                (4, 5, 0.5),
+            ],
+        )
+        .unwrap();
+        let run = delta_stepping(&g.full_view(), [NodeId::new(0)], 1.0);
+        assert_eq!(run.dist(NodeId::new(5)), 11.5);
+        assert_same_run(&g, &[NodeId::new(0)], 1.0);
+    }
+
+    #[test]
+    fn respects_subset_views() {
+        let g = gen::grid_weighted(6, 6, gen::WeightDist::Uniform { lo: 1.0, hi: 2.0 }, 7).unwrap();
+        let alive = NodeSet::from_nodes(36, (0..18).map(NodeId::new));
+        let view = g.view(&alive);
+        let mut ws = TraversalWorkspace::new();
+        let d = dijkstra(&view, [NodeId::new(0)]);
+        let run = delta_stepping_in(&mut ws, &view, [NodeId::new(0)], 1.0);
+        for v in g.nodes() {
+            assert_eq!(run.dist(v), d.dist(v), "dist mismatch at {v}");
+        }
+    }
+
+    #[test]
+    fn bounded_truncates_like_dijkstra() {
+        let g =
+            gen::grid_weighted(6, 6, gen::WeightDist::Uniform { lo: 0.5, hi: 2.0 }, 11).unwrap();
+        let mut ws = TraversalWorkspace::new();
+        let bound = 4.25;
+        let d = crate::algo::dijkstra_bounded(&g.full_view(), [NodeId::new(0)], bound);
+        let reached: Vec<_> = {
+            let run =
+                delta_stepping_bounded_in(&mut ws, &g.full_view(), [NodeId::new(0)], 1.0, bound);
+            g.nodes().map(|v| (run.reached(v), run.dist(v))).collect()
+        };
+        for v in g.nodes() {
+            assert_eq!(reached[v.index()].0, d.reached(v), "reach set at {v}");
+            if d.reached(v) {
+                assert_eq!(reached[v.index()].1, d.dist(v), "dist at {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn targets_settle_with_final_distances() {
+        let g = gen::grid_weighted(8, 8, gen::WeightDist::Uniform { lo: 0.5, hi: 3.0 }, 5).unwrap();
+        let targets = NodeSet::from_nodes(64, [NodeId::new(63), NodeId::new(42)]);
+        let mut ws = TraversalWorkspace::new();
+        let d = dijkstra(&g.full_view(), [NodeId::new(0)]);
+        let run = delta_stepping_to_in(&mut ws, &g.full_view(), [NodeId::new(0)], 1.0, &targets);
+        for t in targets.iter() {
+            assert_eq!(run.dist(t), d.dist(t), "target {t} must be final");
+        }
+        // Vacuous target set: nothing settles.
+        let empty = NodeSet::empty(64);
+        let run = delta_stepping_to_in(&mut ws, &g.full_view(), [NodeId::new(0)], 1.0, &empty);
+        assert_eq!(run.reached_count(), 0);
+    }
+
+    #[test]
+    fn workspace_reuse_across_widths() {
+        // Shrinking slot counts must not see stale entries from a wider
+        // earlier run.
+        let g =
+            gen::grid_weighted(5, 5, gen::WeightDist::Uniform { lo: 0.25, hi: 4.0 }, 9).unwrap();
+        let mut ws = TraversalWorkspace::new();
+        for delta in [0.25, 4.0, 0.5, 2.0] {
+            let view = g.full_view();
+            let d = dijkstra_in(&mut ws, &view, [NodeId::new(3)]);
+            let dists: Vec<f64> = g.nodes().map(|v| d.dist(v)).collect();
+            let run = delta_stepping_in(&mut ws, &view, [NodeId::new(3)], delta);
+            for v in g.nodes() {
+                assert_eq!(run.dist(v), dists[v.index()], "delta = {delta}");
+            }
+        }
+    }
+
+    #[test]
+    fn auto_delta_policy() {
+        assert_eq!(auto_delta(&gen::path(5)), None, "unweighted");
+        let uniform =
+            gen::grid_weighted(4, 4, gen::WeightDist::Uniform { lo: 1.0, hi: 2.0 }, 1).unwrap();
+        assert!(auto_delta(&uniform).is_some());
+        let wild = Graph::from_weighted_edges(3, [(0, 1, 1e-6), (1, 2, 1e6)]).unwrap();
+        assert_eq!(auto_delta(&wild), None, "spread beyond the limit");
+        let zero = Graph::from_weighted_edges(2, [(0, 1, 0.0)]).unwrap();
+        assert_eq!(auto_delta(&zero), None, "non-positive weight");
+    }
+
+    #[test]
+    #[should_panic(expected = "finite positive")]
+    fn rejects_nonpositive_delta() {
+        let g = gen::grid_weighted(2, 2, gen::WeightDist::Unit, 0).unwrap();
+        let _ = delta_stepping(&g.full_view(), [NodeId::new(0)], 0.0);
+    }
+}

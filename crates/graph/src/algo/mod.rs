@@ -5,8 +5,10 @@
 
 mod bfs;
 mod components;
+mod delta_stepping;
 mod dfs;
 mod distance;
+mod hyperball;
 mod induced;
 mod oracle;
 mod power;
@@ -15,8 +17,13 @@ mod workspace;
 
 pub use bfs::{bfs, bfs_bounded, BfsResult, UNREACHED};
 pub use components::{component_of, connected_components, is_connected, Components};
+pub use delta_stepping::{
+    auto_delta, delta_stepping, delta_stepping_bounded_in, delta_stepping_in, delta_stepping_to_in,
+    DeltaSteppingOracle, DELTA_SPREAD_LIMIT,
+};
 pub use dfs::{children_csr, dfs_order_of_tree, TreeOrder};
 pub use distance::{diameter_exact, diameter_two_sweep, eccentricity, pairwise_distances};
+pub use hyperball::{HyperBall, HyperBallParams, HyperBallSummary};
 pub use induced::{induced_subgraph, InducedSubgraph};
 pub use oracle::{
     oracle_for, DistanceMap, DistanceMapIn, DistanceOracle, HopOracle, MetricOracle,
@@ -29,5 +36,5 @@ pub use weighted::{
 };
 pub use workspace::{
     bfs_bounded_in, bfs_in, bfs_to_in, dijkstra_bounded_in, dijkstra_in, dijkstra_to_in, BfsRun,
-    HopParts, SpParts, SpRun, TraversalWorkspace,
+    HopParts, SpParts, SpRun, TraversalWorkspace, MAX_HOP_DIST,
 };

@@ -44,6 +44,13 @@ use super::weighted::W_UNREACHED;
 /// Sentinel for "no parent" in the packed parent arrays.
 const NO_NODE: u32 = u32::MAX;
 
+/// Largest hop distance a traversal can assign: one below the
+/// [`UNREACHED`] sentinel. Bounded traversals clamp their radius here so
+/// `dist + 1` arithmetic can never wrap a reached node's distance into
+/// the sentinel (the `u32::MAX` boundary of `bfs(…) =
+/// bfs_bounded(…, u32::MAX)`).
+pub const MAX_HOP_DIST: u32 = UNREACHED - 1;
+
 /// Per-node scratch for hop (BFS) traversals.
 #[derive(Debug, Default)]
 struct HopScratch {
@@ -72,6 +79,7 @@ struct SpScratch {
     touched: Vec<NodeId>,
     frontier: Vec<NodeId>,
     heap: BinaryHeap<Reverse<(u64, usize)>>,
+    buckets: Vec<Vec<NodeId>>,
 }
 
 /// A reusable traversal workspace: stamped hop and weighted scratch plus
@@ -253,6 +261,11 @@ impl TraversalWorkspace {
         s.touched.clear();
         s.frontier.clear();
         s.heap.clear();
+        // An abandoned Δ-stepping run may leave entries behind; bucket
+        // vectors keep their capacity across epochs.
+        for b in &mut s.buckets {
+            b.clear();
+        }
         SpParts {
             epoch: s.epoch,
             stamp: &mut s.stamp,
@@ -265,6 +278,7 @@ impl TraversalWorkspace {
             touched: &mut s.touched,
             frontier: &mut s.frontier,
             heap: &mut s.heap,
+            buckets: &mut s.buckets,
         }
     }
 
@@ -319,11 +333,16 @@ impl HopParts<'_> {
 
     /// Stamps `v` at distance `d` with packed parent `parent`
     /// (`u32::MAX` for none) and appends it to the visit order.
+    ///
+    /// The stored distance saturates at [`MAX_HOP_DIST`]: the arena
+    /// cannot represent the [`UNREACHED`] sentinel as a real distance,
+    /// so a `dist + 1` computed at the `u32::MAX` boundary must not wrap
+    /// a reached node into "unreached".
     #[inline]
     pub fn visit(&mut self, v: NodeId, d: u32, parent: u32) {
         let i = v.index();
         self.stamp[i] = self.epoch;
-        self.dist[i] = d;
+        self.dist[i] = d.min(MAX_HOP_DIST);
         self.parent[i] = parent;
         self.order.push(v);
     }
@@ -372,6 +391,9 @@ pub struct SpParts<'w> {
     pub frontier: &'w mut Vec<NodeId>,
     /// Scratch priority queue (distance bits, node index).
     pub heap: &'w mut BinaryHeap<Reverse<(u64, usize)>>,
+    /// Cyclic bucket slots for Δ-stepping (emptied by
+    /// [`begin_sp`](TraversalWorkspace::begin_sp), capacity retained).
+    pub buckets: &'w mut Vec<Vec<NodeId>>,
 }
 
 impl SpParts<'_> {
@@ -472,6 +494,16 @@ impl<'w> BfsRun<'w> {
     /// traversal).
     pub fn ball_sizes(&self) -> &'w [usize] {
         self.ball_sizes
+    }
+
+    /// Number of reached nodes within distance `r`, clamped: any `r`
+    /// beyond the eccentricity returns the total reached count, and an
+    /// empty run returns 0 (where `ball_sizes()[r]` would panic).
+    pub fn ball_size(&self, r: u32) -> usize {
+        match self.ball_sizes.len() {
+            0 => 0,
+            len => self.ball_sizes[(r as usize).min(len - 1)],
+        }
     }
 
     /// The largest distance reached (`None` if nothing was reached).
@@ -616,6 +648,10 @@ where
     A: Adjacency,
     I: IntoIterator<Item = NodeId>,
 {
+    // Clamp so `du + 1` below can never reach the `UNREACHED` sentinel:
+    // with `du < max_dist <= MAX_HOP_DIST`, `du + 1 <= MAX_HOP_DIST`.
+    // Value-identical for every realizable input (distances are < n).
+    let max_dist = max_dist.min(MAX_HOP_DIST);
     {
         let mut p = ws.begin_hop(view.universe());
         let mut remaining = targets.map_or(usize::MAX, NodeSet::len);
@@ -746,7 +782,10 @@ where
                 }
             }
             for (u, w) in view.neighbors_weighted(v) {
-                let cand = dv + w;
+                // Saturate at f64::MAX: a sum of finite weights may
+                // overflow to infinity, which is the `W_UNREACHED`
+                // sentinel — a reached node must never carry it.
+                let cand = (dv + w).min(f64::MAX);
                 if cand <= max_dist && cand < p.dist_of(u) {
                     let ui = u.index();
                     if p.stamp[ui] != p.epoch {
@@ -918,6 +957,74 @@ mod tests {
         let run = bfs_in(&mut ws, &g.full_view(), [NodeId::new(2)]);
         assert_eq!(run.reached_count(), 5);
         assert_eq!(run.eccentricity(), Some(2));
+    }
+
+    #[test]
+    fn visit_saturates_at_the_unreached_boundary() {
+        // A traversal implementation (the congest fused loops use this
+        // arena directly) computing `dist + 1` at the u32::MAX boundary
+        // must not wrap a reached node's distance into the UNREACHED
+        // sentinel: `visit` saturates at MAX_HOP_DIST.
+        let mut ws = TraversalWorkspace::new();
+        {
+            let mut p = ws.begin_hop(4);
+            p.visit(NodeId::new(0), MAX_HOP_DIST, NO_NODE);
+            let du = p.dist[0];
+            // The `du + 1` a fused discovery loop would compute.
+            p.visit(NodeId::new(1), du.wrapping_add(1), 0);
+            p.seal();
+        }
+        let run = ws.hop_run();
+        assert!(run.reached(NodeId::new(1)));
+        assert_ne!(
+            run.dist(NodeId::new(1)),
+            UNREACHED,
+            "reached node must not report the UNREACHED sentinel"
+        );
+        assert_eq!(run.dist(NodeId::new(1)), MAX_HOP_DIST);
+    }
+
+    #[test]
+    fn bounded_bfs_at_the_sentinel_bound_matches_unbounded() {
+        let mut ws = TraversalWorkspace::new();
+        let g = gen::grid(6, 6);
+        let own = bfs(&g.full_view(), [NodeId::new(3)]);
+        let run = bfs_bounded_in(&mut ws, &g.full_view(), [NodeId::new(3)], u32::MAX);
+        assert_eq!(run.order(), own.order());
+        assert_eq!(run.ball_sizes(), own.ball_sizes());
+        for v in g.nodes() {
+            assert_eq!(run.dist(v), own.dist(v));
+        }
+    }
+
+    #[test]
+    fn dijkstra_saturates_instead_of_overflowing_to_unreached() {
+        // Two finite weights whose sum overflows f64: the far node is
+        // reachable and must not carry the W_UNREACHED sentinel.
+        let g = Graph::from_weighted_edges(3, [(0, 1, f64::MAX), (1, 2, f64::MAX)]).unwrap();
+        let mut ws = TraversalWorkspace::new();
+        let run = dijkstra_in(&mut ws, &g.full_view(), [NodeId::new(0)]);
+        assert!(run.reached(NodeId::new(2)));
+        assert!(
+            run.dist(NodeId::new(2)).is_finite(),
+            "reached node must not report the W_UNREACHED sentinel"
+        );
+        assert_eq!(run.dist(NodeId::new(2)), f64::MAX);
+    }
+
+    #[test]
+    fn ball_size_clamps_out_of_range_radii() {
+        let mut ws = TraversalWorkspace::new();
+        let g = gen::path(5);
+        let run = bfs_in(&mut ws, &g.full_view(), [NodeId::new(0)]);
+        assert_eq!(run.ball_size(0), 1);
+        assert_eq!(run.ball_size(4), 5);
+        assert_eq!(run.ball_size(100), 5, "clamped to the total reached");
+        assert_eq!(run.ball_size(u32::MAX), 5);
+        // Empty run: every radius reports 0 instead of panicking.
+        let empty = bfs_in(&mut ws, &g.full_view(), []);
+        assert_eq!(empty.ball_size(0), 0);
+        assert_eq!(empty.ball_size(7), 0);
     }
 
     #[test]

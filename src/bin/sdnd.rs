@@ -104,10 +104,14 @@ commands:
              repeats the run on one engine session (slot arenas built
              once, reused) and reports the amortized per-run wall time
   validate   --input <edges.txt> --clusters <out.csv> [--nodes N]
-             [--weights uniform:lo,hi|file|unit]
+             [--weights uniform:lo,hi|file|unit] [--approx[=p]]
              re-checks a previously exported clustering (non-adjacency,
              connectivity, color separation); weighted inputs also
-             report exact Dijkstra-oracle cluster diameters
+             report exact Dijkstra-oracle cluster diameters; --approx
+             swaps the exact diameter sweep for HyperBall cardinality
+             sketches with 2^p registers per node (default p = 6) —
+             structural checks stay exact, diameters become one-sided
+             estimates with a reported error band
 
 weights:
   uniform:lo,hi  seeded per-edge weights, integer-valued when lo and hi
@@ -162,6 +166,10 @@ impl Opts {
     }
 }
 
+/// Options that may appear bare (`--approx`) or inline (`--approx=8`);
+/// everything else is a strict `--key value` pair.
+const BARE_FLAGS: &[&str] = &["approx"];
+
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
     let mut map = std::collections::HashMap::new();
     let mut i = 0;
@@ -169,6 +177,17 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         let key = args[i]
             .strip_prefix("--")
             .ok_or_else(|| format!("expected --option, got `{}`", args[i]))?;
+        if let Some((k, v)) = key.split_once('=') {
+            map.insert(k.to_string(), v.to_string());
+            i += 1;
+            continue;
+        }
+        if BARE_FLAGS.contains(&key) {
+            // Presence flag: an empty value means "use the default".
+            map.insert(key.to_string(), String::new());
+            i += 1;
+            continue;
+        }
         let val = args
             .get(i + 1)
             .ok_or_else(|| format!("--{key} needs a value"))?;
@@ -679,6 +698,67 @@ fn cmd_validate(opts: &Opts) -> Result<(), CliError> {
     let clusters: Vec<(Vec<NodeId>, u32)> = colored.into_values().collect();
     let d = sdnd_clustering::NetworkDecomposition::new(&covered, clusters)
         .map_err(|e| CliError::runtime(e.to_string()))?;
+    // --approx[=p] switches the diameter sweep to the HyperBall
+    // estimator tier; the structural gates stay exact either way.
+    let approx_params = match opts.get("approx") {
+        None => None,
+        Some("") => Some(sdnd::graph::algo::HyperBallParams::default()),
+        Some(p) => {
+            let precision: u8 = p
+                .parse()
+                .ok()
+                .filter(|p| (4..=12).contains(p))
+                .ok_or_else(|| "--approx wants a precision in 4..=12".to_string())?;
+            Some(sdnd::graph::algo::HyperBallParams::new(precision))
+        }
+    };
+    if let Some(params) = approx_params {
+        let report = sdnd_clustering::validate_decomposition_approx(&g, &d, params);
+        println!("clusters:       {}", d.num_clusters());
+        println!("colors:         {}", d.num_colors());
+        println!(
+            "radius metric:  hop (HyperBall estimate, 2^{} registers)",
+            report.precision
+        );
+        println!(
+            "color-valid:    {}",
+            if report.is_valid_weak() { "yes" } else { "NO" }
+        );
+        println!(
+            "connected:      {}",
+            if report.clusters_connected {
+                "yes"
+            } else {
+                "NO"
+            }
+        );
+        println!(
+            "est strong D:   {}",
+            report
+                .est_max_strong_diameter
+                .map_or("—".into(), |d| d.to_string())
+        );
+        println!(
+            "est weak D:     {}",
+            report
+                .est_max_weak_diameter
+                .map_or("—".into(), |d| d.to_string())
+        );
+        println!(
+            "error band:     ±{:.1}% (observed cardinality error {:.1}%{})",
+            report.error_band * 100.0,
+            report.max_cardinality_error * 100.0,
+            if report.estimator_in_band() {
+                ", in band"
+            } else {
+                ", OUT OF BAND"
+            }
+        );
+        for v in report.violations.iter().take(5) {
+            println!("violation:      {v}");
+        }
+        return Ok(());
+    }
     let report = sdnd_clustering::validate_decomposition(&g, &d);
     println!("clusters:       {}", d.num_clusters());
     println!("colors:         {}", d.num_colors());
@@ -749,6 +829,20 @@ mod tests {
             parse_opts(&["n".into(), "12".into()]).is_err(),
             "missing dashes"
         );
+    }
+
+    #[test]
+    fn parse_opts_handles_bare_and_inline_flags() {
+        // Bare presence flag: empty value means "default precision".
+        let bare = parse_opts(&["--approx".into(), "--n".into(), "12".into()]).unwrap();
+        assert_eq!(bare.get("approx"), Some(""));
+        assert_eq!(bare.get("n"), Some("12"));
+        // Inline `=` form carries the value.
+        let inline = parse_opts(&["--approx=8".into()]).unwrap();
+        assert_eq!(inline.get("approx"), Some("8"));
+        // Inline form works for ordinary options too.
+        let pair = parse_opts(&["--eps=0.25".into()]).unwrap();
+        assert_eq!(pair.get("eps"), Some("0.25"));
     }
 
     #[test]

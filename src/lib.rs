@@ -57,10 +57,11 @@ pub use sdnd_weak as weak;
 /// Commonly used items, re-exported for `use sdnd::prelude::*`.
 pub mod prelude {
     pub use sdnd_clustering::{
-        validate_carving, validate_decomposition, BallCarving, NetworkDecomposition, StrongCarver,
-        WeakCarver,
+        validate_carving, validate_carving_approx, validate_decomposition,
+        validate_decomposition_approx, BallCarving, NetworkDecomposition, StrongCarver, WeakCarver,
     };
     pub use sdnd_congest::{CostModel, RoundLedger};
     pub use sdnd_core::Params;
+    pub use sdnd_graph::algo::HyperBallParams;
     pub use sdnd_graph::{Adjacency, Graph, NodeId, NodeSet};
 }
