@@ -1,0 +1,173 @@
+//! Criterion benches for the ingestion layer: cold text parses (plain
+//! and gzip) against warm binary-cache loads, the counting-sort CSR
+//! build, and the space-filling-curve layout A/B on a traversal hot
+//! path.
+//!
+//! Datasets come from the million-edge-capable generators so the suite
+//! stays offline-safe: a random-geometric graph (natural labels are
+//! random point indices — the worst case for locality, the best case
+//! for Hilbert/Morton relabeling) and an RMAT graph (power-law, the
+//! adversarial case). The default bins are small enough for the CI
+//! smoke run (`SDND_BENCH_QUICK=1`); `SDND_N >= 1000000` adds the
+//! >10^6-edge bins that `BENCH_ingest.json` records.
+//!
+//! Every file the suite reads is synthesized into a temp directory
+//! first; the gzip variant uses the crate's own stored-block writer, so
+//! no network or system tooling is involved.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sdnd_bench::env_usize;
+use sdnd_clustering::StrongCarver;
+use sdnd_congest::RoundLedger;
+use sdnd_core::{Params, Theorem22Carver};
+use sdnd_graph::dataset::{self, LoadOptions};
+use sdnd_graph::{algo, gen, Graph, NodeId, NodeOrder, NodeSet};
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// The generator-backed datasets: always the small CI-sized bins, plus
+/// the >10^6-edge bins when `SDND_N` asks for them.
+fn datasets() -> Vec<(String, Graph)> {
+    let n_max = env_usize("SDND_N", 1024);
+    // Geometric radius targets mean degree ~12, comfortably connected
+    // and about six edges per node after halving.
+    let geo = |n: usize| {
+        let r = (12.0 / (std::f64::consts::PI * n as f64)).sqrt();
+        gen::random_geometric(n, r, 7).expect("valid geometric parameters")
+    };
+    let mut out = vec![
+        ("geometric-20k".to_string(), geo(20_000)),
+        (
+            "rmat-12".to_string(),
+            gen::rmat(12, 8, 7).expect("valid rmat parameters"),
+        ),
+    ];
+    if n_max >= 1_000_000 {
+        out.push(("geometric-200k".to_string(), geo(200_000)));
+        out.push((
+            "rmat-17".to_string(),
+            gen::rmat(17, 16, 7).expect("valid rmat parameters"),
+        ));
+    }
+    out
+}
+
+fn bench_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join("sdnd_ingest_bench");
+    std::fs::create_dir_all(&dir).expect("temp dir is writable");
+    dir
+}
+
+/// Writes `g` as a plain edge list, its stored-block gzip twin, and a
+/// stamped binary cache; returns the three paths.
+fn materialize(name: &str, g: &Graph) -> (PathBuf, PathBuf, PathBuf) {
+    let dir = bench_dir();
+    let txt = dir.join(format!("{name}.txt"));
+    let mut body = Vec::with_capacity(16 * g.m());
+    for (u, v) in g.edges() {
+        writeln!(body, "{u} {v}").expect("in-memory write");
+    }
+    std::fs::write(&txt, &body).expect("edge list written");
+    let gz = dir.join(format!("{name}.txt.gz"));
+    std::fs::write(&gz, dataset::gzip_stored(&body)).expect("gzip written");
+    let cache = dataset::cache_path_for(&txt);
+    let stamp = dataset::SourceStamp::of(&txt).expect("stat the edge list");
+    dataset::write_cache(&cache, g, Some(&stamp)).expect("cache written");
+    (txt, gz, cache)
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    let opts = LoadOptions::default();
+    let mut group = c.benchmark_group("ingest");
+    group.sample_size(10);
+
+    for (name, g) in datasets() {
+        let (txt, gz, _cache) = materialize(&name, &g);
+
+        // Cold: two streaming passes over the text (count, scatter).
+        group.bench_function(BenchmarkId::new("parse-plain", &name), |b| {
+            b.iter(|| dataset::load_edge_list(&txt, &opts).expect("parses"))
+        });
+
+        // Cold, compressed: one in-memory inflate plus the same passes.
+        group.bench_function(BenchmarkId::new("parse-gz", &name), |b| {
+            b.iter(|| dataset::load_edge_list(&gz, &opts).expect("parses"))
+        });
+
+        // Warm: stamp check + checksummed binary read, no text touched.
+        group.bench_function(BenchmarkId::new("cache-read", &name), |b| {
+            b.iter(|| {
+                let (g, status) = dataset::load_cached(&txt, &opts, false).expect("loads");
+                assert!(matches!(status, dataset::CacheStatus::Hit));
+                g
+            })
+        });
+
+        // The counting-sort CSR build alone, edges already in memory.
+        let edges: Vec<(usize, usize)> = g.edges().map(|(u, v)| (u.index(), v.index())).collect();
+        let n = g.n();
+        group.bench_function(BenchmarkId::new("csr-build", &name), |b| {
+            b.iter(|| Graph::from_edges(n, edges.iter().copied()).expect("builds"))
+        });
+    }
+    group.finish();
+}
+
+/// Layout A/B: the same traversal on the same graph under each node
+/// order. BFS over the full CSR is the primitive both the carvers'
+/// ball growth and the exact validator's diameter sweeps spend their
+/// time in, so it is the honest proxy for the pipeline hot path; the
+/// small geometric bin also runs the real Theorem 2.2 carve end to end.
+fn bench_layout(c: &mut Criterion) {
+    let orders = [
+        ("natural", NodeOrder::Natural),
+        ("bfs", NodeOrder::Bfs),
+        ("hilbert", NodeOrder::Hilbert),
+        ("morton", NodeOrder::Morton),
+    ];
+    let mut group = c.benchmark_group("layout");
+    group.sample_size(10);
+
+    for (name, g) in datasets() {
+        for (oname, order) in orders {
+            let (gl, relab) = g.relabeled(order);
+            // Start every layout's sweep at the same original node, so
+            // all rows traverse the same component in the same metric.
+            let source = relab.new_of(NodeId::new(0));
+            let view = gl.full_view();
+            group.bench_function(BenchmarkId::new(format!("bfs-{oname}"), &name), |b| {
+                b.iter(|| algo::bfs(&view, [source]))
+            });
+        }
+
+        // One relabel-cost row per graph: what the A/B rows amortize.
+        group.bench_function(BenchmarkId::new("relabel-hilbert", &name), |b| {
+            b.iter(|| g.relabeled(NodeOrder::Hilbert))
+        });
+
+        // The full carving pipeline, small bin only (the carve is
+        // super-linear in practice; BFS rows cover the big bins).
+        if g.n() <= 20_000 {
+            let params = Params::default();
+            for (oname, order) in orders {
+                let (gl, _) = g.relabeled(order);
+                let alive = NodeSet::full(gl.n());
+                group.bench_function(BenchmarkId::new(format!("carve-{oname}"), &name), |b| {
+                    b.iter(|| {
+                        let mut ledger = RoundLedger::new();
+                        Theorem22Carver::new(params.clone()).carve_strong(
+                            &gl,
+                            &alive,
+                            0.5,
+                            &mut ledger,
+                        )
+                    })
+                });
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ingest, bench_layout);
+criterion_main!(benches);

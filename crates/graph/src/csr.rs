@@ -163,6 +163,106 @@ impl Graph {
         b.build()
     }
 
+    /// Builds a graph with `n` nodes from a *replayable* edge stream in
+    /// two counting passes — degree histogram, prefix offsets, scatter —
+    /// without ever materializing the edge list.
+    ///
+    /// `stream` is invoked twice and must yield the identical edge
+    /// sequence both times (re-seed a generator, re-read a file). This
+    /// is the construction path for million-edge graphs: peak transient
+    /// memory is the degree histogram (`8 B`/node) instead of the
+    /// `24 B`/edge tuple buffer of [`GraphBuilder`], and there is no
+    /// global `O(m log m)` sort — each adjacency row is sorted
+    /// individually, which stays cache-local. Duplicate edges collapse
+    /// exactly as [`GraphBuilder::build`] collapses them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::TooManyNodes`], [`GraphError::SelfLoop`],
+    /// or [`GraphError::NodeOutOfRange`] for invalid inputs, and
+    /// [`GraphError::InvalidParameter`] if the two invocations of
+    /// `stream` disagree.
+    pub fn from_edge_stream<I, F>(n: usize, mut stream: F) -> Result<Graph, GraphError>
+    where
+        F: FnMut() -> I,
+        I: IntoIterator<Item = (usize, usize)>,
+    {
+        Self::from_weighted_edge_stream_impl(n, false, || {
+            let it = stream();
+            it.into_iter().map(|(u, v)| (u, v, 1.0))
+        })
+    }
+
+    /// Weighted twin of [`from_edge_stream`](Self::from_edge_stream):
+    /// the same two-pass counting construction over `(u, v, w)` triples,
+    /// with the duplicate-collapse-to-minimum-weight policy of
+    /// [`GraphBuilder::build`].
+    ///
+    /// # Errors
+    ///
+    /// As [`from_edge_stream`](Self::from_edge_stream), plus
+    /// [`GraphError::InvalidWeight`] for negative or non-finite weights.
+    pub fn from_weighted_edge_stream<I, F>(n: usize, mut stream: F) -> Result<Graph, GraphError>
+    where
+        F: FnMut() -> I,
+        I: IntoIterator<Item = (usize, usize, f64)>,
+    {
+        Self::from_weighted_edge_stream_impl(n, true, move || stream().into_iter())
+    }
+
+    fn from_weighted_edge_stream_impl<I, F>(
+        n: usize,
+        weighted: bool,
+        mut stream: F,
+    ) -> Result<Graph, GraphError>
+    where
+        F: FnMut() -> I,
+        I: Iterator<Item = (usize, usize, f64)>,
+    {
+        check_node_count(n)?;
+        // Pass 1: validate and count directed slots per node.
+        let mut deg = vec![0usize; n];
+        for (u, v, w) in stream() {
+            validate_edge(n, u, v, w)?;
+            deg[u] += 1;
+            deg[v] += 1;
+        }
+        let mut scatter = CsrScatter::from_degrees(deg, weighted);
+        // Pass 2: scatter. A stream that yields different edges the
+        // second time would overflow its rows; `put` checks.
+        for (u, v, w) in stream() {
+            validate_edge(n, u, v, w)?;
+            scatter.put(u, v, w)?;
+            scatter.put(v, u, w)?;
+        }
+        scatter.finish((0..n as u64).collect())
+    }
+
+    /// Assembles a graph directly from CSR parts the caller guarantees
+    /// valid: monotone `offsets`, rows sorted strictly ascending with
+    /// in-range neighbors, symmetric adjacency, `weights` (if any) and
+    /// `ids` aligned. Used by the relabeling pass and the binary cache
+    /// loader, which both start from an already-valid graph.
+    pub(crate) fn from_parts(
+        offsets: Vec<usize>,
+        adj: Vec<NodeId>,
+        ids: Vec<u64>,
+        weights: Option<Vec<f64>>,
+    ) -> Graph {
+        debug_assert!(!offsets.is_empty());
+        debug_assert_eq!(offsets.len(), ids.len() + 1);
+        debug_assert_eq!(*offsets.last().unwrap(), adj.len());
+        debug_assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
+        debug_assert!(weights.as_ref().is_none_or(|w| w.len() == adj.len()));
+        Graph {
+            offsets,
+            adj,
+            ids,
+            weights,
+            rev: OnceLock::new(),
+        }
+    }
+
     /// Creates the empty graph on `n` isolated nodes.
     pub fn empty(n: usize) -> Graph {
         Graph {
@@ -504,57 +604,195 @@ impl GraphBuilder {
     /// distances never increase when a parallel edge is added, matching
     /// the shortest-path semantics downstream.
     ///
+    /// The construction is a counting sort: degree histogram → prefix
+    /// offsets → scatter → per-row sort and dedup. No global
+    /// `O(m log m)` sort of the edge list happens; each adjacency row
+    /// is sorted on its own, which is both asymptotically cheaper
+    /// (`O(m log Δ)`) and cache-local once the graph outgrows L3.
+    ///
     /// # Errors
     ///
     /// Returns [`GraphError::SelfLoop`] or [`GraphError::NodeOutOfRange`]
-    /// for invalid edges, and [`GraphError::InvalidWeight`] for negative
-    /// or non-finite weights.
+    /// for invalid edges, [`GraphError::InvalidWeight`] for negative
+    /// or non-finite weights, and [`GraphError::TooManyNodes`] when `n`
+    /// exceeds the `u32` index space.
     pub fn build(&self) -> Result<Graph, GraphError> {
         let n = self.n;
+        check_node_count(n)?;
+        let mut deg = vec![0usize; n];
         for &(u, v, w) in &self.edges {
-            if u == v {
-                return Err(GraphError::SelfLoop { node: u });
-            }
-            if u >= n {
-                return Err(GraphError::NodeOutOfRange { node: u, n });
-            }
-            if v >= n {
-                return Err(GraphError::NodeOutOfRange { node: v, n });
-            }
-            if !(w.is_finite() && w >= 0.0) {
-                return Err(GraphError::InvalidWeight { u, v, weight: w });
-            }
+            validate_edge(n, u, v, w)?;
+            deg[u] += 1;
+            deg[v] += 1;
         }
-        // Normalize, dedup (keeping the minimum weight), and build CSR.
-        let mut dir: Vec<(u32, u32, f64)> = Vec::with_capacity(self.edges.len() * 2);
+        let mut scatter = CsrScatter::from_degrees(deg, self.weighted);
         for &(u, v, w) in &self.edges {
-            dir.push((u as u32, v as u32, w));
-            dir.push((v as u32, u as u32, w));
+            scatter
+                .put(u, v, w)
+                .and_then(|()| scatter.put(v, u, w))
+                .expect("degrees counted from the same edge list");
         }
-        // Weights are validated finite, so `total_cmp` agrees with the
-        // numeric order; sorting ascending puts the minimum weight first
-        // and `dedup_by` keeps the first of each (u, v) run.
-        dir.sort_unstable_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)).then(a.2.total_cmp(&b.2)));
-        dir.dedup_by(|a, b| (a.0, a.1) == (b.0, b.1));
+        scatter.finish((0..n as u64).collect())
+    }
+}
 
+/// Rejects node counts whose indices would not fit [`NodeId`]'s `u32`,
+/// *before* any `O(n)` allocation happens.
+pub(crate) fn check_node_count(n: usize) -> Result<(), GraphError> {
+    if n as u64 > u32::MAX as u64 + 1 {
+        return Err(GraphError::TooManyNodes { n });
+    }
+    Ok(())
+}
+
+/// Validates one edge against the builder invariants (simple graph,
+/// in-range endpoints, finite non-negative weight).
+pub(crate) fn validate_edge(n: usize, u: usize, v: usize, w: f64) -> Result<(), GraphError> {
+    if u == v {
+        return Err(GraphError::SelfLoop { node: u });
+    }
+    if u >= n {
+        return Err(GraphError::NodeOutOfRange { node: u, n });
+    }
+    if v >= n {
+        return Err(GraphError::NodeOutOfRange { node: v, n });
+    }
+    if !(w.is_finite() && w >= 0.0) {
+        return Err(GraphError::InvalidWeight { u, v, weight: w });
+    }
+    Ok(())
+}
+
+/// Shared scatter phase of the counting-sort CSR construction: rows are
+/// pre-sized from a degree histogram (duplicates included), directed
+/// slots land via a per-row cursor, and [`finish`](Self::finish) sorts
+/// each row individually, collapsing duplicates to the minimum weight.
+///
+/// Used by [`GraphBuilder::build`], [`Graph::from_edge_stream`], and the
+/// dataset loaders; all of them therefore share one duplicate-collapse
+/// policy by construction.
+pub(crate) struct CsrScatter {
+    /// Prefix offsets over the *pre-dedup* degree histogram.
+    offsets: Vec<usize>,
+    /// Next free slot per row.
+    cursor: Vec<usize>,
+    adj: Vec<NodeId>,
+    weights: Option<Vec<f64>>,
+}
+
+impl CsrScatter {
+    /// Sizes the rows from a directed-slot histogram (`deg[u]` counts
+    /// every occurrence of `u` as an endpoint, duplicates included).
+    pub(crate) fn from_degrees(deg: Vec<usize>, weighted: bool) -> CsrScatter {
+        let n = deg.len();
         let mut offsets = vec![0usize; n + 1];
-        for &(u, _, _) in &dir {
-            offsets[u as usize + 1] += 1;
+        for (u, &d) in deg.iter().enumerate() {
+            offsets[u + 1] = offsets[u] + d;
         }
-        for i in 0..n {
-            offsets[i + 1] += offsets[i];
-        }
-        let adj: Vec<NodeId> = dir
-            .iter()
-            .map(|&(_, v, _)| NodeId::new(v as usize))
-            .collect();
-        let weights = self
-            .weighted
-            .then(|| dir.iter().map(|&(_, _, w)| w).collect());
-        Ok(Graph {
+        let slots = offsets[n];
+        let cursor = offsets[..n].to_vec();
+        CsrScatter {
             offsets,
+            cursor,
+            adj: vec![NodeId::new(0); slots],
+            weights: weighted.then(|| vec![0.0f64; slots]),
+        }
+    }
+
+    /// Places the directed slot `u -> v` (one orientation; callers put
+    /// both). Errors if `u`'s row is already full — the counting pass
+    /// and the scatter pass disagreed.
+    #[inline]
+    pub(crate) fn put(&mut self, u: usize, v: usize, w: f64) -> Result<(), GraphError> {
+        let slot = self.cursor[u];
+        if slot >= self.offsets[u + 1] {
+            return Err(GraphError::InvalidParameter {
+                reason: format!("edge stream changed between counting passes (row {u} overflowed)"),
+            });
+        }
+        self.cursor[u] = slot + 1;
+        self.adj[slot] = NodeId::new(v);
+        if let Some(ws) = &mut self.weights {
+            ws[slot] = w;
+        }
+        Ok(())
+    }
+
+    /// Sorts each row, collapses duplicate neighbors (keeping the
+    /// minimum weight — see [`GraphBuilder::build`]), compacts in place,
+    /// and assembles the [`Graph`].
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::InvalidParameter`] if any row was underfilled (the
+    /// scatter pass yielded fewer edges than the counting pass).
+    pub(crate) fn finish(self, ids: Vec<u64>) -> Result<Graph, GraphError> {
+        let CsrScatter {
+            offsets,
+            cursor,
+            mut adj,
+            mut weights,
+        } = self;
+        let n = offsets.len() - 1;
+        if let Some(u) = (0..n).find(|&u| cursor[u] != offsets[u + 1]) {
+            return Err(GraphError::InvalidParameter {
+                reason: format!(
+                    "edge stream changed between counting passes (row {u} underfilled)"
+                ),
+            });
+        }
+        let mut new_offsets = vec![0usize; n + 1];
+        let mut write = 0usize;
+        match &mut weights {
+            None => {
+                for u in 0..n {
+                    let (start, end) = (offsets[u], offsets[u + 1]);
+                    adj[start..end].sort_unstable();
+                    // Compaction never overtakes the read cursor: earlier
+                    // rows only shrink, so `write <= start` throughout.
+                    let mut prev = None;
+                    for i in start..end {
+                        let v = adj[i];
+                        if prev != Some(v) {
+                            adj[write] = v;
+                            write += 1;
+                            prev = Some(v);
+                        }
+                    }
+                    new_offsets[u + 1] = write;
+                }
+            }
+            Some(ws) => {
+                // Weights are validated finite, so `total_cmp` agrees
+                // with the numeric order; sorting puts the minimum
+                // weight first and dedup keeps the first of each run.
+                let mut row: Vec<(NodeId, f64)> = Vec::new();
+                for u in 0..n {
+                    let (start, end) = (offsets[u], offsets[u + 1]);
+                    row.clear();
+                    row.extend(
+                        adj[start..end]
+                            .iter()
+                            .copied()
+                            .zip(ws[start..end].iter().copied()),
+                    );
+                    row.sort_unstable_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
+                    row.dedup_by(|a, b| a.0 == b.0);
+                    for &(v, w) in &row {
+                        adj[write] = v;
+                        ws[write] = w;
+                        write += 1;
+                    }
+                    new_offsets[u + 1] = write;
+                }
+                ws.truncate(write);
+            }
+        }
+        adj.truncate(write);
+        Ok(Graph {
+            offsets: new_offsets,
             adj,
-            ids: (0..n as u64).collect(),
+            ids,
             weights,
             rev: OnceLock::new(),
         })
@@ -777,6 +1015,71 @@ mod tests {
         assert_eq!(
             h.weighted_edges().map(|(_, _, w)| w).collect::<Vec<_>>(),
             vec![1.0]
+        );
+    }
+
+    #[test]
+    fn oversize_node_counts_error_before_allocating() {
+        // One past the last representable index is fine as a count…
+        let limit = u32::MAX as u64 + 1;
+        // …anything beyond must come back as TooManyNodes, up front —
+        // this call must not try to allocate the 32 GB offsets array.
+        let err = Graph::builder(limit as usize + 1).build().unwrap_err();
+        assert!(matches!(err, GraphError::TooManyNodes { .. }), "{err:?}");
+        assert!(err.to_string().contains("u32 index space"));
+        let err = Graph::from_edge_stream(usize::MAX, || [(0usize, 1usize)]).unwrap_err();
+        assert!(matches!(err, GraphError::TooManyNodes { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn edge_stream_build_matches_builder() {
+        // Duplicates (both orientations), unsorted, weighted and not —
+        // the streaming two-pass build must agree with GraphBuilder
+        // bit-for-bit, including the min-weight collapse policy.
+        let edges = [(3usize, 1usize), (0, 3), (3, 4), (1, 0), (1, 3), (4, 3)];
+        let a = Graph::from_edges(5, edges).unwrap();
+        let b = Graph::from_edge_stream(5, || edges).unwrap();
+        assert_eq!(a, b);
+
+        let wedges = [
+            (0usize, 1usize, 5.0f64),
+            (1, 0, 2.0),
+            (0, 1, 7.5),
+            (1, 2, 3.0),
+            (2, 1, 3.5),
+        ];
+        let a = Graph::from_weighted_edges(3, wedges).unwrap();
+        let b = Graph::from_weighted_edge_stream(3, || wedges).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(b.edge_weight(NodeId::new(0), NodeId::new(1)), Some(2.0));
+        assert_eq!(b.edge_weight(NodeId::new(1), NodeId::new(2)), Some(3.0));
+    }
+
+    #[test]
+    fn edge_stream_rejects_invalid_and_nondeterministic_streams() {
+        assert_eq!(
+            Graph::from_edge_stream(3, || [(1usize, 1usize)]),
+            Err(GraphError::SelfLoop { node: 1 })
+        );
+        assert_eq!(
+            Graph::from_edge_stream(3, || [(0usize, 5usize)]),
+            Err(GraphError::NodeOutOfRange { node: 5, n: 3 })
+        );
+        // A stream that yields different edges on its second invocation
+        // must be reported, not silently corrupt the CSR.
+        let mut call = 0;
+        let err = Graph::from_edge_stream(4, move || {
+            call += 1;
+            if call == 1 {
+                vec![(0usize, 1usize)]
+            } else {
+                vec![(2usize, 3usize)]
+            }
+        })
+        .unwrap_err();
+        assert!(
+            err.to_string().contains("changed between counting passes"),
+            "{err}"
         );
     }
 

@@ -48,6 +48,14 @@ pub enum GraphError {
         /// The rejected weight.
         weight: f64,
     },
+    /// The requested node count does not fit the `u32` index space of
+    /// [`NodeId`](crate::NodeId). Builders and loaders check this up
+    /// front (before allocating anything `O(n)`) so oversize inputs are
+    /// a clean error instead of a `NodeId::new` panic mid-build.
+    TooManyNodes {
+        /// The requested node count.
+        n: usize,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -66,6 +74,13 @@ impl fmt::Display for GraphError {
                 write!(
                     f,
                     "edge ({u}, {v}) has invalid weight {weight} (must be finite and non-negative)"
+                )
+            }
+            GraphError::TooManyNodes { n } => {
+                write!(
+                    f,
+                    "node count {n} exceeds the u32 index space ({} nodes max)",
+                    u32::MAX as u64 + 1
                 )
             }
         }
@@ -96,6 +111,7 @@ mod tests {
                 v: 1,
                 weight: -2.0,
             },
+            GraphError::TooManyNodes { n: usize::MAX },
         ];
         for e in errs {
             assert!(!e.to_string().is_empty());

@@ -14,6 +14,7 @@
 mod basic;
 mod expander;
 mod random;
+mod scale;
 mod trees;
 
 pub use basic::{complete, cycle, grid, grid_weighted, hypercube, path, star, torus};
@@ -22,6 +23,7 @@ pub use expander::{
     BarrierGraph,
 };
 pub use random::{gnp, gnp_connected, gnp_connected_weighted, random_regular};
+pub use scale::{random_geometric, rmat};
 pub use trees::{balanced_tree, caterpillar, random_tree};
 
 use crate::{Graph, GraphError};

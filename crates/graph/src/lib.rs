@@ -35,14 +35,17 @@
 
 pub mod algo;
 mod csr;
+pub mod dataset;
 mod error;
 pub mod gen;
 mod node;
 mod nodeset;
+mod order;
 mod view;
 
 pub use csr::{EdgeIter, Graph, GraphBuilder};
 pub use error::GraphError;
 pub use node::NodeId;
 pub use nodeset::NodeSet;
+pub use order::{hilbert_key, morton_key, NodeOrder, Relabeling};
 pub use view::{Adjacency, FullView, SubsetView};

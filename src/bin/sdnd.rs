@@ -22,10 +22,13 @@
 use sdnd::baselines::{Abcp96, Mpx13, SequentialGreedy};
 use sdnd::congest::{primitives, Engine};
 use sdnd::core::Params;
+use sdnd::graph::dataset::{self, CacheStatus, LoadOptions, SourceStamp, WeightMode};
+use sdnd::graph::{NodeOrder, Relabeling};
 use sdnd::prelude::*;
 use sdnd::weak::{Ls93, Rg20};
 use sdnd_clustering::{metrics, StrongCarver, WeakCarver};
 use std::io::Write as _;
+use std::path::Path;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -81,12 +84,24 @@ const USAGE: &str = "\
 usage: sdnd <command> [options]
 
 commands:
-  gen        --family <grid|cycle|path|tree|gnp|expander|barrier> --n <N> [--seed S]
-             [--weights uniform:lo,hi|unit]
-             writes an edge list to stdout (weighted: `u v w` lines)
+  gen        --family <grid|cycle|path|tree|gnp|expander|barrier|rmat|geometric>
+             --n <N> [--seed S] [--weights uniform:lo,hi|unit]
+             [--edge-factor F] [--radius R] [--output edges.txt] [--cache]
+             writes an edge list to stdout or --output (weighted: `u v w`
+             lines); rmat (n rounds up to a power of two; --edge-factor
+             attempted edges per node, default 8) and geometric
+             (--radius, default the ~6-neighbor threshold) stream to
+             millions of edges; --cache also writes the binary CSR form
+             next to --output
+  ingest     <file> [--nodes N] [--weights file] [--layout L]
+             parses an edge list (gzip `.gz` transparently), writes the
+             binary CSR cache next to it (`<file>.csrbin`), and reports
+             load statistics; a second ingest hits the cache and skips
+             the text parse entirely
   decompose  --algorithm <thm2.3|thm3.4|en16|sequential|abcp96|rg20|ls93>
              --input <edges.txt> [--nodes N] [--seed S] [--output out.csv]
              [--max-rounds R] [--weights uniform:lo,hi|file|unit]
+             [--layout L] [--cache]
              computes a network decomposition and prints its quality;
              weighted inputs grow weighted balls (thm2.3) and report
              weighted diameters; fails cleanly if the simulated cost
@@ -94,10 +109,11 @@ commands:
              completion)
   carve      --algorithm <thm2.2|thm3.3|mpx13|rg20|ggr21|ls93|sequential|abcp96>
              --eps <f> --input <edges.txt> [--nodes N] [--seed S] [--output out.csv]
-             [--weights uniform:lo,hi|file|unit]
+             [--weights uniform:lo,hi|file|unit] [--layout L] [--cache]
              computes a single ball carving
   simulate   --input <edges.txt> [--source V] [--threads T] [--max-rounds R]
              [--nodes N] [--repeat K] [--weights uniform:lo,hi|file|unit]
+             [--layout L] [--cache]
              runs a BFS flood on the message-passing engine — the
              weighted SpBfs kernel when the graph carries weights (T > 1
              selects the deterministic parallel stepping lane); K > 1
@@ -105,6 +121,7 @@ commands:
              once, reused) and reports the amortized per-run wall time
   validate   --input <edges.txt> --clusters <out.csv> [--nodes N]
              [--weights uniform:lo,hi|file|unit] [--approx[=p]]
+             [--layout L] [--cache]
              re-checks a previously exported clustering (non-adjacency,
              connectivity, color separation); weighted inputs also
              report exact Dijkstra-oracle cluster diameters; --approx
@@ -118,10 +135,31 @@ weights:
                  are integers (overrides any third column)
   file           use the edge list's third column (error if absent)
   unit           store weight 1 on every edge (weighted unit metric)
-  (default)      third column when present, else unweighted";
+  (default)      third column when present, else unweighted
+
+layouts (--layout, default natural):
+  natural        keep the file's node labels
+  bfs            BFS visitation order from per-component anchors
+  hilbert        Hilbert curve through a BFS-coordinate embedding
+  morton         Morton (Z-order) curve through the same embedding
+  relabeling is internal: CSV exports, --source, and --clusters always
+  speak the file's original node ids
+
+caching (--cache):
+  load through the binary CSR cache next to the input (`.csrbin`),
+  writing it on the first (cold) run; stale caches are re-parsed";
 
 fn run(args: &[String]) -> Result<(), CliError> {
     let cmd = args.first().ok_or("missing command")?;
+    if cmd == "ingest" {
+        // `ingest` takes its file positionally: `sdnd ingest edges.txt`.
+        let path = args
+            .get(1)
+            .filter(|p| !p.starts_with("--"))
+            .ok_or("ingest wants a file: sdnd ingest <edges.txt> [options]")?;
+        let opts = parse_opts(&args[2..])?;
+        return cmd_ingest(path, &opts);
+    }
     let opts = parse_opts(&args[1..])?;
     match cmd.as_str() {
         "gen" => cmd_gen(&opts),
@@ -166,9 +204,9 @@ impl Opts {
     }
 }
 
-/// Options that may appear bare (`--approx`) or inline (`--approx=8`);
-/// everything else is a strict `--key value` pair.
-const BARE_FLAGS: &[&str] = &["approx"];
+/// Options that may appear bare (`--approx`, `--cache`) or inline
+/// (`--approx=8`); everything else is a strict `--key value` pair.
+const BARE_FLAGS: &[&str] = &["approx", "cache"];
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
     let mut map = std::collections::HashMap::new();
@@ -215,6 +253,19 @@ fn cmd_gen(opts: &Opts) -> Result<(), CliError> {
         "barrier" => sdnd::graph::gen::barrier_graph(n, 0.5, 4, seed)
             .map_err(|e| e.to_string())?
             .into_graph(),
+        "rmat" => {
+            // `--n` rounds up to the RMAT power-of-two node count.
+            let scale = n.max(2).next_power_of_two().trailing_zeros();
+            let edge_factor = opts.usize_or("edge-factor", 8)?;
+            sdnd::graph::gen::rmat(scale, edge_factor, seed).map_err(|e| e.to_string())?
+        }
+        "geometric" => {
+            // Default radius targets mean degree ~6 (pi r^2 n = 6):
+            // comfortably above the connectivity threshold, sparse
+            // enough that m stays linear in n.
+            let radius = opts.f64_or("radius", (6.0 / (std::f64::consts::PI * n as f64)).sqrt())?;
+            sdnd::graph::gen::random_geometric(n, radius, seed).map_err(|e| e.to_string())?
+        }
         other => return Err(format!("unknown family `{other}`").into()),
     };
     let spec = WeightSpec::parse(opts)?;
@@ -225,18 +276,105 @@ fn cmd_gen(opts: &Opts) -> Result<(), CliError> {
         Some(dist) => sdnd::graph::gen::reweight(&g, dist, seed).map_err(|e| e.to_string())?,
         None => g,
     };
+    let output = opts.get("output");
+    if opts.get("cache").is_some() && output.is_none() {
+        return Err(
+            "--cache needs --output (the binary cache sits next to the written file)".into(),
+        );
+    }
+    let runtime = |e: std::io::Error| CliError::runtime(e.to_string());
     let stdout = std::io::stdout();
-    let mut out = stdout.lock();
-    writeln!(out, "# sdnd {family} n={} m={}", g.n(), g.m())
-        .map_err(|e| CliError::runtime(e.to_string()))?;
+    let mut out: Box<dyn std::io::Write> = match output {
+        Some(path) => Box::new(std::io::BufWriter::new(
+            std::fs::File::create(path).map_err(|e| CliError::runtime(format!("{path}: {e}")))?,
+        )),
+        None => Box::new(stdout.lock()),
+    };
+    writeln!(out, "# sdnd {family} n={} m={}", g.n(), g.m()).map_err(runtime)?;
     if g.is_weighted() {
         for (u, v, w) in g.weighted_edges() {
-            writeln!(out, "{u} {v} {w}").map_err(|e| CliError::runtime(e.to_string()))?;
+            writeln!(out, "{u} {v} {w}").map_err(runtime)?;
         }
     } else {
         for (u, v) in g.edges() {
-            writeln!(out, "{u} {v}").map_err(|e| CliError::runtime(e.to_string()))?;
+            writeln!(out, "{u} {v}").map_err(runtime)?;
         }
+    }
+    out.flush().map_err(runtime)?;
+    drop(out);
+    if let Some(path) = output {
+        println!("edge list:      {path} (n = {}, m = {})", g.n(), g.m());
+        if opts.get("cache").is_some() {
+            // The graph is already in memory; caching it here makes the
+            // first downstream `--cache` load warm.
+            let source = Path::new(path);
+            let stamp = SourceStamp::of(source).map_err(|e| CliError::runtime(e.to_string()))?;
+            let cache = dataset::cache_path_for(source);
+            dataset::write_cache(&cache, &g, Some(&stamp))
+                .map_err(|e| CliError::runtime(e.to_string()))?;
+            println!("csr cache:      {}", cache.display());
+        }
+    }
+    Ok(())
+}
+
+fn cmd_ingest(path: &str, opts: &Opts) -> Result<(), CliError> {
+    let spec = WeightSpec::parse(opts)?;
+    if spec.dist().is_some() {
+        return Err(
+            "--weights unit/uniform are load-time transforms; ingest caches the file's \
+             own content (use `--weights file` or the default)"
+                .into(),
+        );
+    }
+    let load_opts = LoadOptions {
+        nodes: opts
+            .get("nodes")
+            .map(|v| {
+                v.parse()
+                    .map_err(|_| "--nodes wants an integer".to_string())
+            })
+            .transpose()?,
+        weights: match spec {
+            WeightSpec::File => WeightMode::Require,
+            _ => WeightMode::Auto,
+        },
+    };
+    let order = parse_layout(opts)?;
+    let started = std::time::Instant::now();
+    let (g, status) = dataset::load_cached(Path::new(path), &load_opts, true)
+        .map_err(|e| CliError::runtime(e.to_string()))?;
+    let elapsed = started.elapsed();
+    println!("graph:          n = {}, m = {}", g.n(), g.m());
+    println!(
+        "metric:         {}",
+        if g.is_weighted() {
+            "weighted (third column)"
+        } else {
+            "hop (no weight column)"
+        }
+    );
+    println!(
+        "cache:          {} ({})",
+        dataset::cache_path_for(Path::new(path)).display(),
+        match status {
+            CacheStatus::Hit => "hit — text parse skipped",
+            CacheStatus::Written => "written (cold parse)",
+            CacheStatus::Bypassed => "bypassed",
+        }
+    );
+    println!("load time:      {:.3} ms", elapsed.as_secs_f64() * 1e3);
+    if !matches!(order, NodeOrder::Natural) {
+        // Relabel once so the layout cost is visible to the user; the
+        // cache itself always stores the file's natural labels.
+        let started = std::time::Instant::now();
+        let (rg, _) = g.relabeled(order);
+        println!(
+            "relabel:        {:?} in {:.3} ms (max degree {})",
+            order,
+            started.elapsed().as_secs_f64() * 1e3,
+            rg.max_degree()
+        );
     }
     Ok(())
 }
@@ -306,65 +444,60 @@ impl WeightSpec {
     }
 }
 
-fn load_graph(opts: &Opts) -> Result<Graph, String> {
+/// Parses `--layout` into a [`NodeOrder`] (default: `natural`).
+fn parse_layout(opts: &Opts) -> Result<NodeOrder, String> {
+    Ok(match opts.get("layout").unwrap_or("natural") {
+        "natural" => NodeOrder::Natural,
+        "bfs" => NodeOrder::Bfs,
+        "hilbert" => NodeOrder::Hilbert,
+        "morton" => NodeOrder::Morton,
+        other => {
+            return Err(format!(
+                "--layout wants natural|bfs|hilbert|morton, got `{other}`"
+            ))
+        }
+    })
+}
+
+/// Loads `--input` through the dataset layer (gzip and `.csrbin` inputs
+/// transparent, `--cache` opt-in), applies `--weights`, and relabels
+/// per `--layout`. The returned [`Relabeling`] maps between the file's
+/// original ids and the in-memory ids; it is the identity for the
+/// default natural layout.
+fn load_graph(opts: &Opts) -> Result<(Graph, Relabeling), String> {
     let path = opts.require("input")?;
     let spec = WeightSpec::parse(opts)?;
     let seed = opts.u64_or("seed", 42)?;
-    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    let mut edges: Vec<(usize, usize, Option<f64>)> = Vec::new();
-    let mut max_node = 0usize;
-    let mut any_weight = false;
-    for (lineno, line) in text.lines().enumerate() {
-        let line = line.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
-        }
-        let mut it = line.split_whitespace();
-        let parse = |tok: Option<&str>| -> Result<usize, String> {
-            tok.ok_or_else(|| format!("line {}: expected `u v [w]`", lineno + 1))?
-                .parse()
-                .map_err(|_| format!("line {}: bad node index", lineno + 1))
-        };
-        let u = parse(it.next())?;
-        let v = parse(it.next())?;
-        let w = it
-            .next()
-            .map(|t| {
-                t.parse::<f64>()
-                    .map_err(|_| format!("line {}: bad edge weight `{t}`", lineno + 1))
+    let order = parse_layout(opts)?;
+    let load_opts = LoadOptions {
+        nodes: opts
+            .get("nodes")
+            .map(|v| {
+                v.parse()
+                    .map_err(|_| "--nodes wants an integer".to_string())
             })
-            .transpose()?;
-        any_weight |= w.is_some();
-        max_node = max_node.max(u).max(v);
-        edges.push((u, v, w));
-    }
-    let n = opts.usize_or("nodes", max_node + 1)?;
-
-    let use_file_weights = match spec {
-        WeightSpec::File => {
-            if !any_weight {
-                return Err(format!(
-                    "--weights file, but {path} has no third (weight) column"
-                ));
-            }
-            true
-        }
-        WeightSpec::Auto => any_weight,
-        // `unit` and `uniform` replace whatever the file carried.
-        WeightSpec::Unit | WeightSpec::Uniform { .. } => false,
+            .transpose()?,
+        weights: match spec {
+            WeightSpec::File => WeightMode::Require,
+            WeightSpec::Auto => WeightMode::Auto,
+            // `unit`/`uniform` replace whatever the file carried, so the
+            // third column is never materialized.
+            WeightSpec::Unit | WeightSpec::Uniform { .. } => WeightMode::Ignore,
+        },
     };
-
-    let g = if use_file_weights {
-        // Missing third columns on individual lines default to weight 1.
-        Graph::from_weighted_edges(n, edges.iter().map(|&(u, v, w)| (u, v, w.unwrap_or(1.0))))
+    let source = Path::new(path);
+    let g = if opts.get("cache").is_some() || source.extension().is_some_and(|e| e == "csrbin") {
+        dataset::load_cached(source, &load_opts, opts.get("cache").is_some())
+            .map(|(g, _)| g)
             .map_err(|e| e.to_string())?
     } else {
-        Graph::from_edges(n, edges.iter().map(|&(u, v, _)| (u, v))).map_err(|e| e.to_string())?
+        dataset::load_edge_list(source, &load_opts).map_err(|e| e.to_string())?
     };
-    match spec.dist() {
-        Some(dist) => sdnd::graph::gen::reweight(&g, dist, seed).map_err(|e| e.to_string()),
-        None => Ok(g),
-    }
+    let g = match spec.dist() {
+        Some(dist) => sdnd::graph::gen::reweight(&g, dist, seed).map_err(|e| e.to_string())?,
+        None => g,
+    };
+    Ok(g.relabeled(order))
 }
 
 /// Formats a weighted diameter: integers print clean, fractions with
@@ -392,7 +525,7 @@ fn cmd_decompose(opts: &Opts) -> Result<(), CliError> {
     // Validate the round budget up front — a bad flag must not cost a
     // full decomposition run.
     let round_budget = opts.u64_opt("max-rounds")?;
-    let g = load_graph(opts).map_err(CliError::runtime)?;
+    let (g, relab) = load_graph(opts).map_err(CliError::runtime)?;
     let algorithm = opts.require("algorithm")?;
     let seed = opts.usize_or("seed", 42)? as u64;
     let params = Params::default();
@@ -468,11 +601,14 @@ fn cmd_decompose(opts: &Opts) -> Result<(), CliError> {
         if report.is_valid_weak() { "yes" } else { "NO" }
     );
     if let Some(path) = opts.get("output") {
+        // CSV exports always speak the file's original node ids, so a
+        // clustering computed under any --layout validates against the
+        // same input loaded under any other.
         write_clusters(
             path,
             g.nodes().map(|v| {
                 let c = d.cluster_of(v).expect("decomposition covers all nodes");
-                (v, c.0 as usize, d.color(c))
+                (relab.old_of(v), c.0 as usize, d.color(c))
             }),
         )
         .map_err(CliError::runtime)?;
@@ -482,7 +618,7 @@ fn cmd_decompose(opts: &Opts) -> Result<(), CliError> {
 }
 
 fn cmd_carve(opts: &Opts) -> Result<(), CliError> {
-    let g = load_graph(opts).map_err(CliError::runtime)?;
+    let (g, relab) = load_graph(opts).map_err(CliError::runtime)?;
     let algorithm = opts.require("algorithm")?;
     let eps = opts.f64_or("eps", 0.5)?;
     if !(eps > 0.0 && eps < 1.0) {
@@ -553,7 +689,7 @@ fn cmd_carve(opts: &Opts) -> Result<(), CliError> {
         write_clusters(
             path,
             g.nodes()
-                .filter_map(|v| carving.cluster_of(v).map(|c| (v, c, 0))),
+                .filter_map(|v| carving.cluster_of(v).map(|c| (relab.old_of(v), c, 0))),
         )
         .map_err(CliError::runtime)?;
         println!("clusters csv:   {path}");
@@ -562,11 +698,14 @@ fn cmd_carve(opts: &Opts) -> Result<(), CliError> {
 }
 
 fn cmd_simulate(opts: &Opts) -> Result<(), CliError> {
-    let g = load_graph(opts).map_err(CliError::runtime)?;
+    let (g, relab) = load_graph(opts).map_err(CliError::runtime)?;
     let source = opts.usize_or("source", 0)?;
     if source >= g.n() {
         return Err(format!("--source {source} out of range (n = {})", g.n()).into());
     }
+    // `--source` names the file's original id; the flood starts from its
+    // in-memory counterpart.
+    let source = relab.new_of(NodeId::new(source)).index();
     let threads = opts.usize_or("threads", 1)?;
     let max_rounds = opts.u64_or("max-rounds", 1_000_000)?;
     let repeat = opts.usize_or("repeat", 1)?;
@@ -665,7 +804,7 @@ fn cmd_simulate(opts: &Opts) -> Result<(), CliError> {
 }
 
 fn cmd_validate(opts: &Opts) -> Result<(), CliError> {
-    let g = load_graph(opts).map_err(CliError::runtime)?;
+    let (g, relab) = load_graph(opts).map_err(CliError::runtime)?;
     let path = opts.require("clusters")?;
     let text =
         std::fs::read_to_string(path).map_err(|e| CliError::runtime(format!("{path}: {e}")))?;
@@ -691,9 +830,12 @@ fn cmd_validate(opts: &Opts) -> Result<(), CliError> {
             .and_then(|t| t.parse().ok())
             .ok_or_else(|| bad("bad cluster column"))?;
         let col: u32 = it.next().and_then(|t| t.parse().ok()).unwrap_or(0);
+        // The CSV speaks original ids; check against the loaded layout's
+        // in-memory counterpart.
+        let v = relab.new_of(NodeId::new(v));
         let e = colored.entry(c).or_insert_with(|| (Vec::new(), col));
-        e.0.push(NodeId::new(v));
-        covered.insert(NodeId::new(v));
+        e.0.push(v);
+        covered.insert(v);
     }
     let clusters: Vec<(Vec<NodeId>, u32)> = colored.into_values().collect();
     let d = sdnd_clustering::NetworkDecomposition::new(&covered, clusters)
@@ -862,12 +1004,13 @@ mod tests {
         let path = dir.join("edges.txt");
         std::fs::write(&path, "# comment\n0 1\n1 2\n\n2 3\n").unwrap();
         let o = opts(&[("input", path.to_str().unwrap())]);
-        let g = load_graph(&o).unwrap();
+        let (g, relab) = load_graph(&o).unwrap();
         assert_eq!(g.n(), 4);
         assert_eq!(g.m(), 3);
+        assert!(relab.is_identity(), "default layout is natural");
         // Explicit node count extends the universe.
         let o2 = opts(&[("input", path.to_str().unwrap()), ("nodes", "10")]);
-        assert_eq!(load_graph(&o2).unwrap().n(), 10);
+        assert_eq!(load_graph(&o2).unwrap().0.n(), 10);
     }
 
     #[test]
@@ -878,7 +1021,7 @@ mod tests {
         std::fs::write(&path, "0 1 2.5\n1 2 0.5\n2 3\n").unwrap();
         // Auto: third column present => weighted, missing entries = 1.
         let o = opts(&[("input", path.to_str().unwrap())]);
-        let g = load_graph(&o).unwrap();
+        let (g, _) = load_graph(&o).unwrap();
         assert!(g.is_weighted());
         assert_eq!(g.edge_weight(NodeId::new(0), NodeId::new(1)), Some(2.5));
         assert_eq!(g.edge_weight(NodeId::new(2), NodeId::new(3)), Some(1.0));
@@ -893,15 +1036,15 @@ mod tests {
             ("weights", "uniform:1,8"),
             ("seed", "7"),
         ]);
-        let g = load_graph(&o).unwrap();
+        let (g, _) = load_graph(&o).unwrap();
         assert!(g.is_weighted());
         for (_, _, w) in g.weighted_edges() {
             assert!((1.0..=8.0).contains(&w) && w.fract() == 0.0, "weight {w}");
         }
-        assert_eq!(g, load_graph(&o).unwrap(), "seeded weights deterministic");
+        assert_eq!(g, load_graph(&o).unwrap().0, "seeded weights deterministic");
         // unit stores weight 1 everywhere.
         let o = opts(&[("input", path.to_str().unwrap()), ("weights", "unit")]);
-        let g = load_graph(&o).unwrap();
+        let (g, _) = load_graph(&o).unwrap();
         assert!(g.is_weighted());
         assert!(g.weighted_edges().all(|(_, _, w)| w == 1.0));
         // Bad specs and bad weight tokens report cleanly.
@@ -1119,6 +1262,145 @@ mod tests {
             assert!(err.msg.contains(needle), "{needle}: {}", err.msg);
             assert!(!err.show_usage, "data problems are runtime diagnostics");
         }
+    }
+
+    #[test]
+    fn gen_writes_output_files_and_caches() {
+        let dir = std::env::temp_dir().join("sdnd_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let edges = dir.join("gen_cached.txt");
+        let _ = std::fs::remove_file(dataset::cache_path_for(&edges));
+        let args: Vec<String> = [
+            "gen",
+            "--family",
+            "geometric",
+            "--n",
+            "64",
+            "--output",
+            edges.to_str().unwrap(),
+            "--cache",
+        ]
+        .map(String::from)
+        .to_vec();
+        assert!(run(&args).is_ok());
+        let cache = dataset::cache_path_for(&edges);
+        assert!(cache.exists(), "gen --cache writes the binary CSR form");
+        // The cached form loads back identical to the text parse.
+        let o = opts(&[("input", edges.to_str().unwrap()), ("cache", "")]);
+        let (via_cache, _) = load_graph(&o).unwrap();
+        let o = opts(&[("input", edges.to_str().unwrap())]);
+        let (via_text, _) = load_graph(&o).unwrap();
+        assert_eq!(via_cache, via_text);
+        // The .csrbin itself is a valid --input.
+        let o = opts(&[("input", cache.to_str().unwrap())]);
+        assert_eq!(load_graph(&o).unwrap().0, via_text);
+        // --cache without --output is a usage error; rmat rounds n up.
+        let args: Vec<String> = ["gen", "--family", "rmat", "--n", "60", "--cache"]
+            .map(String::from)
+            .to_vec();
+        assert!(run(&args).unwrap_err().show_usage);
+    }
+
+    #[test]
+    fn ingest_writes_then_hits_the_cache() {
+        let dir = std::env::temp_dir().join("sdnd_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let edges = dir.join("ingest.txt");
+        std::fs::write(&edges, "0 1\n1 2\n2 3\n3 0\n").unwrap();
+        let cache = dataset::cache_path_for(&edges);
+        let _ = std::fs::remove_file(&cache);
+        let args: Vec<String> = ["ingest", edges.to_str().unwrap()]
+            .map(String::from)
+            .to_vec();
+        assert!(run(&args).is_ok(), "cold ingest");
+        assert!(cache.exists(), "ingest writes the cache");
+        assert!(run(&args).is_ok(), "warm ingest hits the cache");
+        // A positional file is mandatory; reweighting specs are rejected.
+        assert!(run(&["ingest".to_string()]).unwrap_err().show_usage);
+        let args: Vec<String> = ["ingest", edges.to_str().unwrap(), "--weights", "unit"]
+            .map(String::from)
+            .to_vec();
+        assert!(run(&args).unwrap_err().show_usage);
+    }
+
+    #[test]
+    fn layouts_round_trip_through_original_ids() {
+        let dir = std::env::temp_dir().join("sdnd_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let edges = dir.join("layout.txt");
+        // A 4x4 grid, listed in natural order.
+        let mut text = String::new();
+        for r in 0..4usize {
+            for c in 0..4usize {
+                let v = r * 4 + c;
+                if c + 1 < 4 {
+                    text.push_str(&format!("{v} {}\n", v + 1));
+                }
+                if r + 1 < 4 {
+                    text.push_str(&format!("{v} {}\n", v + 4));
+                }
+            }
+        }
+        std::fs::write(&edges, text).unwrap();
+        let clusters = dir.join("layout.csv");
+        // Decompose under a Hilbert layout, export CSV …
+        let args: Vec<String> = [
+            "decompose",
+            "--algorithm",
+            "thm2.3",
+            "--input",
+            edges.to_str().unwrap(),
+            "--layout",
+            "hilbert",
+            "--output",
+            clusters.to_str().unwrap(),
+        ]
+        .map(String::from)
+        .to_vec();
+        assert!(run(&args).is_ok());
+        // … and validate it under the natural AND a different SFC
+        // layout: the CSV speaks original ids, so both must pass.
+        for layout in ["natural", "morton", "bfs"] {
+            let args: Vec<String> = [
+                "validate",
+                "--input",
+                edges.to_str().unwrap(),
+                "--clusters",
+                clusters.to_str().unwrap(),
+                "--layout",
+                layout,
+            ]
+            .map(String::from)
+            .to_vec();
+            assert!(run(&args).is_ok(), "validate --layout {layout}");
+        }
+        // simulate maps --source through the relabeling.
+        let args: Vec<String> = [
+            "simulate",
+            "--input",
+            edges.to_str().unwrap(),
+            "--layout",
+            "hilbert",
+            "--source",
+            "15",
+        ]
+        .map(String::from)
+        .to_vec();
+        assert!(run(&args).is_ok());
+        // An unknown layout is a usage error.
+        let o = opts(&[("input", edges.to_str().unwrap()), ("layout", "zorro")]);
+        assert!(load_graph(&o).unwrap_err().contains("--layout"));
+    }
+
+    #[test]
+    fn load_graph_reads_gzip_edge_lists() {
+        let dir = std::env::temp_dir().join("sdnd_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let gz = dir.join("gzipped.txt.gz");
+        std::fs::write(&gz, dataset::gzip_stored(b"0 1\n1 2\n2 0\n")).unwrap();
+        let o = opts(&[("input", gz.to_str().unwrap())]);
+        let (g, _) = load_graph(&o).unwrap();
+        assert_eq!((g.n(), g.m()), (3, 3));
     }
 
     #[test]
