@@ -1,0 +1,65 @@
+//! Criterion benches for the async execution lane: the synchronous
+//! engine vs the α-synchronizer lane (zero-fault, 1 and 2 workers) vs a
+//! lightly faulted run (1% drop + 1% duplicate) on grid / expander /
+//! clique flood. `BENCH_async.json` at the repo root pins the measured
+//! trajectory.
+//!
+//! The zero-fault rows measure pure synchronizer overhead: the lane
+//! spawns real threads, exchanges acks and safety notices over channels,
+//! and still must produce a bit-for-bit identical `RunOutcome`. The
+//! acceptance bar (ISSUE 8) is overhead `<= 3x` the synchronous engine
+//! on the zero-fault grid/4096 row. The faulted rows additionally pay
+//! per-edge adversary hashing plus retransmit bookkeeping.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sdnd_congest::{primitives, run_async, Adversary, AsyncConfig, CostModel, Engine};
+use sdnd_graph::{gen, Graph, NodeId};
+
+fn families() -> Vec<(&'static str, Graph)> {
+    vec![
+        ("grid", gen::grid(32, 32)),
+        ("grid", gen::grid(64, 64)),
+        (
+            "expander",
+            gen::random_regular_connected(1024, 4, 42).expect("expander generates"),
+        ),
+        ("clique", gen::complete(256)),
+    ]
+}
+
+fn bench_async_flood(c: &mut Criterion) {
+    let mut group = c.benchmark_group("async-flood");
+    for (family, g) in families() {
+        let view = g.full_view();
+        let kernel = primitives::BfsKernel::new(&view, [NodeId::new(0)], u32::MAX);
+        let engine = Engine::new(CostModel::congest_for(g.n()));
+        group.bench_with_input(
+            BenchmarkId::new(format!("{family}-sync"), g.n()),
+            &g,
+            |b, _| b.iter(|| engine.run(&view, &kernel).expect("flood runs")),
+        );
+        for workers in [1usize, 2] {
+            let cfg = AsyncConfig::default().with_workers(workers);
+            group.bench_with_input(
+                BenchmarkId::new(format!("{family}-async{workers}"), g.n()),
+                &g,
+                |b, _| b.iter(|| run_async(&engine, &view, &kernel, &cfg).expect("lane runs")),
+            );
+        }
+        // Faulted row: enough loss to exercise retransmits and the
+        // dedup path, little enough that the flood still completes.
+        let adversary = Adversary::new(7)
+            .with_drop_rate(0.01)
+            .with_duplicate_rate(0.01);
+        let cfg = AsyncConfig::new(adversary).with_workers(2);
+        group.bench_with_input(
+            BenchmarkId::new(format!("{family}-faulted2"), g.n()),
+            &g,
+            |b, _| b.iter(|| run_async(&engine, &view, &kernel, &cfg).expect("lane runs")),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_async_flood);
+criterion_main!(benches);

@@ -48,6 +48,6 @@ pub use validate::{
     validate_carving, validate_carving_approx, validate_carving_approx_in, validate_carving_in,
     validate_decomposition, validate_decomposition_approx, validate_decomposition_approx_in,
     validate_decomposition_in, validate_weak_carving, ApproxCarvingReport,
-    ApproxDecompositionReport, VALIDATION_TOLERANCE,
+    ApproxDecompositionReport, DecompositionReport, VALIDATION_TOLERANCE,
 };
 pub use weak_edge::{WeakEdgeCarver, WeakEdgeCarving};

@@ -1,0 +1,263 @@
+//! Structured fault accounting for async-lane runs.
+//!
+//! The [`RoundLedger`](crate::RoundLedger) stays what it is everywhere
+//! else in this workspace: the *logical* CONGEST cost of the algorithm
+//! (rounds, protocol messages, bits). Everything the transport layer and
+//! the adversary do underneath — retransmits, losses, duplicates,
+//! injected delay, synchronizer control traffic, crash events — lands in
+//! the [`FaultReport`] instead, so a zero-fault async run charges a
+//! ledger bit-identical to the synchronous engine while still reporting
+//! its transport activity.
+
+use std::fmt;
+
+use sdnd_graph::NodeId;
+
+/// One crash fault that actually fired during a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashEvent {
+    /// The node that died.
+    pub node: NodeId,
+    /// The synchronizer pulse during which it died.
+    pub pulse: u64,
+    /// Sends of that pulse that escaped before the crash.
+    pub sent: u64,
+    /// Sends of that pulse suppressed by the crash.
+    pub suppressed: u64,
+}
+
+/// Transport-level accounting of one async-lane run.
+///
+/// All fault-class counters (delivered/dropped/lost/duplicated/delayed,
+/// crash events) are pure functions of the adversary schedule and the
+/// protocol's traffic, so they are identical across worker counts; the
+/// synchronizer control counters (`acks`, `safe_notices`) count *remote*
+/// control messages and therefore depend on how nodes are multiplexed
+/// onto workers.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultReport {
+    /// Synchronizer pulses executed (== the outcome's round count on a
+    /// completed run).
+    pub pulses: u64,
+    /// Protocol messages delivered (first copies; excludes duplicates).
+    pub delivered: u64,
+    /// Transmission attempts the adversary dropped.
+    pub dropped: u64,
+    /// Re-send attempts that followed a drop.
+    pub retransmits: u64,
+    /// Messages abandoned after the retry budget
+    /// ([`RETRY_LIMIT`](crate::async_lane::RETRY_LIMIT)) was exhausted.
+    pub lost: u64,
+    /// Duplicate copies the adversary injected.
+    pub duplicated: u64,
+    /// Duplicate copies the receiver discarded by round-stamp.
+    pub deduped: u64,
+    /// Messages that suffered a nonzero injected delay.
+    pub delayed: u64,
+    /// Total injected delay, in simulated pulses.
+    pub delay_pulses: u64,
+    /// Sends suppressed because the sender crashed mid-pulse.
+    pub suppressed_by_crash: u64,
+    /// Deliveries addressed to already-crashed nodes (discarded).
+    pub to_crashed: u64,
+    /// Remote synchronizer acknowledgements.
+    pub acks: u64,
+    /// Remote synchronizer safety notices.
+    pub safe_notices: u64,
+    /// Crash faults the adversary scheduled (some may land past the
+    /// run's last pulse and never fire).
+    pub crashes_planned: u64,
+    /// Crash faults that actually fired, in crash order per shard.
+    pub crashed: Vec<CrashEvent>,
+}
+
+impl FaultReport {
+    /// Folds another report (e.g. one worker's pulse delta) into this
+    /// one. All counters are sums, so merging is order-insensitive except
+    /// for the order of the `crashed` list.
+    pub fn merge(&mut self, other: &FaultReport) {
+        self.pulses += other.pulses;
+        self.delivered += other.delivered;
+        self.dropped += other.dropped;
+        self.retransmits += other.retransmits;
+        self.lost += other.lost;
+        self.duplicated += other.duplicated;
+        self.deduped += other.deduped;
+        self.delayed += other.delayed;
+        self.delay_pulses += other.delay_pulses;
+        self.suppressed_by_crash += other.suppressed_by_crash;
+        self.to_crashed += other.to_crashed;
+        self.acks += other.acks;
+        self.safe_notices += other.safe_notices;
+        self.crashes_planned += other.crashes_planned;
+        self.crashed.extend(other.crashed.iter().copied());
+    }
+
+    /// Whether any fault actually materialized during the run.
+    pub fn is_clean(&self) -> bool {
+        self.dropped == 0
+            && self.lost == 0
+            && self.duplicated == 0
+            && self.delayed == 0
+            && self.suppressed_by_crash == 0
+            && self.to_crashed == 0
+            && self.crashed.is_empty()
+    }
+
+    /// The fault-class counters as `(class, count)` rows, in display
+    /// order — the worker-count-independent part of the report.
+    pub fn class_rows(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("pulses", self.pulses),
+            ("delivered", self.delivered),
+            ("dropped", self.dropped),
+            ("retransmits", self.retransmits),
+            ("lost", self.lost),
+            ("duplicated", self.duplicated),
+            ("deduped", self.deduped),
+            ("delayed", self.delayed),
+            ("delay_pulses", self.delay_pulses),
+            ("suppressed_by_crash", self.suppressed_by_crash),
+            ("to_crashed", self.to_crashed),
+            ("crashes_planned", self.crashes_planned),
+            ("crashes_fired", self.crashed.len() as u64),
+        ]
+    }
+
+    /// Renders the human-readable fault summary table printed by
+    /// `sdnd simulate --lane async`.
+    pub fn summary_table(&self) -> String {
+        let mut out = String::from("fault summary:\n");
+        out.push_str("  class                 count\n");
+        for (class, count) in self.class_rows() {
+            out.push_str(&format!("  {class:<21} {count}\n"));
+        }
+        out.push_str(&format!(
+            "  {:<21} {} / {}\n",
+            "sync control (ack/safe)", self.acks, self.safe_notices
+        ));
+        if self.crashed.is_empty() {
+            out.push_str("  crashed nodes: none\n");
+        } else {
+            out.push_str("  crashed nodes:");
+            for c in &self.crashed {
+                out.push_str(&format!(
+                    " {}(pulse {}, sent {}, suppressed {})",
+                    c.node, c.pulse, c.sent, c.suppressed
+                ));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Serializes the report as CSV (`class,count` rows followed by one
+    /// `crash,<node>,<pulse>,<sent>,<suppressed>` row per crash event)
+    /// for `--fault-report F` scripting.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("class,count\n");
+        for (class, count) in self.class_rows() {
+            out.push_str(&format!("{class},{count}\n"));
+        }
+        out.push_str(&format!("acks,{}\n", self.acks));
+        out.push_str(&format!("safe_notices,{}\n", self.safe_notices));
+        for c in &self.crashed {
+            out.push_str(&format!(
+                "crash,{},{},{},{}\n",
+                c.node, c.pulse, c.sent, c.suppressed
+            ));
+        }
+        out
+    }
+}
+
+/// The structured diagnostic a faulted run surfaces instead of a panic
+/// or a hang: what went wrong, the validator violations (if validation
+/// is what failed), and the full transport accounting.
+#[derive(Debug, Clone)]
+pub struct FaultDiagnostic {
+    /// What failed (engine error, divergence from the synchronous
+    /// engine, or validator rejection).
+    pub reason: String,
+    /// Validator violations, when validation is what failed.
+    pub violations: Vec<String>,
+    /// Transport accounting up to the failure.
+    pub report: FaultReport,
+}
+
+impl fmt::Display for FaultDiagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "faulted run diagnostic: {}", self.reason)?;
+        for v in &self.violations {
+            write!(f, "\n  violation: {v}")?;
+        }
+        let crashed: Vec<String> = self
+            .report
+            .crashed
+            .iter()
+            .map(|c| format!("{}@{}", c.node, c.pulse))
+            .collect();
+        write!(
+            f,
+            "\n  transport: {} delivered, {} dropped, {} lost, {} duplicated, crashed [{}]",
+            self.report.delivered,
+            self.report.dropped,
+            self.report.lost,
+            self.report.duplicated,
+            crashed.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for FaultDiagnostic {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_sums_counters_and_concatenates_crashes() {
+        let mut a = FaultReport {
+            delivered: 3,
+            dropped: 1,
+            ..FaultReport::default()
+        };
+        let b = FaultReport {
+            delivered: 2,
+            lost: 4,
+            crashed: vec![CrashEvent {
+                node: NodeId::new(7),
+                pulse: 2,
+                sent: 1,
+                suppressed: 3,
+            }],
+            ..FaultReport::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.delivered, 5);
+        assert_eq!(a.dropped, 1);
+        assert_eq!(a.lost, 4);
+        assert_eq!(a.crashed.len(), 1);
+        assert!(!a.is_clean());
+        assert!(FaultReport::default().is_clean());
+    }
+
+    #[test]
+    fn csv_and_table_cover_every_class_row() {
+        let mut r = FaultReport::default();
+        r.crashed.push(CrashEvent {
+            node: NodeId::new(1),
+            pulse: 3,
+            sent: 0,
+            suppressed: 2,
+        });
+        let csv = r.to_csv();
+        let table = r.summary_table();
+        for (class, _) in r.class_rows() {
+            assert!(csv.contains(class), "csv missing {class}");
+            assert!(table.contains(class), "table missing {class}");
+        }
+        assert!(csv.contains("crash,1,3,0,2"));
+        assert!(table.contains("crashed nodes:"));
+    }
+}

@@ -80,6 +80,7 @@
 //! node's step returns. Among erring nodes of one round, the error of the
 //! lowest-index node is reported (in both lanes).
 
+use crate::watchdog::Watchdog;
 use crate::{CostModel, RoundLedger};
 use sdnd_graph::{Adjacency, Graph, NodeId};
 use std::any::{Any, TypeId};
@@ -119,10 +120,14 @@ pub trait Protocol {
 
 /// One directed-edge mailbox slot: the round its message is addressed to
 /// (0 = never used) and the message itself.
+///
+/// `pub(crate)` so the async lane's per-shard write buffers reuse the
+/// exact slot/[`Outbox`] machinery (and thus the exact send-rule
+/// semantics) of the synchronous engine.
 #[derive(Debug, Clone)]
-struct Slot<M> {
-    round: u64,
-    msg: Option<M>,
+pub(crate) struct Slot<M> {
+    pub(crate) round: u64,
+    pub(crate) msg: Option<M>,
 }
 
 impl<M> Slot<M> {
@@ -134,7 +139,7 @@ impl<M> Slot<M> {
     }
 }
 
-fn slot_array<M>(len: usize) -> Vec<Slot<M>> {
+pub(crate) fn slot_array<M>(len: usize) -> Vec<Slot<M>> {
     (0..len).map(|_| Slot::empty()).collect()
 }
 
@@ -192,17 +197,17 @@ impl Drop for EpochGuard<'_> {
 /// each directed edge to the chunk location of its reverse edge. The
 /// bounds are a pure function of graph and thread count, so determinism
 /// is unaffected.
-struct ParLayout {
-    threads: usize,
-    node_bounds: Vec<usize>,
-    slot_bounds: Vec<usize>,
+pub(crate) struct ParLayout {
+    pub(crate) threads: usize,
+    pub(crate) node_bounds: Vec<usize>,
+    pub(crate) slot_bounds: Vec<usize>,
     /// `rev_loc[e] = (shard, offset)` locating the reverse of directed
     /// edge `e` in the chunked buffers.
     rev_loc: Vec<(u32, u32)>,
 }
 
 impl ParLayout {
-    fn carve(g: &Graph, threads: usize) -> ParLayout {
+    pub(crate) fn carve(g: &Graph, threads: usize) -> ParLayout {
         let n = g.n();
         let slots = g.directed_edges();
         assert!(slots <= u32::MAX as usize, "chunk offsets are u32");
@@ -247,7 +252,7 @@ impl ParLayout {
         }
     }
 
-    fn shards(&self) -> usize {
+    pub(crate) fn shards(&self) -> usize {
         self.threads
     }
 }
@@ -530,6 +535,37 @@ pub struct Outbox<'a, M> {
     error: &'a mut Option<EngineError>,
 }
 
+impl<'a, M> Outbox<'a, M> {
+    /// Assembles an outbox for one node's step. Shared by the synchronous
+    /// lanes and the async lane so every send rule (neighbor check,
+    /// aliveness, one-message-per-edge, latching) has exactly one
+    /// implementation.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn for_step(
+        from: NodeId,
+        g: &'a Graph,
+        alive: &'a [bool],
+        stamp: u64,
+        slot_base: usize,
+        slots: &'a mut [Slot<M>],
+        sent: &'a mut Vec<usize>,
+        error: &'a mut Option<EngineError>,
+    ) -> Self {
+        Outbox {
+            from,
+            nbrs: g.neighbors(from),
+            slot_start: g.out_slot_range(from).start,
+            cursor: 0,
+            alive,
+            stamp,
+            slot_base,
+            slots,
+            sent,
+            error,
+        }
+    }
+}
+
 impl<M> Outbox<'_, M> {
     /// Sends `msg` to `to` (must be an alive neighbor; violations are
     /// latched and reported by the engine after the step).
@@ -631,6 +667,20 @@ pub enum EngineError {
         /// The limit that was hit.
         max_rounds: u64,
     },
+    /// The async lane's synchronizer pulse budget elapsed before
+    /// quiescence (the pulse analog of
+    /// [`RoundLimitExceeded`](Self::RoundLimitExceeded), enforced by
+    /// the shared [`Watchdog`]).
+    PulseLimitExceeded {
+        /// The limit that was hit.
+        max_pulses: u64,
+    },
+    /// The wall-clock budget elapsed before quiescence — the async lane's
+    /// guard against a stalled (not merely busy) synchronizer.
+    WallClockExceeded {
+        /// The budget that was exhausted, in milliseconds.
+        budget_ms: u64,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -648,6 +698,18 @@ impl fmt::Display for EngineError {
             }
             EngineError::RoundLimitExceeded { max_rounds } => {
                 write!(f, "protocol did not quiesce within {max_rounds} rounds")
+            }
+            EngineError::PulseLimitExceeded { max_pulses } => {
+                write!(
+                    f,
+                    "protocol did not quiesce within {max_pulses} synchronizer pulses"
+                )
+            }
+            EngineError::WallClockExceeded { budget_ms } => {
+                write!(
+                    f,
+                    "run exceeded its {budget_ms} ms wall-clock budget before quiescing"
+                )
             }
         }
     }
@@ -709,6 +771,12 @@ impl Engine {
         self.threads
     }
 
+    /// The configured round limit (also the async lane's default pulse
+    /// budget).
+    pub fn max_rounds(&self) -> u64 {
+        self.max_rounds
+    }
+
     /// Runs `protocol` on every alive node of `view` until quiescence,
     /// on the lane selected by [`with_threads`](Self::with_threads).
     ///
@@ -737,9 +805,10 @@ impl Engine {
 
     /// Budget-checks and records the messages `from` just wrote into
     /// `slots` (listed in `sent`), invoking `mark` with each recipient.
-    /// Returns whether anything was sent.
+    /// Returns whether anything was sent. `pub(crate)` so the async lane
+    /// charges its ledger through the same code path.
     #[allow(clippy::too_many_arguments)]
-    fn account<P: Protocol>(
+    pub(crate) fn account<P: Protocol>(
         &self,
         protocol: &P,
         g: &Graph,
@@ -879,13 +948,10 @@ impl Engine {
             }
         }
 
+        let watchdog = Watchdog::rounds(self.max_rounds);
         let mut rounds = 0u64;
         while any_pending {
-            if rounds >= self.max_rounds {
-                return Err(EngineError::RoundLimitExceeded {
-                    max_rounds: self.max_rounds,
-                });
-            }
+            watchdog.check(rounds)?;
             rounds += 1;
             any_pending = false;
             epoch.next_base = base + rounds + 2;
@@ -1054,16 +1120,10 @@ impl Engine {
             let res = (|| {
                 let mut ledger = RoundLedger::new();
                 let mut any_pending = conductor.phase(0, &mut ledger).map_err(|e| (e, 0))?;
+                let watchdog = Watchdog::rounds(self.max_rounds);
                 let mut rounds = 0u64;
                 while any_pending {
-                    if rounds >= self.max_rounds {
-                        return Err((
-                            EngineError::RoundLimitExceeded {
-                                max_rounds: self.max_rounds,
-                            },
-                            rounds,
-                        ));
-                    }
+                    watchdog.check(rounds).map_err(|e| (e, rounds))?;
                     rounds += 1;
                     conductor.rotate();
                     any_pending = conductor

@@ -23,16 +23,28 @@
 //! ledger mirrors this with [`RoundLedger::merge_parallel`], which adds
 //! the *maximum* of the branch round counts (and the sum of their message
 //! traffic).
+//!
+//! A third lane ([`async_lane`]) drops the synchrony assumption: node
+//! tasks exchange messages over real channels under an α-synchronizer and
+//! a seeded fault-injecting adversary, and are cross-validated bit-for-bit
+//! against the kernel under zero faults.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod async_lane;
 mod cost;
 pub mod engine;
 pub mod primitives;
+pub mod watchdog;
 
+pub use async_lane::{
+    run_async, Adversary, AsyncConfig, AsyncFailure, AsyncOutcome, CrashEvent, FaultDiagnostic,
+    FaultReport, Transmission,
+};
 pub use cost::{CostModel, ExecutionMode, RoundLedger};
 pub use engine::{Engine, EngineError, EngineSession, Outbox, Protocol, RunOutcome};
+pub use watchdog::Watchdog;
 
 /// Number of bits needed to transmit a value in `0..=max_value`
 /// (at least 1).

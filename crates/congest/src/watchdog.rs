@@ -1,0 +1,150 @@
+//! Shared run-budget watchdog for the synchronous round loops and the
+//! asynchronous pulse loop.
+//!
+//! Both executors advance a monotone step counter (rounds for
+//! [`Engine`](crate::Engine), synchronizer pulses for
+//! [`async_lane`](crate::async_lane)) and must fail *cleanly* — a typed
+//! [`EngineError`], never a hang — when a protocol fails to quiesce. The
+//! [`Watchdog`] is that single shared guard: a step budget plus an
+//! optional wall-clock deadline, checked once per step at the top of the
+//! loop. The async lane additionally threads
+//! [`deadline`](Watchdog::deadline) into its blocking channel receives so
+//! a stalled synchronizer (and not just a busy one) trips the same guard.
+
+use std::time::{Duration, Instant};
+
+use crate::engine::EngineError;
+
+/// What the monotone step counter of a run loop counts; selects which
+/// [`EngineError`] variant a blown budget reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StepKind {
+    /// Synchronous engine rounds ([`EngineError::RoundLimitExceeded`]).
+    Rounds,
+    /// α-synchronizer pulses ([`EngineError::PulseLimitExceeded`]).
+    Pulses,
+}
+
+/// A per-run budget guard: a step limit and an optional wall-clock
+/// deadline, both reported as clean [`EngineError`]s.
+#[derive(Debug, Clone)]
+pub struct Watchdog {
+    kind: StepKind,
+    limit: u64,
+    wall_budget: Option<Duration>,
+    deadline: Option<Instant>,
+}
+
+impl Watchdog {
+    /// A watchdog counting synchronous engine rounds against `limit`.
+    pub fn rounds(limit: u64) -> Self {
+        Watchdog {
+            kind: StepKind::Rounds,
+            limit,
+            wall_budget: None,
+            deadline: None,
+        }
+    }
+
+    /// A watchdog counting synchronizer pulses against `limit`.
+    pub fn pulses(limit: u64) -> Self {
+        Watchdog {
+            kind: StepKind::Pulses,
+            limit,
+            wall_budget: None,
+            deadline: None,
+        }
+    }
+
+    /// Arms a wall-clock deadline `budget` from now.
+    pub fn with_wall_clock(mut self, budget: Duration) -> Self {
+        self.wall_budget = Some(budget);
+        self.deadline = Some(Instant::now() + budget);
+        self
+    }
+
+    /// The armed wall-clock deadline, if any (for threading into blocking
+    /// waits such as `recv_timeout`).
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// The error a blown step budget reports.
+    pub fn limit_error(&self) -> EngineError {
+        match self.kind {
+            StepKind::Rounds => EngineError::RoundLimitExceeded {
+                max_rounds: self.limit,
+            },
+            StepKind::Pulses => EngineError::PulseLimitExceeded {
+                max_pulses: self.limit,
+            },
+        }
+    }
+
+    /// The error a blown wall-clock deadline reports.
+    pub fn wall_error(&self) -> EngineError {
+        EngineError::WallClockExceeded {
+            budget_ms: self
+                .wall_budget
+                .map(|d| d.as_millis().min(u64::MAX as u128) as u64)
+                .unwrap_or(0),
+        }
+    }
+
+    /// Checks both budgets before step `completed + 1` begins: errors if
+    /// `completed` steps already exhausted the limit or if the wall-clock
+    /// deadline has passed.
+    pub fn check(&self, completed: u64) -> Result<(), EngineError> {
+        if completed >= self.limit {
+            return Err(self.limit_error());
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Err(self.wall_error());
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_budget_trips_with_round_error() {
+        let dog = Watchdog::rounds(3);
+        assert!(dog.check(0).is_ok());
+        assert!(dog.check(2).is_ok());
+        assert_eq!(
+            dog.check(3),
+            Err(EngineError::RoundLimitExceeded { max_rounds: 3 })
+        );
+    }
+
+    #[test]
+    fn pulse_budget_trips_with_pulse_error() {
+        let dog = Watchdog::pulses(5);
+        assert!(dog.check(4).is_ok());
+        assert_eq!(
+            dog.check(5),
+            Err(EngineError::PulseLimitExceeded { max_pulses: 5 })
+        );
+    }
+
+    #[test]
+    fn elapsed_wall_clock_trips_even_under_budget() {
+        let dog = Watchdog::pulses(u64::MAX).with_wall_clock(Duration::ZERO);
+        assert_eq!(
+            dog.check(0),
+            Err(EngineError::WallClockExceeded { budget_ms: 0 })
+        );
+    }
+
+    #[test]
+    fn unarmed_wall_clock_never_trips() {
+        let dog = Watchdog::rounds(u64::MAX);
+        assert!(dog.deadline().is_none());
+        assert!(dog.check(u64::MAX - 1).is_ok());
+    }
+}

@@ -45,6 +45,7 @@ mod params;
 pub mod sparse_cut;
 pub mod transform;
 pub mod transform_edge;
+pub mod under_faults;
 
 pub use carving::{strong_ball_carving, strong_ball_carving_in, Theorem22Carver};
 pub use decomposition::{
@@ -57,6 +58,7 @@ pub use improve::Theorem33Carver;
 pub use params::Params;
 pub use sdnd_clustering::CarveCtx;
 pub use sparse_cut::CutOrComponent;
+pub use under_faults::{decompose_under_faults, FaultedDecomposition};
 
 use sdnd_congest::RoundLedger;
 use sdnd_graph::{Graph, NodeSet};

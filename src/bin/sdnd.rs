@@ -113,12 +113,22 @@ commands:
              computes a single ball carving
   simulate   --input <edges.txt> [--source V] [--threads T] [--max-rounds R]
              [--nodes N] [--repeat K] [--weights uniform:lo,hi|file|unit]
-             [--layout L] [--cache]
+             [--layout L] [--cache] [--lane sync|async]
+             [--faults drop=p,dup=q,delay=d,crash=k] [--fault-seed S]
+             [--fault-report F]
              runs a BFS flood on the message-passing engine — the
              weighted SpBfs kernel when the graph carries weights (T > 1
              selects the deterministic parallel stepping lane); K > 1
              repeats the run on one engine session (slot arenas built
-             once, reused) and reports the amortized per-run wall time
+             once, reused) and reports the amortized per-run wall time.
+             --lane async runs node tasks over real channels under an
+             α-synchronizer with a seeded fault adversary (T = worker
+             threads; --max-rounds bounds synchronizer pulses, default
+             1000000); zero-fault async runs are cross-checked
+             bit-for-bit against the synchronous engine, faulted runs
+             are label-validated and exit nonzero with a structured
+             diagnostic when the faults corrupted the outcome;
+             --fault-report writes the per-class fault counters as CSV
   validate   --input <edges.txt> --clusters <out.csv> [--nodes N]
              [--weights uniform:lo,hi|file|unit] [--approx[=p]]
              [--layout L] [--cache]
@@ -712,6 +722,16 @@ fn cmd_simulate(opts: &Opts) -> Result<(), CliError> {
     if repeat == 0 {
         return Err("--repeat must be at least 1".into());
     }
+    match opts.get("lane").unwrap_or("sync") {
+        "sync" => {}
+        "async" => return simulate_async(opts, &g, source, threads, max_rounds, repeat),
+        other => return Err(format!("unknown --lane `{other}` (sync|async)").into()),
+    }
+    for key in ["faults", "fault-seed", "fault-report"] {
+        if opts.get(key).is_some() {
+            return Err(format!("--{key} needs --lane async").into());
+        }
+    }
 
     let view = g.full_view();
     let cost = CostModel::congest_for(g.n());
@@ -800,6 +820,241 @@ fn cmd_simulate(opts: &Opts) -> Result<(), CliError> {
             elapsed.as_secs_f64() * 1e3 / repeat as f64
         );
     }
+    Ok(())
+}
+
+/// Parses `--faults drop=p,dup=q,delay=d,crash=k` (any subset, any
+/// order) plus `--fault-seed` into an [`Adversary`].
+fn parse_adversary(opts: &Opts) -> Result<sdnd::congest::Adversary, CliError> {
+    use sdnd::congest::Adversary;
+    let seed = opts.u64_or("fault-seed", 42)?;
+    let mut adversary = Adversary::new(seed);
+    let Some(spec) = opts.get("faults") else {
+        return Ok(adversary);
+    };
+    for part in spec.split(',').filter(|p| !p.is_empty()) {
+        let (knob, val) = part
+            .split_once('=')
+            .ok_or_else(|| format!("--faults: `{part}` is not knob=value"))?;
+        fn parse<T: std::str::FromStr>(knob: &str, val: &str) -> Result<T, String> {
+            val.parse()
+                .map_err(|_| format!("--faults: `{val}` is not a number for {knob}"))
+        }
+        adversary = match knob {
+            "drop" => adversary.with_drop_rate(parse(knob, val)?),
+            "dup" => adversary.with_duplicate_rate(parse(knob, val)?),
+            "delay" => adversary.with_max_delay(parse(knob, val)?),
+            "crash" => adversary.with_crashes(parse(knob, val)?),
+            other => {
+                return Err(
+                    format!("--faults: unknown knob `{other}` (drop|dup|delay|crash)").into(),
+                )
+            }
+        };
+    }
+    Ok(adversary)
+}
+
+/// `sdnd simulate --lane async`: the same flood kernels over the
+/// α-synchronizer lane with a seeded fault adversary. Zero-fault runs
+/// are cross-checked bit-for-bit against the synchronous engine; faulted
+/// runs are label-validated, and a corrupted outcome exits nonzero with
+/// a structured [`FaultDiagnostic`](sdnd::congest::FaultDiagnostic).
+fn simulate_async(
+    opts: &Opts,
+    g: &Graph,
+    source: usize,
+    workers: usize,
+    max_pulses: u64,
+    repeat: usize,
+) -> Result<(), CliError> {
+    use sdnd::congest::{run_async, AsyncConfig, FaultDiagnostic};
+
+    let adversary = parse_adversary(opts)?;
+    let zero_fault = adversary.is_zero_fault();
+    let cfg = AsyncConfig::new(adversary)
+        .with_workers(workers)
+        .with_max_pulses(max_pulses);
+    let view = g.full_view();
+    let cost = CostModel::congest_for(g.n());
+    let engine = Engine::new(cost);
+    let source_node = NodeId::new(source);
+
+    // The failure path is shared by both kernels: print the transport
+    // accounting, then surface the typed error as a runtime diagnostic.
+    let fail = |failure: Box<sdnd::congest::AsyncFailure>| {
+        print!("{}", failure.report.summary_table());
+        CliError::runtime(format!("async lane failed: {}", failure.error))
+    };
+
+    let started = std::time::Instant::now();
+    let (rounds, run_ledger, reached, report, dists) = if g.is_weighted() {
+        let kernel = primitives::SpBfsKernel::new(&view, [source_node], f64::INFINITY);
+        let mut lane = run_async(&engine, &view, &kernel, &cfg).map_err(fail)?;
+        for _ in 1..repeat {
+            let rerun = run_async(&engine, &view, &kernel, &cfg).map_err(fail)?;
+            debug_assert_eq!(rerun.outcome.rounds, lane.outcome.rounds);
+            lane = rerun;
+        }
+        if zero_fault {
+            let sync = engine
+                .run(&view, &kernel)
+                .map_err(|e| CliError::runtime(e.to_string()))?;
+            if lane.outcome.states != sync.states
+                || lane.outcome.rounds != sync.rounds
+                || lane.outcome.ledger != sync.ledger
+            {
+                return Err(CliError::runtime(
+                    "internal error: zero-fault async run diverged from the synchronous engine",
+                ));
+            }
+        }
+        let dists: Vec<Option<f64>> = lane
+            .outcome
+            .states
+            .iter()
+            .map(|s| s.as_ref().and_then(|s| s.dist))
+            .collect();
+        let reached = dists.iter().flatten().count();
+        (
+            lane.outcome.rounds,
+            lane.outcome.ledger,
+            reached,
+            lane.report,
+            dists,
+        )
+    } else {
+        let kernel = primitives::BfsKernel::new(&view, [source_node], u32::MAX);
+        let mut lane = run_async(&engine, &view, &kernel, &cfg).map_err(fail)?;
+        for _ in 1..repeat {
+            let rerun = run_async(&engine, &view, &kernel, &cfg).map_err(fail)?;
+            debug_assert_eq!(rerun.outcome.rounds, lane.outcome.rounds);
+            lane = rerun;
+        }
+        if zero_fault {
+            let sync = engine
+                .run(&view, &kernel)
+                .map_err(|e| CliError::runtime(e.to_string()))?;
+            if lane.outcome.states != sync.states
+                || lane.outcome.rounds != sync.rounds
+                || lane.outcome.ledger != sync.ledger
+            {
+                return Err(CliError::runtime(
+                    "internal error: zero-fault async run diverged from the synchronous engine",
+                ));
+            }
+        }
+        let dists: Vec<Option<f64>> = lane
+            .outcome
+            .states
+            .iter()
+            .map(|s| s.as_ref().and_then(|s| s.dist).map(f64::from))
+            .collect();
+        let reached = dists.iter().flatten().count();
+        (
+            lane.outcome.rounds,
+            lane.outcome.ledger,
+            reached,
+            lane.report,
+            dists,
+        )
+    };
+    let elapsed = started.elapsed();
+
+    println!("graph:          n = {}, m = {}", g.n(), g.m());
+    println!(
+        "protocol:       {} flood from node {source}",
+        if g.is_weighted() {
+            "weighted sp-bfs (Bellman–Ford)"
+        } else {
+            "bfs"
+        }
+    );
+    println!(
+        "lane:           async x{workers} (α-synchronizer, fault seed {})",
+        cfg.adversary.seed()
+    );
+    println!("pulses:         {rounds} (budget {max_pulses})");
+    println!("messages:       {}", run_ledger.messages());
+    println!("total bits:     {}", run_ledger.total_bits());
+    println!(
+        "max msg bits:   {} (budget {})",
+        run_ledger.max_message_bits(),
+        cost.bits_per_message()
+    );
+    println!("reached:        {reached}");
+    if zero_fault {
+        println!("cross-check:    bit-identical to the synchronous engine");
+    }
+    if repeat > 1 {
+        println!("runs:           {repeat} (fresh channels and workers per run)");
+        println!(
+            "amortized:      {:.3} ms/run",
+            elapsed.as_secs_f64() * 1e3 / repeat as f64
+        );
+    }
+    print!("{}", report.summary_table());
+    if let Some(path) = opts.get("fault-report") {
+        std::fs::write(path, report.to_csv())
+            .map_err(|e| CliError::runtime(format!("{path}: {e}")))?;
+        println!("fault report:   {path}");
+    }
+
+    // Label validation: triangle-inequality consistency of the surviving
+    // flood labels over non-crashed nodes. A violated edge means the
+    // faults corrupted the outcome — structured diagnostic, nonzero exit.
+    let mut crashed = vec![false; g.n()];
+    for c in &report.crashed {
+        crashed[c.node.index()] = true;
+    }
+    let mut violations = Vec::new();
+    let tolerance = 1e-9;
+    for (u, v) in g.edges() {
+        if crashed[u.index()] || crashed[v.index()] {
+            continue;
+        }
+        let w = if g.is_weighted() {
+            g.edge_weight(u, v).expect("edge exists")
+        } else {
+            1.0
+        };
+        match (dists[u.index()], dists[v.index()]) {
+            (Some(du), Some(dv)) => {
+                if (du - dv).abs() > w + tolerance {
+                    violations.push(format!(
+                        "edge ({u}, {v}): dists {du} and {dv} differ by more than the \
+                         edge length {w}"
+                    ));
+                }
+            }
+            (Some(_), None) | (None, Some(_)) => violations.push(format!(
+                "edge ({u}, {v}): one endpoint reached, the other never heard the flood"
+            )),
+            (None, None) => {}
+        }
+    }
+    if !crashed[source] && dists[source] != Some(0.0) {
+        violations.push(format!("source {source} does not hold distance 0"));
+    }
+    if !violations.is_empty() {
+        let diagnostic = FaultDiagnostic {
+            reason: format!(
+                "faults corrupted the flood labels ({} violated edges)",
+                violations.len()
+            ),
+            violations,
+            report,
+        };
+        return Err(CliError::runtime(diagnostic.to_string()));
+    }
+    println!(
+        "validation:     flood labels consistent on all non-crashed nodes{}",
+        if report.crashed.is_empty() {
+            String::new()
+        } else {
+            format!(" ({} crashed nodes excluded)", report.crashed.len())
+        }
+    );
     Ok(())
 }
 
@@ -1101,6 +1356,115 @@ mod tests {
             .to_vec();
             assert!(run(&args).is_ok(), "weighted simulate x{threads}");
         }
+    }
+
+    #[test]
+    fn async_lane_simulate_end_to_end() {
+        let dir = std::env::temp_dir().join("sdnd_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let edges = dir.join("async_e2e.txt");
+        let g = sdnd::graph::gen::grid(6, 6);
+        let mut text = String::new();
+        for (u, v) in g.edges() {
+            text.push_str(&format!("{u} {v}\n"));
+        }
+        std::fs::write(&edges, text).unwrap();
+        // Zero-fault: cross-checked bit-for-bit against the sync engine.
+        for threads in ["1", "3"] {
+            let args: Vec<String> = [
+                "simulate",
+                "--input",
+                edges.to_str().unwrap(),
+                "--lane",
+                "async",
+                "--threads",
+                threads,
+                "--repeat",
+                "2",
+            ]
+            .map(String::from)
+            .to_vec();
+            assert!(run(&args).is_ok(), "zero-fault async x{threads}");
+        }
+        // Faulted: accept, or fail with a runtime diagnostic (no usage
+        // dump) — never a panic.
+        let csv = dir.join("async_e2e_faults.csv");
+        let args: Vec<String> = [
+            "simulate",
+            "--input",
+            edges.to_str().unwrap(),
+            "--lane",
+            "async",
+            "--threads",
+            "2",
+            "--faults",
+            "drop=0.02,dup=0.1,delay=1,crash=1",
+            "--fault-seed",
+            "11",
+            "--fault-report",
+            csv.to_str().unwrap(),
+        ]
+        .map(String::from)
+        .to_vec();
+        match run(&args) {
+            Ok(()) => {
+                let report = std::fs::read_to_string(&csv).unwrap();
+                assert!(report.starts_with("class,count"), "{report}");
+                assert!(report.contains("crashes_planned,1"), "{report}");
+            }
+            Err(e) => assert!(
+                !e.show_usage,
+                "faulted run fails as a diagnostic: {}",
+                e.msg
+            ),
+        }
+        // Fault flags demand the async lane; unknown lanes are rejected.
+        let args: Vec<String> = [
+            "simulate",
+            "--input",
+            edges.to_str().unwrap(),
+            "--faults",
+            "drop=0.5",
+        ]
+        .map(String::from)
+        .to_vec();
+        assert!(run(&args).unwrap_err().msg.contains("--lane async"));
+        let args: Vec<String> = [
+            "simulate",
+            "--input",
+            edges.to_str().unwrap(),
+            "--lane",
+            "carrier-pigeon",
+        ]
+        .map(String::from)
+        .to_vec();
+        assert!(run(&args).unwrap_err().msg.contains("unknown --lane"));
+    }
+
+    #[test]
+    fn async_pulse_budget_is_a_runtime_diagnostic() {
+        let dir = std::env::temp_dir().join("sdnd_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let edges = dir.join("async_budget.txt");
+        std::fs::write(&edges, "0 1\n1 2\n2 3\n3 4\n4 5\n5 6\n6 7\n").unwrap();
+        let args: Vec<String> = [
+            "simulate",
+            "--input",
+            edges.to_str().unwrap(),
+            "--lane",
+            "async",
+            "--max-rounds",
+            "2",
+        ]
+        .map(String::from)
+        .to_vec();
+        let err = run(&args).unwrap_err();
+        assert!(
+            err.msg.contains("synchronizer pulses"),
+            "pulse budget surfaces the typed error: {}",
+            err.msg
+        );
+        assert!(!err.show_usage, "pulse-limit is a runtime diagnostic");
     }
 
     #[test]

@@ -191,3 +191,220 @@ fn end_to_end_outputs_survive_reinjection() {
     let (d, _) = sdnd::core::decompose_strong(&g, &Params::default()).unwrap();
     assert!(validate_decomposition(&g, &d).is_valid());
 }
+
+// ===== Transport-fault injection (async lane) =====
+//
+// The α-synchronizer lane has a two-sided contract. Zero-fault runs are
+// *bit-for-bit identical* to the synchronous engine — pinned here by
+// property tests across all four kernels, subset views, and weighted
+// metrics. Faulted runs (drops, duplicates, delays, crashes) either
+// produce an outcome the validators accept, or fail with a structured
+// diagnostic — never a panic, never a hang (the pulse/wall-clock
+// watchdog turns hangs into typed errors).
+
+use proptest::prelude::*;
+use sdnd::congest::{
+    bits_for_value, primitives, run_async, Adversary, AsyncConfig, Engine, Protocol,
+};
+use sdnd::core::decompose_under_faults;
+use sdnd_graph::gen::WeightDist;
+
+fn arb_fault_graph() -> impl Strategy<Value = Graph> {
+    // The vendored proptest shim has no `prop_oneof!`; pick the family
+    // by index and derive sizes from the shared seed instead.
+    (0usize..4, 0u64..1_000_000, 3usize..8, 3usize..8).prop_map(|(kind, seed, r, c)| match kind {
+        0 => gen::grid(r, c),
+        1 => gen::cycle(8 + (seed as usize) % 32),
+        2 => gen::gnp_connected(12 + (seed as usize) % 28, 0.12, seed),
+        _ => gen::random_tree(10 + (seed as usize) % 22, seed),
+    })
+}
+
+/// Runs `kernel` on both lanes and asserts bit-identity (states, rounds,
+/// ledger) plus a clean transport report.
+fn assert_bit_identity<A, P>(
+    g: &Graph,
+    view: &A,
+    kernel: &P,
+    workers: usize,
+) -> Result<(), TestCaseError>
+where
+    A: Adjacency,
+    P: Protocol + Sync,
+    P::State: Send + PartialEq + std::fmt::Debug,
+    P::Msg: Send + Sync,
+{
+    let engine = Engine::new(CostModel::congest_for(g.n()));
+    let sync = engine.run(view, kernel).expect("sync run succeeds");
+    let cfg = AsyncConfig::default().with_workers(workers);
+    let lane = run_async(&engine, view, kernel, &cfg).expect("zero-fault async run succeeds");
+    prop_assert_eq!(lane.outcome.rounds, sync.rounds, "rounds");
+    prop_assert_eq!(lane.outcome.ledger, sync.ledger, "ledger");
+    prop_assert_eq!(lane.outcome.states, sync.states, "states");
+    prop_assert!(lane.report.is_clean(), "zero-fault report must be clean");
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Zero-fault async ≡ synchronous engine, bit for bit, on all four
+    /// kernels (BFS, weighted SpBfs, leader election, convergecast) over
+    /// full views, for any worker count.
+    #[test]
+    fn zero_fault_async_is_bit_identical_on_every_kernel(
+        g in arb_fault_graph(),
+        workers in 1usize..6,
+        src in 0usize..64,
+        wseed in 0u64..1000,
+    ) {
+        let view = g.full_view();
+        let src = NodeId::new(src % g.n());
+
+        let bfs_kernel = primitives::BfsKernel::new(&view, [src], u32::MAX);
+        assert_bit_identity(&g, &view, &bfs_kernel, workers)?;
+
+        let leader = primitives::LeaderKernel::new(&view);
+        assert_bit_identity(&g, &view, &leader, workers)?;
+
+        // Convergecast over the BFS tree, summing node ids.
+        let mut ledger = RoundLedger::new();
+        let bfs = primitives::bfs(&view, [src], u32::MAX, &mut ledger);
+        let values: Vec<u64> = (0..g.n() as u64).collect();
+        let bits = bits_for_value(g.n() as u64 * g.n() as u64);
+        let cast = primitives::ConvergeCastKernel::new(g.n(), src, bfs.parents(), &values, bits);
+        assert_bit_identity(&g, &view, &cast, workers)?;
+
+        // Weighted SpBfs on the reweighted graph.
+        let wg = gen::reweight(&g, WeightDist::Uniform { lo: 0.5, hi: 4.0 }, wseed)
+            .expect("valid weights");
+        let wview = wg.full_view();
+        let sp = primitives::SpBfsKernel::new(&wview, [src], f64::INFINITY);
+        assert_bit_identity(&wg, &wview, &sp, workers)?;
+    }
+
+    /// Bit-identity also holds on subset views (dead nodes excluded from
+    /// both lanes identically).
+    #[test]
+    fn zero_fault_async_is_bit_identical_on_subset_views(
+        g in arb_fault_graph(),
+        workers in 1usize..5,
+        mask_seed in 0u64..256,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(mask_seed);
+        let alive = NodeSet::from_nodes(g.n(), g.nodes().filter(|_| rng.gen_bool(0.8)));
+        prop_assume!(!alive.is_empty());
+        let view = g.view(&alive);
+        let src = alive.iter().next().expect("nonempty");
+        let kernel = primitives::BfsKernel::new(&view, [src], u32::MAX);
+        assert_bit_identity(&g, &view, &kernel, workers)?;
+    }
+}
+
+proptest! {
+    // The acceptance bar for the fault model: across 256+ seeded
+    // adversary schedules (drop rates up to 5%, duplicates, delays, at
+    // least one crash), every end-to-end run either validates or returns
+    // a structured diagnostic. Panics and hangs fail the suite outright
+    // (proptest propagates panics; the watchdog bounds runtime).
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn faulted_runs_validate_or_diagnose_cleanly(
+        g in arb_fault_graph(),
+        workers in 1usize..5,
+        fault_seed in 0u64..u64::MAX,
+        drop_pm in 0u32..=50,     // per-mille drop rate: 0..=5%
+        dup_pm in 0u32..=50,
+        delay in 0u64..3,
+        crashes in 1u32..4,       // at least one crash fault per case
+        band in 1u32..4,
+    ) {
+        let adversary = Adversary::new(fault_seed)
+            .with_drop_rate(drop_pm as f64 / 1000.0)
+            .with_duplicate_rate(dup_pm as f64 / 1000.0)
+            .with_max_delay(delay)
+            .with_crashes(crashes);
+        let cfg = AsyncConfig::new(adversary).with_workers(workers);
+        match decompose_under_faults(&g, band, &cfg) {
+            Ok(d) => {
+                // Accepted outcomes really are valid decompositions.
+                prop_assert!(d.report.is_valid());
+                prop_assert!(validate_decomposition(&g, &d.decomposition).is_valid());
+                let covered: usize = d.decomposition.clusters().iter().map(Vec::len).sum();
+                prop_assert_eq!(covered, g.n() - d.crashed.len());
+            }
+            Err(diag) => {
+                // Structured diagnostic: a reason and the transport
+                // accounting, suitable for a nonzero CLI exit.
+                prop_assert!(!diag.reason.is_empty());
+                prop_assert!(!diag.to_string().is_empty());
+            }
+        }
+    }
+
+    /// Faulted outcomes are a pure function of the seed: same schedule →
+    /// same result, across worker counts.
+    #[test]
+    fn faulted_runs_are_reproducible(
+        g in arb_fault_graph(),
+        fault_seed in 0u64..u64::MAX,
+    ) {
+        let adversary = Adversary::new(fault_seed)
+            .with_drop_rate(0.03)
+            .with_duplicate_rate(0.03)
+            .with_crashes(1);
+        let view = g.full_view();
+        let kernel = primitives::BfsKernel::new(&view, [NodeId::new(0)], u32::MAX);
+        let engine = Engine::new(CostModel::congest_for(g.n()));
+        let run = |workers: usize| {
+            run_async(&engine, &view, &kernel, &AsyncConfig::new(adversary.clone()).with_workers(workers))
+                .expect("bounded drop rates cannot stall the lane")
+        };
+        let a = run(1);
+        let b = run(1);
+        let c = run(3);
+        prop_assert_eq!(&a.outcome.states, &b.outcome.states, "same seed, same worker count");
+        prop_assert_eq!(a.report.class_rows(), b.report.class_rows());
+        prop_assert_eq!(&a.outcome.states, &c.outcome.states, "same seed, different worker count");
+        prop_assert_eq!(a.report.class_rows(), c.report.class_rows());
+    }
+}
+
+/// The drive-by teardown audit as a regression test: repeated runs —
+/// including early *error* exits (pulse budget) — must never leak worker
+/// threads. Linux-only: counts threads via /proc/self/status.
+#[test]
+#[cfg(target_os = "linux")]
+fn async_lane_never_leaks_threads() {
+    fn thread_count() -> usize {
+        let status = std::fs::read_to_string("/proc/self/status").expect("proc");
+        status
+            .lines()
+            .find_map(|l| l.strip_prefix("Threads:"))
+            .and_then(|v| v.trim().parse().ok())
+            .expect("Threads: line")
+    }
+    let g = gen::grid(8, 8);
+    let view = g.full_view();
+    let kernel = primitives::BfsKernel::new(&view, [NodeId::new(0)], u32::MAX);
+    let engine = Engine::new(CostModel::congest_for(g.n()));
+    let baseline = thread_count();
+    for i in 0..40 {
+        // Alternate clean completions, watchdog failures, and faulted
+        // runs — every exit path must join its workers.
+        let cfg = match i % 3 {
+            0 => AsyncConfig::default().with_workers(1 + i % 4),
+            1 => AsyncConfig::default().with_workers(2).with_max_pulses(1),
+            _ => AsyncConfig::new(Adversary::new(i as u64).with_drop_rate(0.5).with_crashes(2))
+                .with_workers(3),
+        };
+        let _ = run_async(&engine, &view, &kernel, &cfg);
+    }
+    assert_eq!(
+        thread_count(),
+        baseline,
+        "worker threads leaked across repeated async runs"
+    );
+}
