@@ -47,7 +47,8 @@ pub use traits::{StrongCarver, WeakCarver};
 pub use validate::{
     validate_carving, validate_carving_approx, validate_carving_approx_in, validate_carving_in,
     validate_decomposition, validate_decomposition_approx, validate_decomposition_approx_in,
-    validate_decomposition_in, validate_weak_carving, ApproxCarvingReport,
-    ApproxDecompositionReport, DecompositionReport, VALIDATION_TOLERANCE,
+    validate_decomposition_in, validate_decomposition_timed_in, validate_weak_carving,
+    ApproxCarvingReport, ApproxDecompositionReport, DecompositionReport, ValidationTiming,
+    VALIDATION_TOLERANCE,
 };
 pub use weak_edge::{WeakEdgeCarver, WeakEdgeCarving};

@@ -13,7 +13,7 @@
 //! graphs.
 
 use crate::CarveCtx;
-use sdnd_graph::algo::{self, DistanceOracle, HopOracle, HyperBall, WeightedOracle};
+use sdnd_graph::algo::{self, DistanceOracle, HopOracle, HyperBall, WeightedOracle, MS_LANES};
 use sdnd_graph::{Graph, NodeId};
 
 /// Exact strong diameter of a node set under `oracle`: the diameter of
@@ -33,6 +33,15 @@ pub fn strong_diameter_of_with<O: DistanceOracle>(
 /// [`strong_diameter_of_with`] with a caller-held context: the member
 /// set comes from the workspace's NodeSet pool and every sweep reuses
 /// the same traversal scratch.
+///
+/// Metrics with a batched backend
+/// ([`DistanceOracle::batch_distances_in`] — the hop metric) compute the
+/// diameter with an MS-BFS-accelerated iFUB sweep (see
+/// `batched_strong_diameter`) instead of one eccentricity per member;
+/// weighted metrics fall back to the full per-source loop. Both paths
+/// produce the exact diameter of the same induced view, so the result is
+/// bit-identical either way (hop distances are integers embedded in
+/// `f64`).
 pub fn strong_diameter_of_with_in<O: DistanceOracle>(
     g: &Graph,
     members: &[NodeId],
@@ -44,18 +53,191 @@ pub fn strong_diameter_of_with_in<O: DistanceOracle>(
     }
     let set = ctx.ws.take_set_from(g.n(), members.iter().copied());
     let view = g.view(&set);
-    let mut max = 0.0_f64;
-    let mut connected = true;
-    for &v in members {
-        let d = oracle.distances_in(&view, v, &mut ctx.ws);
-        if d.reached_count() != members.len() {
-            connected = false;
+    let out = match batched_strong_diameter(&view, members, oracle, ctx) {
+        Ok(d) => d,
+        Err(NoBatch) => {
+            // Per-source reference sweep: one eccentricity per member.
+            let mut max = 0.0_f64;
+            let mut connected = true;
+            for &v in members {
+                let d = oracle.distances_in(&view, v, &mut ctx.ws);
+                if d.reached_count() != members.len() {
+                    connected = false;
+                    break;
+                }
+                max = max.max(d.eccentricity().unwrap_or(0.0));
+            }
+            connected.then_some(max)
+        }
+    };
+    ctx.ws.give_set(set);
+    out
+}
+
+/// The batched backend declined ([`DistanceOracle::batch_distances_in`]
+/// returned `None`): the caller must run the per-source reference sweep.
+struct NoBatch;
+
+/// Exact diameter of the (member-induced) `view` through the batched
+/// backend: iFUB (Crescenzi et al., "On computing the diameter of
+/// real-world graphs") with the fringe eccentricities computed 64 lanes
+/// per MS-BFS pass.
+///
+/// iFUB roots the sweep at a low-eccentricity node `r`, found as a
+/// path-midpoint proxy of the double sweep's far endpoints `a`, `b`
+/// (see [`central_idx`]) and refined once against the proxy's own
+/// distance vector, then processes members by decreasing `d_r`. Every unprocessed pair `u, v` with
+/// `d_r <= L` satisfies `d(u, v) <= d_r(u) + d_r(v) <= 2L` (triangle
+/// inequality), so once the running max `lb` of *exact* eccentricities
+/// reaches `2L` the remaining pairs cannot beat it and `lb` **is** the
+/// diameter — exact, not approximate. On diameter-realizing geometries
+/// (grids, tori) the double sweep alone hits `lb = 2·e(r)` and the
+/// fringe loop exits immediately; adversarial instances degrade to the
+/// full member sweep, 64 lanes at a time with ties ball-packed by
+/// [`algo::ms_batch_order_in`].
+///
+/// `Ok(None)` means the induced view is disconnected (the verdict the
+/// validators fold); `Err(NoBatch)` means the oracle has no batched
+/// backend and the caller owns the fallback.
+fn batched_strong_diameter<O: DistanceOracle, A: sdnd_graph::Adjacency>(
+    view: &A,
+    members: &[NodeId],
+    oracle: &O,
+    ctx: &mut CarveCtx,
+) -> Result<Option<f64>, NoBatch> {
+    // Double sweep: BFS(m0) checks connectivity and finds far node `a`;
+    // BFS(a) yields the lower bound and far node `b`.
+    let m0 = members[0];
+    let a = {
+        let Some(run) = oracle.batch_distances_in(view, &[m0], &mut ctx.ws) else {
+            return Err(NoBatch);
+        };
+        if run.reached_count(0) != members.len() {
+            return Ok(None);
+        }
+        argmax_member(members, |v| run.dist(v, 0))
+    };
+    let (mut lb, da) = {
+        let Some(run) = oracle.batch_distances_in(view, &[a], &mut ctx.ws) else {
+            return Err(NoBatch);
+        };
+        let da: Vec<u32> = members.iter().map(|&v| run.dist(v, 0)).collect();
+        (run.eccentricity(0).unwrap_or(0), da)
+    };
+    let db: Vec<u32> = {
+        let b = members[argmax_idx(&da)];
+        let Some(run) = oracle.batch_distances_in(view, &[b], &mut ctx.ws) else {
+            return Err(NoBatch);
+        };
+        lb = lb.max(run.eccentricity(0).unwrap_or(0));
+        members.iter().map(|&v| run.dist(v, 0)).collect()
+    };
+    // Root: path-midpoint proxy of `a`-`b`, refined once against its own
+    // distance vector (two reference distances cannot separate an L1
+    // anti-diagonal; three can — see `central_idx`). Keep whichever of
+    // proxy and refinement has the smaller eccentricity.
+    let r1 = members[central_idx(members.len(), |i| (da[i].max(db[i]), da[i].min(db[i])))];
+    let (e1, dr1): (u32, Vec<u32>) = {
+        let Some(run) = oracle.batch_distances_in(view, &[r1], &mut ctx.ws) else {
+            return Err(NoBatch);
+        };
+        let e = run.eccentricity(0).unwrap_or(0);
+        (e, members.iter().map(|&v| run.dist(v, 0)).collect())
+    };
+    lb = lb.max(e1);
+    let r2 = members[central_idx(members.len(), |i| {
+        (da[i].max(db[i]).max(dr1[i]), da[i].min(db[i]).min(dr1[i]))
+    })];
+    let dr: Vec<u32> = if r2 == r1 {
+        dr1
+    } else {
+        let Some(run) = oracle.batch_distances_in(view, &[r2], &mut ctx.ws) else {
+            return Err(NoBatch);
+        };
+        let e2 = run.eccentricity(0).unwrap_or(0);
+        lb = lb.max(e2);
+        if e2 < e1 {
+            members.iter().map(|&v| run.dist(v, 0)).collect()
+        } else {
+            dr1
+        }
+    };
+
+    // Fringe: members by decreasing d_r, ties ball-packed for lane
+    // locality within each level band.
+    let pos = algo::ms_batch_order_in(&mut ctx.ws, view, members);
+    let mut rank = vec![0u32; members.len()];
+    for (p, &i) in pos.iter().enumerate() {
+        rank[i as usize] = p as u32;
+    }
+    let mut idx: Vec<u32> = (0..members.len() as u32).collect();
+    idx.sort_unstable_by_key(|&i| (std::cmp::Reverse(dr[i as usize]), rank[i as usize]));
+    let mut batch = [NodeId::new(0); MS_LANES];
+    for chunk in idx.chunks(MS_LANES) {
+        let level = dr[chunk[0] as usize];
+        if u64::from(lb) >= 2 * u64::from(level) {
             break;
         }
-        max = max.max(d.eccentricity().unwrap_or(0.0));
+        for (i, &oi) in chunk.iter().enumerate() {
+            batch[i] = members[oi as usize];
+        }
+        let Some(run) = oracle.batch_distances_in(view, &batch[..chunk.len()], &mut ctx.ws) else {
+            return Err(NoBatch);
+        };
+        for lane in 0..chunk.len() {
+            lb = lb.max(run.eccentricity(lane).unwrap_or(0));
+        }
     }
-    ctx.ws.give_set(set);
-    connected.then_some(max)
+    Ok(Some(f64::from(lb)))
+}
+
+/// Index of the member farthest by `dist` (ties to the earliest member,
+/// like a sequential scan).
+fn argmax_member(members: &[NodeId], dist: impl Fn(NodeId) -> u32) -> NodeId {
+    let mut best = (0usize, dist(members[0]));
+    for (i, &v) in members.iter().enumerate().skip(1) {
+        let d = dist(v);
+        if d > best.1 {
+            best = (i, d);
+        }
+    }
+    members[best.0]
+}
+
+/// Index minimizing the `max` of the reference distances, breaking ties
+/// toward the *largest* `min` (then the earliest index).
+///
+/// The primary key is the classic iFUB midpoint proxy. The tiebreak
+/// matters on degenerate geometries: on an L1 grid every node of the
+/// anti-diagonal between two opposite corners `a`, `b` has the same
+/// `max(d_a, d_b)` — including the *other two corners*, which are
+/// terrible roots. Maximizing the `min` pushes the choice away from the
+/// reference points toward the geometric center, and a second pass with
+/// the first root's own distances as a third reference separates what
+/// two references cannot.
+fn central_idx(n: usize, key: impl Fn(usize) -> (u32, u32)) -> usize {
+    let mut best = 0usize;
+    let (mut bmax, mut bmin) = key(0);
+    for i in 1..n {
+        let (mx, mn) = key(i);
+        if mx < bmax || (mx == bmax && mn > bmin) {
+            best = i;
+            bmax = mx;
+            bmin = mn;
+        }
+    }
+    best
+}
+
+/// Index of the largest entry (first on ties).
+fn argmax_idx(d: &[u32]) -> usize {
+    let mut best = 0usize;
+    for (i, &v) in d.iter().enumerate().skip(1) {
+        if v > d[best] {
+            best = i;
+        }
+    }
+    best
 }
 
 /// Exact weak diameter of a node set under `oracle`: the maximum
@@ -75,8 +257,13 @@ pub fn weak_diameter_of_with<O: DistanceOracle>(
 /// Each per-member sweep runs over the *full* graph but early-terminates
 /// as soon as every member has been reached (a remaining-members count
 /// inside the traversal), so validating a small cluster no longer pays
-/// `O(m)` of the whole graph per source. Member distances are exact, so
-/// the result is value-identical to the unterminated sweep.
+/// `O(m)` of the whole graph per source. Under a batched backend
+/// ([`DistanceOracle::batch_distances_to_in`] — the hop metric) the
+/// weak diameter is computed by the iFUB scheme of
+/// `batched_strong_diameter` adapted to full-graph distances between
+/// members (see `batched_weak_diameter`); weighted metrics fall back
+/// to the full per-source loop. Member distances are exact in every
+/// variant, so the result is bit-identical throughout.
 pub fn weak_diameter_of_with_in<O: DistanceOracle>(
     g: &Graph,
     members: &[NodeId],
@@ -88,20 +275,137 @@ pub fn weak_diameter_of_with_in<O: DistanceOracle>(
     }
     let targets = ctx.ws.take_set_from(g.n(), members.iter().copied());
     let view = g.full_view();
-    let mut max = 0.0_f64;
-    let mut connected = true;
-    'members: for &v in members {
-        let d = oracle.distances_to_in(&view, v, &targets, &mut ctx.ws);
-        for &u in members {
-            if !d.reached(u) {
-                connected = false;
-                break 'members;
+    let out = match batched_weak_diameter(g, &view, members, &targets, oracle, ctx) {
+        Ok(d) => d,
+        Err(NoBatch) => {
+            // Per-source reference sweep: one targeted traversal per
+            // member, folding exact member-pair distances.
+            let mut max = 0.0_f64;
+            let mut connected = true;
+            'members: for &v in members {
+                let d = oracle.distances_to_in(&view, v, &targets, &mut ctx.ws);
+                for &u in members {
+                    if !d.reached(u) {
+                        connected = false;
+                        break 'members;
+                    }
+                    max = max.max(d.dist(u));
+                }
             }
-            max = max.max(d.dist(u));
+            connected.then_some(max)
+        }
+    };
+    ctx.ws.give_set(targets);
+    out
+}
+
+/// Exact weak diameter (max member-pair distance in `G`) through the
+/// batched backend: the iFUB scheme of [`batched_strong_diameter`] with
+/// full-graph targeted sweeps in place of induced-view eccentricities.
+///
+/// A member's *weak eccentricity* — its distance to the farthest member
+/// — is one targeted traversal's [`last-target
+/// level`](sdnd_graph::algo::MsBfsRun::last_target_level), read in
+/// `O(1)` per lane instead of an `O(|C|)` distance read-back. The iFUB
+/// bound carries over verbatim because it is just the triangle
+/// inequality in `G`: unprocessed members `u, v` with `d_G(r, ·) <= L`
+/// satisfy `d_G(u, v) <= 2L`. Connectivity needs only the first sweep —
+/// `G` is undirected, so one member reaching every member puts the whole
+/// set in one component.
+fn batched_weak_diameter<O: DistanceOracle, A: sdnd_graph::Adjacency>(
+    g: &Graph,
+    view: &A,
+    members: &[NodeId],
+    targets: &sdnd_graph::NodeSet,
+    oracle: &O,
+    ctx: &mut CarveCtx,
+) -> Result<Option<f64>, NoBatch> {
+    let m0 = members[0];
+    let a = {
+        let Some(run) = oracle.batch_distances_to_in(view, &[m0], targets, &mut ctx.ws) else {
+            return Err(NoBatch);
+        };
+        if run.targets_remaining(0) != 0 {
+            return Ok(None);
+        }
+        argmax_member(members, |v| run.dist(v, 0))
+    };
+    let (mut lb, da) = {
+        let Some(run) = oracle.batch_distances_to_in(view, &[a], targets, &mut ctx.ws) else {
+            return Err(NoBatch);
+        };
+        let da: Vec<u32> = members.iter().map(|&v| run.dist(v, 0)).collect();
+        (run.last_target_level(0), da)
+    };
+    let db: Vec<u32> = {
+        let b = members[argmax_idx(&da)];
+        let Some(run) = oracle.batch_distances_to_in(view, &[b], targets, &mut ctx.ws) else {
+            return Err(NoBatch);
+        };
+        lb = lb.max(run.last_target_level(0));
+        members.iter().map(|&v| run.dist(v, 0)).collect()
+    };
+    // Root selection and refinement exactly as in the strong path (see
+    // `central_idx`), with weak eccentricities read off the last-target
+    // level.
+    let r1 = members[central_idx(members.len(), |i| (da[i].max(db[i]), da[i].min(db[i])))];
+    let (e1, dr1): (u32, Vec<u32>) = {
+        let Some(run) = oracle.batch_distances_to_in(view, &[r1], targets, &mut ctx.ws) else {
+            return Err(NoBatch);
+        };
+        let e = run.last_target_level(0);
+        (e, members.iter().map(|&v| run.dist(v, 0)).collect())
+    };
+    lb = lb.max(e1);
+    let r2 = members[central_idx(members.len(), |i| {
+        (da[i].max(db[i]).max(dr1[i]), da[i].min(db[i]).min(dr1[i]))
+    })];
+    let dr: Vec<u32> = if r2 == r1 {
+        dr1
+    } else {
+        let Some(run) = oracle.batch_distances_to_in(view, &[r2], targets, &mut ctx.ws) else {
+            return Err(NoBatch);
+        };
+        let e2 = run.last_target_level(0);
+        lb = lb.max(e2);
+        if e2 < e1 {
+            members.iter().map(|&v| run.dist(v, 0)).collect()
+        } else {
+            dr1
+        }
+    };
+
+    // Fringe order: decreasing d_G(r, ·), ties ball-packed on the
+    // *induced* member view (members adjacent inside the cluster are
+    // certainly close in `G`, and the ordering sweep never leaves the
+    // member set).
+    let pos = algo::ms_batch_order_in(&mut ctx.ws, &g.view(targets), members);
+    let mut rank = vec![0u32; members.len()];
+    for (p, &i) in pos.iter().enumerate() {
+        rank[i as usize] = p as u32;
+    }
+    let mut idx: Vec<u32> = (0..members.len() as u32).collect();
+    idx.sort_unstable_by_key(|&i| (std::cmp::Reverse(dr[i as usize]), rank[i as usize]));
+    let mut batch = [NodeId::new(0); MS_LANES];
+    for chunk in idx.chunks(MS_LANES) {
+        let level = dr[chunk[0] as usize];
+        if u64::from(lb) >= 2 * u64::from(level) {
+            break;
+        }
+        for (i, &oi) in chunk.iter().enumerate() {
+            batch[i] = members[oi as usize];
+        }
+        let Some(run) =
+            oracle.batch_distances_to_in(view, &batch[..chunk.len()], targets, &mut ctx.ws)
+        else {
+            return Err(NoBatch);
+        };
+        for lane in 0..chunk.len() {
+            debug_assert_eq!(run.targets_remaining(lane), 0, "one component");
+            lb = lb.max(run.last_target_level(lane));
         }
     }
-    ctx.ws.give_set(targets);
-    connected.then_some(max)
+    Ok(Some(f64::from(lb)))
 }
 
 /// Exact strong diameter of a node set in hops: the diameter of

@@ -27,6 +27,19 @@ use sdnd_graph::{Graph, NodeSet};
 /// raw (no tolerance): they are measurements, not acceptance checks.
 pub const VALIDATION_TOLERANCE: f64 = 1e-9;
 
+/// Per-phase wall clock of one exact validation pass, as measured by
+/// the `_timed_` validator variants (and surfaced by
+/// `sdnd validate --timing`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ValidationTiming {
+    /// The structural gates: the whole-graph edge scan checking cluster
+    /// non-adjacency / color separation.
+    pub structural: std::time::Duration,
+    /// The per-cluster diameter sweeps (connectivity is detected inside
+    /// the strong-diameter traversal, so it is part of this phase).
+    pub diameters: std::time::Duration,
+}
+
 /// Validation report for a [`BallCarving`].
 #[derive(Debug, Clone)]
 pub struct CarvingReport {
@@ -596,8 +609,19 @@ pub fn validate_decomposition_in(
     d: &NetworkDecomposition,
     ctx: &mut CarveCtx,
 ) -> DecompositionReport {
+    validate_decomposition_timed_in(g, d, ctx).0
+}
+
+/// [`validate_decomposition_in`] plus a per-phase wall-clock breakdown.
+/// The report is the same value the untimed entry point returns.
+pub fn validate_decomposition_timed_in(
+    g: &Graph,
+    d: &NetworkDecomposition,
+    ctx: &mut CarveCtx,
+) -> (DecompositionReport, ValidationTiming) {
     let mut violations = Vec::new();
 
+    let structural_start = std::time::Instant::now();
     let mut colors_separate = true;
     for (u, v) in g.edges() {
         if let (Some(cu), Some(cv)) = (d.cluster_of(u), d.cluster_of(v)) {
@@ -610,7 +634,9 @@ pub fn validate_decomposition_in(
             }
         }
     }
+    let structural = structural_start.elapsed();
 
+    let diameters_start = std::time::Instant::now();
     let mut connected = true;
     let mut max_strong = Some(0u32);
     let mut max_weak = Some(0u32);
@@ -655,16 +681,24 @@ pub fn validate_decomposition_in(
         }
     }
 
-    DecompositionReport {
-        colors_separate,
-        clusters_connected: connected,
-        max_strong_diameter: max_strong,
-        max_weak_diameter: max_weak,
-        weighted_strong_diameter: w_strong,
-        weighted_weak_diameter: w_weak,
-        colors: d.num_colors(),
-        violations,
-    }
+    let diameters = diameters_start.elapsed();
+
+    (
+        DecompositionReport {
+            colors_separate,
+            clusters_connected: connected,
+            max_strong_diameter: max_strong,
+            max_weak_diameter: max_weak,
+            weighted_strong_diameter: w_strong,
+            weighted_weak_diameter: w_weak,
+            colors: d.num_colors(),
+            violations,
+        },
+        ValidationTiming {
+            structural,
+            diameters,
+        },
+    )
 }
 
 /// Asserts that `carving` is a valid strong-diameter carving with dead

@@ -24,7 +24,7 @@
 use crate::Params;
 use sdnd_clustering::CarveCtx;
 use sdnd_congest::{bits_for_value, primitives, RoundLedger};
-use sdnd_graph::algo::TraversalWorkspace;
+use sdnd_graph::algo::{self, TraversalWorkspace};
 use sdnd_graph::{Adjacency, Graph, NodeId, NodeSet};
 
 /// The two possible outcomes of Lemma 3.1.
@@ -174,9 +174,9 @@ pub fn cut_or_component_in(
                 }
             }
         }
-        // Keep the half with the smaller a-radius.
-        let a1 = radius_to_third(&view, &s1, third, ledger, &mut ctx.ws);
-        let a2 = radius_to_third(&view, &s2, third, ledger, &mut ctx.ws);
+        // Keep the half with the smaller a-radius: both candidate
+        // probes share one two-lane MS-BFS pass over the view.
+        let (a1, a2) = radii_to_third(&view, &s1, &s2, third, ledger, &mut ctx.ws);
         ledger.charge_rounds(2 * tree_height);
         let (winner, loser) = if a1 <= a2 { (s1, s2) } else { (s2, s1) };
         ctx.ws.give_set(loser);
@@ -251,6 +251,63 @@ fn radius_to_third<A: Adjacency>(
     }
     let bfs = primitives::bfs_in(view, seed.iter(), u32::MAX, ledger, ws);
     smallest_radius_reaching(bfs.ball_sizes(), target)
+}
+
+/// Both candidate probes of one halving step — [`radius_to_third`] of
+/// `s1` and of `s2` — run as a two-lane [`algo::msbfs_sets_bounded_in`]
+/// batch, so the two ball censuses cost one shared adjacency pass.
+///
+/// Ledger charges replicate `primitives::bfs` per lane (per forwarding
+/// node: `deg` token sends, last delivery round `dist + 1`) and are
+/// applied in the same probe order as two sequential runs, so rounds,
+/// message counts, and bit totals are bit-identical. An empty seed
+/// reports `u32::MAX` without running or charging (the sequential
+/// probe's guard), in which case both probes fall back to the
+/// sequential path.
+fn radii_to_third<A: Adjacency>(
+    view: &A,
+    s1: &NodeSet,
+    s2: &NodeSet,
+    target: usize,
+    ledger: &mut RoundLedger,
+    ws: &mut TraversalWorkspace,
+) -> (u32, u32) {
+    if s1.is_empty() || s2.is_empty() {
+        return (
+            radius_to_third(view, s1, target, ledger, ws),
+            radius_to_third(view, s2, target, ledger, ws),
+        );
+    }
+    let run = algo::msbfs_sets_bounded_in(ws, view, &[s1, s2], u32::MAX);
+    let token_bits = bits_for_value(view.universe().max(2) as u64 - 1);
+    let mut radii = [u32::MAX; 2];
+    for (lane, r) in radii.iter_mut().enumerate() {
+        ledger.charge_rounds(run.last_delivery_round(lane));
+        ledger.record_messages(run.scan_degree_sum(lane), token_bits);
+        *r = lane_smallest_radius(&run, lane, target);
+    }
+    (radii[0], radii[1])
+}
+
+/// [`smallest_radius_reaching`] on one lane's cumulative ball census.
+///
+/// A batched lane's census rows extend to the *batch's* deepest level,
+/// but the sequential `unwrap_or(last layer)` fallback for a target
+/// never reached must read the lane's own last layer — so the scan is
+/// truncated at the lane's eccentricity.
+fn lane_smallest_radius(run: &algo::MsBfsRun<'_>, lane: usize, target: usize) -> u32 {
+    match run.eccentricity(lane) {
+        // Empty census: matches `smallest_radius_reaching(&[], _)`.
+        None => 0,
+        Some(ecc) => {
+            for r in 0..=ecc {
+                if run.ball_size(lane, r) >= target {
+                    return r;
+                }
+            }
+            ecc
+        }
+    }
 }
 
 /// Convenience wrapper verifying the Lemma 3.1 guarantees (used by tests
@@ -411,5 +468,59 @@ mod tests {
         let g = gen::path(3);
         let mut ledger = RoundLedger::new();
         let _ = cut_or_component(&g, &NodeSet::empty(3), 0.5, &Params::default(), &mut ledger);
+    }
+
+    #[test]
+    fn batched_probe_matches_sequential_radii_and_ledger() {
+        for (g, name) in [
+            (gen::path(40), "path"),
+            (gen::grid(8, 9), "grid"),
+            (gen::gnp(64, 0.06, 11), "gnp"),
+        ] {
+            let view = g.full_view();
+            let n = g.n();
+            let target = n.div_ceil(3);
+            let mut ws = TraversalWorkspace::new();
+            // Two overlapping, off-center halves, as the halving step
+            // would produce them.
+            let s1 = NodeSet::from_nodes(n, (0..n * 2 / 3).map(NodeId::new));
+            let s2 = NodeSet::from_nodes(n, (n / 3..n).map(NodeId::new));
+
+            let mut seq = RoundLedger::new();
+            let r1 = radius_to_third(&view, &s1, target, &mut seq, &mut ws);
+            let r2 = radius_to_third(&view, &s2, target, &mut seq, &mut ws);
+
+            let mut bat = RoundLedger::new();
+            let (b1, b2) = radii_to_third(&view, &s1, &s2, target, &mut bat, &mut ws);
+
+            assert_eq!((r1, r2), (b1, b2), "{name}: radii diverge");
+            assert_eq!(seq.rounds(), bat.rounds(), "{name}: rounds diverge");
+            assert_eq!(
+                seq.messages(),
+                bat.messages(),
+                "{name}: message counts diverge"
+            );
+            assert_eq!(
+                seq.total_bits(),
+                bat.total_bits(),
+                "{name}: bit totals diverge"
+            );
+        }
+    }
+
+    #[test]
+    fn batched_probe_empty_seed_falls_back() {
+        let g = gen::path(12);
+        let view = g.full_view();
+        let mut ws = TraversalWorkspace::new();
+        let s1 = NodeSet::from_nodes(12, (0..6).map(NodeId::new));
+        let empty = NodeSet::empty(12);
+        let mut ledger = RoundLedger::new();
+        let (a1, a2) = radii_to_third(&view, &s1, &empty, 4, &mut ledger, &mut ws);
+        assert_eq!(a2, u32::MAX);
+        let mut seq = RoundLedger::new();
+        assert_eq!(a1, radius_to_third(&view, &s1, 4, &mut seq, &mut ws));
+        assert_eq!(ledger.rounds(), seq.rounds());
+        assert_eq!(ledger.messages(), seq.messages());
     }
 }

@@ -10,6 +10,7 @@ mod dfs;
 mod distance;
 mod hyperball;
 mod induced;
+mod msbfs;
 mod oracle;
 mod power;
 mod weighted;
@@ -22,9 +23,16 @@ pub use delta_stepping::{
     DeltaSteppingOracle, DELTA_SPREAD_LIMIT,
 };
 pub use dfs::{children_csr, dfs_order_of_tree, TreeOrder};
-pub use distance::{diameter_exact, diameter_two_sweep, eccentricity, pairwise_distances};
+pub use distance::{
+    diameter_exact, diameter_exact_in, diameter_two_sweep, diameter_two_sweep_in,
+    eccentricities_in, eccentricity, eccentricity_in, pairwise_distances, pairwise_distances_in,
+};
 pub use hyperball::{HyperBall, HyperBallParams, HyperBallSummary};
 pub use induced::{induced_subgraph, InducedSubgraph};
+pub use msbfs::{
+    ms_batch_order_in, msbfs_bounded_in, msbfs_in, msbfs_sets_bounded_in, msbfs_to_in, MsBfsRun,
+    MS_LANES,
+};
 pub use oracle::{
     oracle_for, DistanceMap, DistanceMapIn, DistanceOracle, HopOracle, MetricOracle,
     WeightedOracle, ORACLE_UNREACHED,

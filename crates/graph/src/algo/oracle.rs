@@ -20,8 +20,8 @@
 
 use crate::algo::delta_stepping::DeltaSteppingOracle;
 use crate::algo::{
-    bfs, bfs_in, bfs_to_in, dijkstra, dijkstra_in, dijkstra_to_in, BfsRun, SpRun,
-    TraversalWorkspace, UNREACHED,
+    bfs, bfs_in, bfs_to_in, dijkstra, dijkstra_in, dijkstra_to_in, msbfs_in, msbfs_to_in, BfsRun,
+    MsBfsRun, SpRun, TraversalWorkspace, UNREACHED,
 };
 use crate::{Adjacency, Graph, NodeId, NodeSet};
 
@@ -178,6 +178,41 @@ pub trait DistanceOracle {
         ws: &'w mut TraversalWorkspace,
     ) -> DistanceMapIn<'w>;
 
+    /// Batched counterpart of [`distances_in`](Self::distances_in): up
+    /// to [`crate::algo::MS_LANES`] sources swept in one bit-parallel
+    /// MS-BFS pass, lane `l` seeded from `sources[l]`.
+    ///
+    /// Returns `None` when the metric has no batched backend — the
+    /// weighted and Δ-stepping oracles order their relaxations by `f64`
+    /// distance, which does not decompose into shared lane-word levels,
+    /// so weighted consumers fall back to per-source sweeps. Callers
+    /// must treat `None` as "run [`distances_in`](Self::distances_in)
+    /// per source", which is value-identical.
+    fn batch_distances_in<'w, A: Adjacency>(
+        &self,
+        _view: &A,
+        _sources: &[NodeId],
+        _ws: &'w mut TraversalWorkspace,
+    ) -> Option<MsBfsRun<'w>> {
+        None
+    }
+
+    /// Batched counterpart of
+    /// [`distances_to_in`](Self::distances_to_in): each lane stops as
+    /// soon as *its* sweep has reached every member of `targets`
+    /// (per-lane remaining-targets counts); only target distances are
+    /// guaranteed final per lane. `None` means "no batched backend",
+    /// as for [`batch_distances_in`](Self::batch_distances_in).
+    fn batch_distances_to_in<'w, A: Adjacency>(
+        &self,
+        _view: &A,
+        _sources: &[NodeId],
+        _targets: &NodeSet,
+        _ws: &'w mut TraversalWorkspace,
+    ) -> Option<MsBfsRun<'w>> {
+        None
+    }
+
     /// Whether this oracle measures edge weights (as opposed to hops).
     fn is_weighted_metric(&self) -> bool;
 
@@ -222,6 +257,25 @@ impl DistanceOracle for HopOracle {
         ws: &'w mut TraversalWorkspace,
     ) -> DistanceMapIn<'w> {
         DistanceMapIn::Hop(bfs_to_in(ws, view, [source], targets))
+    }
+
+    fn batch_distances_in<'w, A: Adjacency>(
+        &self,
+        view: &A,
+        sources: &[NodeId],
+        ws: &'w mut TraversalWorkspace,
+    ) -> Option<MsBfsRun<'w>> {
+        Some(msbfs_in(ws, view, sources))
+    }
+
+    fn batch_distances_to_in<'w, A: Adjacency>(
+        &self,
+        view: &A,
+        sources: &[NodeId],
+        targets: &NodeSet,
+        ws: &'w mut TraversalWorkspace,
+    ) -> Option<MsBfsRun<'w>> {
+        Some(msbfs_to_in(ws, view, sources, targets))
     }
 
     fn is_weighted_metric(&self) -> bool {
@@ -325,6 +379,33 @@ impl DistanceOracle for MetricOracle {
             MetricOracle::Hop(o) => o.distances_to_in(view, source, targets, ws),
             MetricOracle::Weighted(o) => o.distances_to_in(view, source, targets, ws),
             MetricOracle::Delta(o) => o.distances_to_in(view, source, targets, ws),
+        }
+    }
+
+    fn batch_distances_in<'w, A: Adjacency>(
+        &self,
+        view: &A,
+        sources: &[NodeId],
+        ws: &'w mut TraversalWorkspace,
+    ) -> Option<MsBfsRun<'w>> {
+        match self {
+            MetricOracle::Hop(o) => o.batch_distances_in(view, sources, ws),
+            MetricOracle::Weighted(o) => o.batch_distances_in(view, sources, ws),
+            MetricOracle::Delta(o) => o.batch_distances_in(view, sources, ws),
+        }
+    }
+
+    fn batch_distances_to_in<'w, A: Adjacency>(
+        &self,
+        view: &A,
+        sources: &[NodeId],
+        targets: &NodeSet,
+        ws: &'w mut TraversalWorkspace,
+    ) -> Option<MsBfsRun<'w>> {
+        match self {
+            MetricOracle::Hop(o) => o.batch_distances_to_in(view, sources, targets, ws),
+            MetricOracle::Weighted(o) => o.batch_distances_to_in(view, sources, targets, ws),
+            MetricOracle::Delta(o) => o.batch_distances_to_in(view, sources, targets, ws),
         }
     }
 

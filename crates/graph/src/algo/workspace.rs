@@ -30,6 +30,10 @@
 //!   their own accounting, then publish the result via
 //!   [`TraversalWorkspace::hop_run`] / [`TraversalWorkspace::sp_run`].
 //!
+//! The workspace also pools the lane-word scratch of the bit-parallel
+//! multi-source BFS ([`super::msbfs_in`] and friends), stamped with the
+//! same epoch discipline; see [`super::msbfs`](super::MsBfsRun).
+//!
 //! Panic safety: a workspace that an unwinding traversal abandons
 //! mid-run is safely reusable — the next `begin_*` advances the epoch,
 //! which invalidates every partially written stamp at once.
@@ -93,6 +97,7 @@ struct SpScratch {
 pub struct TraversalWorkspace {
     hop: HopScratch,
     sp: SpScratch,
+    pub(super) ms: super::msbfs::MsScratch,
     sets: Vec<NodeSet>,
     aux_u32: Vec<Vec<u32>>,
 }

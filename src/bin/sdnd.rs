@@ -131,14 +131,16 @@ commands:
              --fault-report writes the per-class fault counters as CSV
   validate   --input <edges.txt> --clusters <out.csv> [--nodes N]
              [--weights uniform:lo,hi|file|unit] [--approx[=p]]
-             [--layout L] [--cache]
+             [--layout L] [--cache] [--timing]
              re-checks a previously exported clustering (non-adjacency,
              connectivity, color separation); weighted inputs also
              report exact Dijkstra-oracle cluster diameters; --approx
              swaps the exact diameter sweep for HyperBall cardinality
              sketches with 2^p registers per node (default p = 6) —
              structural checks stay exact, diameters become one-sided
-             estimates with a reported error band
+             estimates with a reported error band; --timing appends the
+             per-phase wall clock (load, structural gates, diameter
+             sweeps, total) to the exact-tier report
 
 weights:
   uniform:lo,hi  seeded per-edge weights, integer-valued when lo and hi
@@ -216,7 +218,7 @@ impl Opts {
 
 /// Options that may appear bare (`--approx`, `--cache`) or inline
 /// (`--approx=8`); everything else is a strict `--key value` pair.
-const BARE_FLAGS: &[&str] = &["approx", "cache"];
+const BARE_FLAGS: &[&str] = &["approx", "cache", "timing"];
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
     let mut map = std::collections::HashMap::new();
@@ -1059,6 +1061,11 @@ fn simulate_async(
 }
 
 fn cmd_validate(opts: &Opts) -> Result<(), CliError> {
+    // --timing: per-phase wall clock for the exact tier. "load" covers
+    // everything before validation proper (graph load, clusters CSV,
+    // decomposition construction).
+    let timing = opts.get("timing").is_some();
+    let total_start = std::time::Instant::now();
     let (g, relab) = load_graph(opts).map_err(CliError::runtime)?;
     let path = opts.require("clusters")?;
     let text =
@@ -1095,6 +1102,7 @@ fn cmd_validate(opts: &Opts) -> Result<(), CliError> {
     let clusters: Vec<(Vec<NodeId>, u32)> = colored.into_values().collect();
     let d = sdnd_clustering::NetworkDecomposition::new(&covered, clusters)
         .map_err(|e| CliError::runtime(e.to_string()))?;
+    let load = total_start.elapsed();
     // --approx[=p] switches the diameter sweep to the HyperBall
     // estimator tier; the structural gates stay exact either way.
     let approx_params = match opts.get("approx") {
@@ -1156,7 +1164,11 @@ fn cmd_validate(opts: &Opts) -> Result<(), CliError> {
         }
         return Ok(());
     }
-    let report = sdnd_clustering::validate_decomposition(&g, &d);
+    let (report, phases) = sdnd_clustering::validate_decomposition_timed_in(
+        &g,
+        &d,
+        &mut sdnd_clustering::CarveCtx::new(),
+    );
     println!("clusters:       {}", d.num_clusters());
     println!("colors:         {}", d.num_colors());
     // The structural checks (non-adjacency, connectivity, colors) are
@@ -1199,6 +1211,13 @@ fn cmd_validate(opts: &Opts) -> Result<(), CliError> {
     }
     for v in report.violations.iter().take(5) {
         println!("violation:      {v}");
+    }
+    if timing {
+        let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3;
+        println!("time load:      {:.3} ms", ms(load));
+        println!("time gates:     {:.3} ms", ms(phases.structural));
+        println!("time sweeps:    {:.3} ms", ms(phases.diameters));
+        println!("time total:     {:.3} ms", ms(total_start.elapsed()));
     }
     Ok(())
 }
@@ -1341,6 +1360,19 @@ mod tests {
         .map(String::from)
         .to_vec();
         assert!(run(&args).is_ok());
+        // --timing rides along on the exact tier without changing the
+        // verdict path.
+        let args: Vec<String> = [
+            "validate",
+            "--input",
+            edges.to_str().unwrap(),
+            "--clusters",
+            clusters.to_str().unwrap(),
+            "--timing",
+        ]
+        .map(String::from)
+        .to_vec();
+        assert!(run(&args).is_ok(), "validate --timing");
         // simulate selects the SpBfs kernel on both lanes.
         for threads in ["1", "2"] {
             let args: Vec<String> = [
