@@ -241,7 +241,8 @@ pub fn run_table1_row_set(g: &Graph, seed: u64) -> Vec<Measurement> {
     }
     {
         let mut ledger = RoundLedger::new();
-        let d = sdnd_core::decompose_strong_with_in(g, &params, &mut ledger, ctx);
+        let d = sdnd_core::decompose_strong_with_in(g, &params, &mut ledger, ctx)
+            .expect("unarmed ctx never cancels");
         rows.push(Measurement::from_decomposition(
             "cg21-thm2.3",
             "det",
@@ -254,7 +255,8 @@ pub fn run_table1_row_set(g: &Graph, seed: u64) -> Vec<Measurement> {
     }
     {
         let mut ledger = RoundLedger::new();
-        let d = sdnd_core::decompose_strong_improved_with_in(g, &params, &mut ledger, ctx);
+        let d = sdnd_core::decompose_strong_improved_with_in(g, &params, &mut ledger, ctx)
+            .expect("unarmed ctx never cancels");
         rows.push(Measurement::from_decomposition(
             "cg21-thm3.4",
             "det",
@@ -322,7 +324,9 @@ pub fn run_table2_row_set(g: &Graph, eps: f64, seed: u64) -> Vec<Measurement> {
     ];
     for (name, model, carver) in strong {
         let mut ledger = RoundLedger::new();
-        let c = carver.carve_strong_in(g, &alive, eps, &mut ledger, ctx);
+        let c = carver
+            .carve_strong_in(g, &alive, eps, &mut ledger, ctx)
+            .expect("unarmed ctx never cancels");
         rows.push(Measurement::from_carving(
             name, model, "strong", g, &c, &ledger, ctx,
         ));

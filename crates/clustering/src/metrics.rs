@@ -14,7 +14,7 @@
 
 use crate::CarveCtx;
 use sdnd_graph::algo::{self, DistanceOracle, HopOracle, HyperBall, WeightedOracle, MS_LANES};
-use sdnd_graph::{Graph, NodeId};
+use sdnd_graph::{Cancelled, Graph, NodeId};
 
 /// Exact strong diameter of a node set under `oracle`: the diameter of
 /// `G[members]` in the oracle's metric.
@@ -506,24 +506,32 @@ pub fn strong_diameter_two_sweep_in(
 /// error `hb.params().rel_std_error()` — since `|members|` is known
 /// exactly, the caller can use it to check the estimator itself.
 ///
-/// Returns `None` if the induced subgraph is disconnected (mirroring
-/// [`strong_diameter_of_in`]).
+/// Returns `Ok(None)` if the induced subgraph is disconnected
+/// (mirroring [`strong_diameter_of_in`]).
+///
+/// # Errors
+///
+/// [`Cancelled`] when the context's armed deadline trips during the
+/// sweep (checked once per HyperBall round); the context and estimator
+/// both stay reusable.
 pub fn approx_strong_diameter_of_in(
     g: &Graph,
     members: &[NodeId],
     hb: &mut HyperBall,
     ctx: &mut CarveCtx,
-) -> Option<(u32, f64)> {
+) -> Result<Option<(u32, f64)>, Cancelled> {
     if members.is_empty() {
-        return None;
+        return Ok(None);
     }
     let set = ctx.ws.take_set_from(g.n(), members.iter().copied());
     let view = g.view(&set);
     let connected = algo::bfs_in(&mut ctx.ws, &view, [members[0]]).reached_count() == members.len();
-    let out = connected.then(|| {
-        let s = hb.sweep(&view);
-        (s.seed_diameter_est, s.max_seed_count)
-    });
+    let out = if connected {
+        hb.sweep_in(&view, ctx.deadline())
+            .map(|s| Some((s.seed_diameter_est, s.max_seed_count)))
+    } else {
+        Ok(None)
+    };
     ctx.ws.give_set(set);
     out
 }
@@ -534,24 +542,35 @@ pub fn approx_strong_diameter_of_in(
 /// member from below. One-sided like [`approx_strong_diameter_of_in`].
 ///
 /// Member-pair reachability is checked exactly (one full-graph BFS,
-/// early-terminating on the member set); returns `None` if some pair is
-/// disconnected in `G` (mirroring [`weak_diameter_of_in`]). Each sweep
-/// iterates the whole graph, so this is meant for the rare internally
-/// disconnected cluster, not as the bulk path.
+/// early-terminating on the member set); returns `Ok(None)` if some
+/// pair is disconnected in `G` (mirroring [`weak_diameter_of_in`]).
+/// Each sweep iterates the whole graph, so this is meant for the rare
+/// internally disconnected cluster, not as the bulk path.
+///
+/// # Errors
+///
+/// [`Cancelled`] when the context's armed deadline trips during the
+/// sweep (checked once per HyperBall round); the context and estimator
+/// both stay reusable.
 pub fn approx_weak_diameter_of_in(
     g: &Graph,
     members: &[NodeId],
     hb: &mut HyperBall,
     ctx: &mut CarveCtx,
-) -> Option<u32> {
+) -> Result<Option<u32>, Cancelled> {
     if members.is_empty() {
-        return None;
+        return Ok(None);
     }
     let targets = ctx.ws.take_set_from(g.n(), members.iter().copied());
     let view = g.full_view();
     let reach = algo::bfs_to_in(&mut ctx.ws, &view, [members[0]], &targets);
     let connected = members.iter().all(|&u| reach.reached(u));
-    let out = connected.then(|| hb.sweep_seeded(&view, &targets).seed_diameter_est);
+    let out = if connected {
+        hb.sweep_seeded_in(&view, &targets, ctx.deadline())
+            .map(|s| Some(s.seed_diameter_est))
+    } else {
+        Ok(None)
+    };
     ctx.ws.give_set(targets);
     out
 }
@@ -816,33 +835,37 @@ mod tests {
         let mut ctx = CarveCtx::new();
         let exact_strong = strong_diameter_of(&g, &members).unwrap();
         let exact_weak = weak_diameter_of(&g, &members).unwrap();
-        let (est, count) = approx_strong_diameter_of_in(&g, &members, &mut hb, &mut ctx).unwrap();
+        let (est, count) = approx_strong_diameter_of_in(&g, &members, &mut hb, &mut ctx)
+            .unwrap()
+            .unwrap();
         assert!(est <= exact_strong, "est {est} > exact {exact_strong}");
         let band = hb.params().error_band();
         let rel = (count - members.len() as f64).abs() / members.len() as f64;
         assert!(rel <= band, "count {count} off by {rel} (band {band})");
-        let west = approx_weak_diameter_of_in(&g, &members, &mut hb, &mut ctx).unwrap();
+        let west = approx_weak_diameter_of_in(&g, &members, &mut hb, &mut ctx)
+            .unwrap()
+            .unwrap();
         assert!(west <= exact_weak);
         // {0, 2} is disconnected inside the cluster but connected in G.
         let split = ids(&[0, 2]);
         assert_eq!(
             approx_strong_diameter_of_in(&g, &split, &mut hb, &mut ctx),
-            None
+            Ok(None)
         );
         assert_eq!(
             approx_weak_diameter_of_in(&g, &split, &mut hb, &mut ctx),
-            Some(2),
+            Ok(Some(2)),
             "two seeds are collision-free: exact"
         );
         // Disconnected even in G: both report None.
         let two = sdnd_graph::Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
         assert_eq!(
             approx_weak_diameter_of_in(&two, &ids(&[0, 2]), &mut hb, &mut ctx),
-            None
+            Ok(None)
         );
         assert_eq!(
             approx_strong_diameter_of_in(&two, &[], &mut hb, &mut ctx),
-            None
+            Ok(None)
         );
     }
 

@@ -10,7 +10,7 @@
 
 use crate::{BallCarving, CarveCtx, NetworkDecomposition, StrongCarver, WeakCarver};
 use sdnd_congest::RoundLedger;
-use sdnd_graph::{Graph, NodeSet};
+use sdnd_graph::{Cancelled, Graph, NodeSet};
 
 /// Repeatedly applies `carve` with boundary parameter `eps` until every
 /// node of `start` is clustered; clusters of repetition `i` get color
@@ -38,6 +38,38 @@ pub fn decompose_by_carving<F>(
 where
     F: FnMut(&Graph, &NodeSet, f64, &mut RoundLedger) -> BallCarving,
 {
+    try_decompose_by_carving(g, start, eps, ledger, |g, alive, eps, ledger| {
+        Ok(carve(g, alive, eps, ledger))
+    })
+    .expect("infallible carvings cannot be cancelled")
+}
+
+/// [`decompose_by_carving`] over a *fallible* carving closure: the
+/// cancellable spine of the reduction. The closure may return
+/// [`Cancelled`] (deadline tripped inside a carving phase), which
+/// aborts the repetition loop and propagates; completed repetitions are
+/// simply dropped — re-running on the same context after a
+/// cancellation is bit-identical to a fresh run.
+///
+/// # Errors
+///
+/// Whatever the closure returns; the reduction adds no checkpoints of
+/// its own (every carving attempt starts with one).
+///
+/// # Panics
+///
+/// As [`decompose_by_carving`]: a carver that stops clustering a
+/// constant fraction per repetition blows the attempt budget.
+pub fn try_decompose_by_carving<F>(
+    g: &Graph,
+    start: &NodeSet,
+    eps: f64,
+    ledger: &mut RoundLedger,
+    mut carve: F,
+) -> Result<NetworkDecomposition, Cancelled>
+where
+    F: FnMut(&Graph, &NodeSet, f64, &mut RoundLedger) -> Result<BallCarving, Cancelled>,
+{
     let max_attempts = 16 * ((g.n().max(2) as f64).log2() as u32 + 2);
     let mut alive = start.clone();
     let mut colored: Vec<(Vec<sdnd_graph::NodeId>, u32)> = Vec::new();
@@ -50,7 +82,7 @@ where
             "carving repetition {attempts} exceeded the attempt budget; the \
              carver is not clustering a constant fraction per repetition"
         );
-        let carving = carve(g, &alive, eps, ledger);
+        let carving = carve(g, &alive, eps, ledger)?;
         if carving.clustered_count() == 0 {
             // Nothing clustered (possible for randomized carvers on tiny
             // remnants): retry without consuming a color.
@@ -62,7 +94,8 @@ where
         alive = carving.dead().clone();
         color += 1;
     }
-    NetworkDecomposition::new(start, colored).expect("repetition clusters partition the start set")
+    Ok(NetworkDecomposition::new(start, colored)
+        .expect("repetition clusters partition the start set"))
 }
 
 /// [`decompose_by_carving`] specialized to a [`StrongCarver`], producing
@@ -81,16 +114,22 @@ pub fn decompose_with_strong_carver<C: StrongCarver + ?Sized>(
 
 /// [`decompose_with_strong_carver`] with a caller-held [`CarveCtx`]: one
 /// traversal workspace serves every carving repetition (and stays warm
-/// for the caller's next decomposition).
+/// for the caller's next decomposition), and the context's armed
+/// deadline is honored at every carving phase boundary.
+///
+/// # Errors
+///
+/// [`Cancelled`] when the context's deadline trips mid-reduction; the
+/// context stays safely reusable.
 pub fn decompose_with_strong_carver_in<C: StrongCarver + ?Sized>(
     g: &Graph,
     carver: &C,
     eps: f64,
     ledger: &mut RoundLedger,
     ctx: &mut CarveCtx,
-) -> NetworkDecomposition {
+) -> Result<NetworkDecomposition, Cancelled> {
     let start = NodeSet::full(g.n());
-    decompose_by_carving(g, &start, eps, ledger, |g, alive, eps, ledger| {
+    try_decompose_by_carving(g, &start, eps, ledger, |g, alive, eps, ledger| {
         carver.carve_strong_in(g, alive, eps, ledger, ctx)
     })
 }

@@ -9,7 +9,7 @@
 
 use crate::{BallCarving, CarveCtx, WeakCarving};
 use sdnd_congest::RoundLedger;
-use sdnd_graph::{Graph, NodeSet};
+use sdnd_graph::{Cancelled, Graph, NodeSet};
 
 /// A weak-diameter ball carving algorithm: the black box `A` of
 /// Theorem 2.1.
@@ -32,8 +32,14 @@ pub trait WeakCarver {
     /// [`carve_weak`](Self::carve_weak) with a caller-held [`CarveCtx`],
     /// for carvers that can reuse its traversal workspace across
     /// invocations (Theorem 2.1 calls its weak carver once per component
-    /// per iteration). The default ignores the context; implementations
-    /// must produce output bit-identical to `carve_weak`.
+    /// per iteration) and honor its armed deadline at phase boundaries.
+    /// The default ignores the context; implementations must produce
+    /// output bit-identical to `carve_weak` when they complete.
+    ///
+    /// # Errors
+    ///
+    /// [`Cancelled`] when the context's armed deadline trips at a phase
+    /// boundary; the context stays safely reusable.
     fn carve_weak_in(
         &self,
         g: &Graph,
@@ -41,9 +47,9 @@ pub trait WeakCarver {
         eps: f64,
         ledger: &mut RoundLedger,
         ctx: &mut CarveCtx,
-    ) -> WeakCarving {
-        let _ = ctx;
-        self.carve_weak(g, alive, eps, ledger)
+    ) -> Result<WeakCarving, Cancelled> {
+        ctx.checkpoint("carve-weak")?;
+        Ok(self.carve_weak(g, alive, eps, ledger))
     }
 
     /// Human-readable algorithm name (for reports and experiment tables).
@@ -68,9 +74,15 @@ pub trait StrongCarver {
 
     /// [`carve_strong`](Self::carve_strong) with a caller-held
     /// [`CarveCtx`], for carvers that can reuse its traversal workspace
-    /// across invocations. The default ignores the context, so existing
-    /// carvers need no change; implementations must produce output
-    /// bit-identical to `carve_strong`.
+    /// across invocations and honor its armed deadline at phase
+    /// boundaries. The default ignores the context, so existing carvers
+    /// need no change; implementations must produce output bit-identical
+    /// to `carve_strong` when they complete.
+    ///
+    /// # Errors
+    ///
+    /// [`Cancelled`] when the context's armed deadline trips at a phase
+    /// boundary; the context stays safely reusable.
     fn carve_strong_in(
         &self,
         g: &Graph,
@@ -78,9 +90,9 @@ pub trait StrongCarver {
         eps: f64,
         ledger: &mut RoundLedger,
         ctx: &mut CarveCtx,
-    ) -> BallCarving {
-        let _ = ctx;
-        self.carve_strong(g, alive, eps, ledger)
+    ) -> Result<BallCarving, Cancelled> {
+        ctx.checkpoint("carve-strong")?;
+        Ok(self.carve_strong(g, alive, eps, ledger))
     }
 
     /// Human-readable algorithm name.
@@ -105,7 +117,7 @@ impl<T: WeakCarver + ?Sized> WeakCarver for &T {
         eps: f64,
         ledger: &mut RoundLedger,
         ctx: &mut CarveCtx,
-    ) -> WeakCarving {
+    ) -> Result<WeakCarving, Cancelled> {
         (**self).carve_weak_in(g, alive, eps, ledger, ctx)
     }
 
@@ -132,7 +144,7 @@ impl<T: StrongCarver + ?Sized> StrongCarver for &T {
         eps: f64,
         ledger: &mut RoundLedger,
         ctx: &mut CarveCtx,
-    ) -> BallCarving {
+    ) -> Result<BallCarving, Cancelled> {
         (**self).carve_strong_in(g, alive, eps, ledger, ctx)
     }
 

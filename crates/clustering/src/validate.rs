@@ -11,7 +11,7 @@
 
 use crate::{metrics, BallCarving, CarveCtx, NetworkDecomposition, WeakCarving};
 use sdnd_graph::algo::{HyperBall, HyperBallParams};
-use sdnd_graph::{Graph, NodeSet};
+use sdnd_graph::{Cancelled, Graph, NodeSet};
 
 /// Absolute slack applied to every floating-point acceptance check in
 /// this module: dead-fraction budgets (`dead <= eps +
@@ -88,14 +88,26 @@ impl CarvingReport {
 /// cost is `O(Σ|C| · m)`; intended for tests and experiment self-checks.
 /// Thin wrapper over [`validate_carving_in`] with a throwaway context.
 pub fn validate_carving(g: &Graph, carving: &BallCarving) -> CarvingReport {
-    validate_carving_in(g, carving, &mut CarveCtx::new())
+    validate_carving_in(g, carving, &mut CarveCtx::new()).expect("unarmed ctx never cancels")
 }
 
 /// [`validate_carving`] with a caller-held context: all-pairs diameter
 /// checks reuse one traversal workspace across sources and clusters,
 /// and the weak-diameter sweeps early-terminate once every cluster
-/// member is reached.
-pub fn validate_carving_in(g: &Graph, carving: &BallCarving, ctx: &mut CarveCtx) -> CarvingReport {
+/// member is reached. The context's armed deadline is honored once per
+/// validated cluster (each cluster costs a full diameter sweep, so that
+/// is the traversal-epoch granularity the service contract promises).
+///
+/// # Errors
+///
+/// [`Cancelled`] when the context's armed deadline trips; partial
+/// report state is dropped and the context stays safely reusable.
+pub fn validate_carving_in(
+    g: &Graph,
+    carving: &BallCarving,
+    ctx: &mut CarveCtx,
+) -> Result<CarvingReport, Cancelled> {
+    ctx.checkpoint("validate-carving-structural")?;
     let mut violations = Vec::new();
 
     // Non-adjacency: an edge between two different clusters is forbidden.
@@ -117,6 +129,7 @@ pub fn validate_carving_in(g: &Graph, carving: &BallCarving, ctx: &mut CarveCtx)
     let mut w_strong = weighted.then_some(0.0_f64);
     let mut w_weak = weighted.then_some(0.0_f64);
     for (i, c) in carving.clusters().iter().enumerate() {
+        ctx.checkpoint("validate-carving-cluster")?;
         match metrics::strong_diameter_of_in(g, c, ctx) {
             Some(d) => {
                 if let Some(m) = max_strong {
@@ -158,7 +171,7 @@ pub fn validate_carving_in(g: &Graph, carving: &BallCarving, ctx: &mut CarveCtx)
         }
     }
 
-    CarvingReport {
+    Ok(CarvingReport {
         clusters_nonadjacent: nonadjacent,
         clusters_connected: connected,
         max_strong_diameter: max_strong,
@@ -167,7 +180,7 @@ pub fn validate_carving_in(g: &Graph, carving: &BallCarving, ctx: &mut CarveCtx)
         weighted_weak_diameter: w_weak,
         dead_fraction: carving.dead_fraction(),
         violations,
-    }
+    })
 }
 
 /// Validation report of the **approximate tier**: exact structural
@@ -247,6 +260,7 @@ pub fn validate_carving_approx(
     params: HyperBallParams,
 ) -> ApproxCarvingReport {
     validate_carving_approx_in(g, carving, params, &mut CarveCtx::new())
+        .expect("unarmed ctx never cancels")
 }
 
 /// [`validate_carving_approx`] with a caller-held context.
@@ -254,13 +268,19 @@ pub fn validate_carving_approx(
 /// Cost: the edge scan, one BFS per cluster, and one HyperBall sweep per
 /// cluster — `O(m + Σ D(C) · |E(C)| · 2^p / 8)` instead of the exact
 /// tier's `O(Σ |C| · |E(C)|)` per-member sweeps, which is the difference
-/// the committed `BENCH_validate.json` measures.
+/// the committed `BENCH_validate.json` measures. The armed deadline is
+/// honored once per validated cluster.
+///
+/// # Errors
+///
+/// [`Cancelled`] when the context's armed deadline trips.
 pub fn validate_carving_approx_in(
     g: &Graph,
     carving: &BallCarving,
     params: HyperBallParams,
     ctx: &mut CarveCtx,
-) -> ApproxCarvingReport {
+) -> Result<ApproxCarvingReport, Cancelled> {
+    ctx.checkpoint("validate-approx-structural")?;
     let mut violations = Vec::new();
 
     // Non-adjacency: exact, same scan as the exact tier.
@@ -280,7 +300,8 @@ pub fn validate_carving_approx_in(
     let mut est_weak = Some(0u32);
     let mut max_card_err = 0.0_f64;
     for (i, c) in carving.clusters().iter().enumerate() {
-        match metrics::approx_strong_diameter_of_in(g, c, &mut hb, ctx) {
+        ctx.checkpoint("validate-approx-cluster")?;
+        match metrics::approx_strong_diameter_of_in(g, c, &mut hb, ctx)? {
             Some((d, count)) => {
                 if let Some(m) = est_strong {
                     est_strong = Some(m.max(d));
@@ -305,7 +326,7 @@ pub fn validate_carving_approx_in(
                 connected = false;
                 est_strong = None;
                 violations.push(format!("cluster {i} induces a disconnected subgraph"));
-                match metrics::approx_weak_diameter_of_in(g, c, &mut hb, ctx) {
+                match metrics::approx_weak_diameter_of_in(g, c, &mut hb, ctx)? {
                     Some(d) => {
                         if let Some(m) = est_weak {
                             est_weak = Some(m.max(d));
@@ -323,7 +344,7 @@ pub fn validate_carving_approx_in(
         }
     }
 
-    ApproxCarvingReport {
+    Ok(ApproxCarvingReport {
         clusters_nonadjacent: nonadjacent,
         clusters_connected: connected,
         dead_fraction: carving.dead_fraction(),
@@ -334,7 +355,7 @@ pub fn validate_carving_approx_in(
         error_band: params.error_band(),
         max_cardinality_error: max_card_err,
         violations,
-    }
+    })
 }
 
 /// Approximate-tier report for a [`NetworkDecomposition`]: exact color
@@ -391,15 +412,22 @@ pub fn validate_decomposition_approx(
     params: HyperBallParams,
 ) -> ApproxDecompositionReport {
     validate_decomposition_approx_in(g, d, params, &mut CarveCtx::new())
+        .expect("unarmed ctx never cancels")
 }
 
-/// [`validate_decomposition_approx`] with a caller-held context.
+/// [`validate_decomposition_approx`] with a caller-held context. The
+/// armed deadline is honored once per validated cluster.
+///
+/// # Errors
+///
+/// [`Cancelled`] when the context's armed deadline trips.
 pub fn validate_decomposition_approx_in(
     g: &Graph,
     d: &NetworkDecomposition,
     params: HyperBallParams,
     ctx: &mut CarveCtx,
-) -> ApproxDecompositionReport {
+) -> Result<ApproxDecompositionReport, Cancelled> {
+    ctx.checkpoint("validate-approx-structural")?;
     let mut violations = Vec::new();
 
     let mut colors_separate = true;
@@ -421,7 +449,8 @@ pub fn validate_decomposition_approx_in(
     let mut est_weak = Some(0u32);
     let mut max_card_err = 0.0_f64;
     for (i, c) in d.clusters().iter().enumerate() {
-        match metrics::approx_strong_diameter_of_in(g, c, &mut hb, ctx) {
+        ctx.checkpoint("validate-approx-cluster")?;
+        match metrics::approx_strong_diameter_of_in(g, c, &mut hb, ctx)? {
             Some((diam, count)) => {
                 if let Some(m) = est_strong {
                     est_strong = Some(m.max(diam));
@@ -444,7 +473,7 @@ pub fn validate_decomposition_approx_in(
                 connected = false;
                 est_strong = None;
                 violations.push(format!("cluster {i} induces a disconnected subgraph"));
-                match metrics::approx_weak_diameter_of_in(g, c, &mut hb, ctx) {
+                match metrics::approx_weak_diameter_of_in(g, c, &mut hb, ctx)? {
                     Some(diam) => {
                         if let Some(m) = est_weak {
                             est_weak = Some(m.max(diam));
@@ -462,7 +491,7 @@ pub fn validate_decomposition_approx_in(
         }
     }
 
-    ApproxDecompositionReport {
+    Ok(ApproxDecompositionReport {
         colors_separate,
         clusters_connected: connected,
         est_max_strong_diameter: est_strong,
@@ -473,7 +502,7 @@ pub fn validate_decomposition_approx_in(
         error_band: params.error_band(),
         max_cardinality_error: max_card_err,
         violations,
-    }
+    })
 }
 
 /// Validation report for a [`WeakCarving`] (carving checks plus the
@@ -599,26 +628,36 @@ impl DecompositionReport {
 /// Validates a network decomposition against `g`. Thin wrapper over
 /// [`validate_decomposition_in`] with a throwaway context.
 pub fn validate_decomposition(g: &Graph, d: &NetworkDecomposition) -> DecompositionReport {
-    validate_decomposition_in(g, d, &mut CarveCtx::new())
+    validate_decomposition_in(g, d, &mut CarveCtx::new()).expect("unarmed ctx never cancels")
 }
 
 /// [`validate_decomposition`] with a caller-held context (shared
-/// traversal workspace across all diameter checks).
+/// traversal workspace across all diameter checks). The armed deadline
+/// is honored once per validated cluster.
+///
+/// # Errors
+///
+/// [`Cancelled`] when the context's armed deadline trips.
 pub fn validate_decomposition_in(
     g: &Graph,
     d: &NetworkDecomposition,
     ctx: &mut CarveCtx,
-) -> DecompositionReport {
-    validate_decomposition_timed_in(g, d, ctx).0
+) -> Result<DecompositionReport, Cancelled> {
+    Ok(validate_decomposition_timed_in(g, d, ctx)?.0)
 }
 
 /// [`validate_decomposition_in`] plus a per-phase wall-clock breakdown.
 /// The report is the same value the untimed entry point returns.
+///
+/// # Errors
+///
+/// [`Cancelled`] when the context's armed deadline trips.
 pub fn validate_decomposition_timed_in(
     g: &Graph,
     d: &NetworkDecomposition,
     ctx: &mut CarveCtx,
-) -> (DecompositionReport, ValidationTiming) {
+) -> Result<(DecompositionReport, ValidationTiming), Cancelled> {
+    ctx.checkpoint("validate-structural")?;
     let mut violations = Vec::new();
 
     let structural_start = std::time::Instant::now();
@@ -644,6 +683,7 @@ pub fn validate_decomposition_timed_in(
     let mut w_strong = weighted.then_some(0.0_f64);
     let mut w_weak = weighted.then_some(0.0_f64);
     for (i, c) in d.clusters().iter().enumerate() {
+        ctx.checkpoint("validate-cluster")?;
         match metrics::strong_diameter_of_in(g, c, ctx) {
             Some(diam) => {
                 if let Some(m) = max_strong {
@@ -683,7 +723,7 @@ pub fn validate_decomposition_timed_in(
 
     let diameters = diameters_start.elapsed();
 
-    (
+    Ok((
         DecompositionReport {
             colors_separate,
             clusters_connected: connected,
@@ -698,7 +738,7 @@ pub fn validate_decomposition_timed_in(
             structural,
             diameters,
         },
-    )
+    ))
 }
 
 /// Asserts that `carving` is a valid strong-diameter carving with dead
@@ -1005,6 +1045,48 @@ mod tests {
         assert!(!r2.clusters_connected);
         assert_eq!(r2.est_max_weak_diameter, Some(2));
         assert!(r2.is_valid_weak());
+    }
+
+    #[test]
+    fn armed_deadline_cancels_validators_and_ctx_stays_usable() {
+        use crate::Deadline;
+        use std::time::Duration;
+        let g = gen::grid(6, 6);
+        let carving = BallCarving::new(
+            NodeSet::full(36),
+            vec![(0..12).map(NodeId::new).collect(), ids(&[30, 31, 32])],
+        )
+        .unwrap();
+        let d = NetworkDecomposition::new(
+            &NodeSet::full(36),
+            vec![
+                ((0..12).map(NodeId::new).collect(), 0),
+                ((12..36).map(NodeId::new).collect(), 1),
+            ],
+        )
+        .unwrap();
+
+        let mut ctx = CarveCtx::new();
+        ctx.arm(Deadline::within(Duration::ZERO));
+        let err = validate_carving_in(&g, &carving, &mut ctx).unwrap_err();
+        assert!(err.phase.starts_with("validate-carving"), "{}", err.phase);
+        let err = validate_decomposition_in(&g, &d, &mut ctx).unwrap_err();
+        assert!(err.phase.starts_with("validate"), "{}", err.phase);
+        let err = validate_carving_approx_in(&g, &carving, HyperBallParams::default(), &mut ctx)
+            .unwrap_err();
+        assert!(err.phase.starts_with("validate-approx"), "{}", err.phase);
+        let err = validate_decomposition_approx_in(&g, &d, HyperBallParams::default(), &mut ctx)
+            .unwrap_err();
+        assert!(err.phase.starts_with("validate-approx"), "{}", err.phase);
+
+        // Disarmed, the same context produces the same reports as a
+        // fresh one — cancellation never corrupts the workspace.
+        ctx.disarm();
+        let after = validate_decomposition_in(&g, &d, &mut ctx).unwrap();
+        let fresh = validate_decomposition(&g, &d);
+        assert_eq!(after.max_strong_diameter, fresh.max_strong_diameter);
+        assert_eq!(after.max_weak_diameter, fresh.max_weak_diameter);
+        assert_eq!(after.violations, fresh.violations);
     }
 
     #[test]

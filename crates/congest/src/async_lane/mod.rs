@@ -110,6 +110,10 @@ pub struct AsyncConfig {
     pub max_pulses: u64,
     /// Wall-clock budget ([`DEFAULT_WALL_CLOCK`] unless overridden).
     pub wall_clock: Duration,
+    /// External request deadline/cancel token (unarmed by default);
+    /// trips as [`EngineError::Cancelled`] at pulse boundaries and in
+    /// blocking conductor receives.
+    pub deadline: sdnd_graph::Deadline,
 }
 
 impl AsyncConfig {
@@ -120,6 +124,7 @@ impl AsyncConfig {
             workers: 2,
             max_pulses: DEFAULT_MAX_PULSES,
             wall_clock: DEFAULT_WALL_CLOCK,
+            deadline: sdnd_graph::Deadline::unarmed(),
         }
     }
 
@@ -138,6 +143,12 @@ impl AsyncConfig {
     /// Sets the wall-clock budget.
     pub fn with_wall_clock(mut self, wall_clock: Duration) -> Self {
         self.wall_clock = wall_clock;
+        self
+    }
+
+    /// Adopts an external request deadline/cancel token.
+    pub fn with_deadline(mut self, deadline: sdnd_graph::Deadline) -> Self {
+        self.deadline = deadline;
         self
     }
 }
@@ -236,7 +247,9 @@ where
         slot_bounds: &layout.slot_bounds,
         rev: g.reverse_edges(),
     };
-    let watchdog = Watchdog::pulses(cfg.max_pulses).with_wall_clock(cfg.wall_clock);
+    let watchdog = Watchdog::pulses(cfg.max_pulses)
+        .with_wall_clock(cfg.wall_clock)
+        .with_deadline(cfg.deadline.clone());
 
     let mut event_txs: Vec<Sender<Event<P::Msg>>> = Vec::with_capacity(shards);
     let mut event_rxs: Vec<Receiver<Event<P::Msg>>> = Vec::with_capacity(shards);
@@ -422,20 +435,24 @@ impl<M, S> Conductor<M, S> {
         }
     }
 
-    /// Receives one worker report under the wall-clock deadline.
+    /// Receives one worker report under the earliest armed deadline
+    /// (wall budget or external request deadline); a timeout reports
+    /// whichever source actually expired.
     fn recv(&mut self) -> Result<Report<S>, EngineError> {
         match self.watchdog.deadline() {
             Some(deadline) => {
                 let timeout = deadline.saturating_duration_since(Instant::now());
                 if timeout.is_zero() {
-                    return Err(self.watchdog.wall_error());
+                    return Err(self.watchdog.deadline_error("conductor-recv"));
                 }
                 self.report_rx.recv_timeout(timeout).map_err(|e| match e {
-                    RecvTimeoutError::Timeout => self.watchdog.wall_error(),
+                    RecvTimeoutError::Timeout => self.watchdog.deadline_error("conductor-recv"),
                     // All workers gone without reporting: a worker died in
                     // a protocol panic; the scope join will re-raise it —
-                    // surface the wall error as the placeholder result.
-                    RecvTimeoutError::Disconnected => self.watchdog.wall_error(),
+                    // surface the deadline error as the placeholder result.
+                    RecvTimeoutError::Disconnected => {
+                        self.watchdog.deadline_error("conductor-recv")
+                    }
                 })
             }
             None => self

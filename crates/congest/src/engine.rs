@@ -681,6 +681,28 @@ pub enum EngineError {
         /// The budget that was exhausted, in milliseconds.
         budget_ms: u64,
     },
+    /// The caller's external [`Deadline`](sdnd_graph::Deadline) tripped:
+    /// the request this run served was cancelled or ran out of its
+    /// deadline budget. Distinct from
+    /// [`WallClockExceeded`](Self::WallClockExceeded) (the run's *own*
+    /// stall guard) so servers can tell an aborted request from a stuck
+    /// protocol.
+    Cancelled {
+        /// The checkpoint that observed the trip (e.g. `"engine-round"`).
+        phase: &'static str,
+        /// Wall clock from arming the deadline to the trip, in
+        /// milliseconds (integral, so the error stays `Eq`).
+        elapsed_ms: u64,
+    },
+}
+
+impl From<sdnd_graph::Cancelled> for EngineError {
+    fn from(c: sdnd_graph::Cancelled) -> Self {
+        EngineError::Cancelled {
+            phase: c.phase,
+            elapsed_ms: c.elapsed.as_millis().min(u64::MAX as u128) as u64,
+        }
+    }
 }
 
 impl fmt::Display for EngineError {
@@ -711,6 +733,9 @@ impl fmt::Display for EngineError {
                     "run exceeded its {budget_ms} ms wall-clock budget before quiescing"
                 )
             }
+            EngineError::Cancelled { phase, elapsed_ms } => {
+                write!(f, "run cancelled at `{phase}` after {elapsed_ms} ms")
+            }
         }
     }
 }
@@ -735,6 +760,7 @@ pub struct Engine {
     cost: CostModel,
     max_rounds: u64,
     threads: usize,
+    deadline: sdnd_graph::Deadline,
 }
 
 impl Engine {
@@ -746,12 +772,22 @@ impl Engine {
             cost,
             max_rounds: 1_000_000,
             threads: 1,
+            deadline: sdnd_graph::Deadline::unarmed(),
         }
     }
 
     /// Sets the round limit.
     pub fn with_max_rounds(mut self, max_rounds: u64) -> Self {
         self.max_rounds = max_rounds;
+        self
+    }
+
+    /// Adopts an external request [`Deadline`](sdnd_graph::Deadline):
+    /// every run loop checks it once per round (at the same site as the
+    /// round budget) and aborts with [`EngineError::Cancelled`] when it
+    /// trips. Sessions cloned from this engine inherit the deadline.
+    pub fn with_deadline(mut self, deadline: sdnd_graph::Deadline) -> Self {
+        self.deadline = deadline;
         self
     }
 
@@ -948,7 +984,7 @@ impl Engine {
             }
         }
 
-        let watchdog = Watchdog::rounds(self.max_rounds);
+        let watchdog = Watchdog::rounds(self.max_rounds).with_deadline(self.deadline.clone());
         let mut rounds = 0u64;
         while any_pending {
             watchdog.check(rounds)?;
@@ -1120,7 +1156,8 @@ impl Engine {
             let res = (|| {
                 let mut ledger = RoundLedger::new();
                 let mut any_pending = conductor.phase(0, &mut ledger).map_err(|e| (e, 0))?;
-                let watchdog = Watchdog::rounds(self.max_rounds);
+                let watchdog =
+                    Watchdog::rounds(self.max_rounds).with_deadline(self.deadline.clone());
                 let mut rounds = 0u64;
                 while any_pending {
                     watchdog.check(rounds).map_err(|e| (e, rounds))?;

@@ -5,15 +5,22 @@
 //! [`Engine`](crate::Engine), synchronizer pulses for
 //! [`async_lane`](crate::async_lane)) and must fail *cleanly* — a typed
 //! [`EngineError`], never a hang — when a protocol fails to quiesce. The
-//! [`Watchdog`] is that single shared guard: a step budget plus an
-//! optional wall-clock deadline, checked once per step at the top of the
-//! loop. The async lane additionally threads
-//! [`deadline`](Watchdog::deadline) into its blocking channel receives so
-//! a stalled synchronizer (and not just a busy one) trips the same guard.
+//! [`Watchdog`] is that single shared guard: a step budget plus the
+//! wall-clock/cancellation machinery of [`Deadline`], checked once per
+//! step at the top of the loop. Two deadlines can arm a watchdog: its
+//! *own* wall budget ([`with_wall_clock`](Watchdog::with_wall_clock),
+//! reported as [`EngineError::WallClockExceeded`]) and an *external*
+//! request deadline ([`with_deadline`](Watchdog::with_deadline),
+//! reported as [`EngineError::Cancelled`]) — the serve layer arms the
+//! latter so engine runs and carving fast paths abort from one source.
+//! The async lane additionally threads [`deadline`](Watchdog::deadline)
+//! into its blocking channel receives so a stalled synchronizer (and
+//! not just a busy one) trips the same guard.
 
 use std::time::{Duration, Instant};
 
 use crate::engine::EngineError;
+use sdnd_graph::Deadline;
 
 /// What the monotone step counter of a run loop counts; selects which
 /// [`EngineError`] variant a blown budget reports.
@@ -25,14 +32,18 @@ enum StepKind {
     Pulses,
 }
 
-/// A per-run budget guard: a step limit and an optional wall-clock
-/// deadline, both reported as clean [`EngineError`]s.
+/// A per-run budget guard: a step limit, an optional run-local wall
+/// budget, and an optional external request [`Deadline`] — every trip
+/// reported as a clean [`EngineError`].
 #[derive(Debug, Clone)]
 pub struct Watchdog {
     kind: StepKind,
     limit: u64,
-    wall_budget: Option<Duration>,
-    deadline: Option<Instant>,
+    /// The run's own wall budget, as a [`Deadline`] (this is the former
+    /// duplicated `wall_budget`/`deadline` Instant arithmetic).
+    wall: Deadline,
+    /// The caller's request deadline/cancel token, if any.
+    external: Deadline,
 }
 
 impl Watchdog {
@@ -41,8 +52,8 @@ impl Watchdog {
         Watchdog {
             kind: StepKind::Rounds,
             limit,
-            wall_budget: None,
-            deadline: None,
+            wall: Deadline::unarmed(),
+            external: Deadline::unarmed(),
         }
     }
 
@@ -51,22 +62,35 @@ impl Watchdog {
         Watchdog {
             kind: StepKind::Pulses,
             limit,
-            wall_budget: None,
-            deadline: None,
+            wall: Deadline::unarmed(),
+            external: Deadline::unarmed(),
         }
     }
 
     /// Arms a wall-clock deadline `budget` from now.
     pub fn with_wall_clock(mut self, budget: Duration) -> Self {
-        self.wall_budget = Some(budget);
-        self.deadline = Some(Instant::now() + budget);
+        self.wall = Deadline::within(budget);
         self
     }
 
-    /// The armed wall-clock deadline, if any (for threading into blocking
-    /// waits such as `recv_timeout`).
+    /// Adopts `deadline` as the external cancellation source: when it
+    /// trips, [`check`](Watchdog::check) reports
+    /// [`EngineError::Cancelled`] instead of a wall-clock error, so the
+    /// caller can distinguish "my request was aborted" from "this run
+    /// blew its own budget".
+    pub fn with_deadline(mut self, deadline: Deadline) -> Self {
+        self.external = deadline;
+        self
+    }
+
+    /// The earliest armed expiry instant — own wall budget or external
+    /// deadline — for threading into blocking waits such as
+    /// `recv_timeout`. `None` when neither carries a wall clock.
     pub fn deadline(&self) -> Option<Instant> {
-        self.deadline
+        match (self.wall.instant(), self.external.instant()) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
     }
 
     /// The error a blown step budget reports.
@@ -81,27 +105,42 @@ impl Watchdog {
         }
     }
 
-    /// The error a blown wall-clock deadline reports.
+    /// The error a blown run-local wall budget reports.
     pub fn wall_error(&self) -> EngineError {
         EngineError::WallClockExceeded {
             budget_ms: self
-                .wall_budget
+                .wall
+                .budget()
                 .map(|d| d.as_millis().min(u64::MAX as u128) as u64)
                 .unwrap_or(0),
         }
     }
 
-    /// Checks both budgets before step `completed + 1` begins: errors if
-    /// `completed` steps already exhausted the limit or if the wall-clock
-    /// deadline has passed.
+    /// The error for whichever deadline has expired, external taking
+    /// precedence (a cancelled request should read as cancelled even if
+    /// the run's own budget expired in the same instant). Used by
+    /// blocking waits that only know "the timeout fired".
+    pub fn deadline_error(&self, step_phase: &'static str) -> EngineError {
+        match self.external.check(step_phase) {
+            Err(c) => EngineError::from(c),
+            Ok(()) => self.wall_error(),
+        }
+    }
+
+    /// Checks every budget before step `completed + 1` begins: errors
+    /// if `completed` steps already exhausted the limit, the external
+    /// deadline tripped, or the run's own wall budget elapsed.
     pub fn check(&self, completed: u64) -> Result<(), EngineError> {
         if completed >= self.limit {
             return Err(self.limit_error());
         }
-        if let Some(deadline) = self.deadline {
-            if Instant::now() >= deadline {
-                return Err(self.wall_error());
-            }
+        let phase = match self.kind {
+            StepKind::Rounds => "engine-round",
+            StepKind::Pulses => "synchronizer-pulse",
+        };
+        self.external.check(phase)?;
+        if self.wall.check(phase).is_err() {
+            return Err(self.wall_error());
         }
         Ok(())
     }
@@ -146,5 +185,44 @@ mod tests {
         let dog = Watchdog::rounds(u64::MAX);
         assert!(dog.deadline().is_none());
         assert!(dog.check(u64::MAX - 1).is_ok());
+    }
+
+    #[test]
+    fn external_deadline_reports_cancelled_not_wall() {
+        let dog = Watchdog::rounds(u64::MAX).with_deadline(Deadline::within(Duration::ZERO));
+        match dog.check(0) {
+            Err(EngineError::Cancelled { phase, .. }) => assert_eq!(phase, "engine-round"),
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+        // deadline() surfaces the external instant for blocking waits.
+        assert!(dog.deadline().is_some());
+        match dog.deadline_error("recv") {
+            EngineError::Cancelled { phase, .. } => assert_eq!(phase, "recv"),
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn external_cancel_takes_precedence_over_wall() {
+        let dog = Watchdog::pulses(u64::MAX)
+            .with_wall_clock(Duration::ZERO)
+            .with_deadline(Deadline::within(Duration::ZERO));
+        assert!(matches!(dog.check(0), Err(EngineError::Cancelled { .. })));
+        // Without an external trip, the timeout reads as a wall error.
+        let own_only = Watchdog::pulses(u64::MAX).with_wall_clock(Duration::ZERO);
+        assert_eq!(
+            own_only.deadline_error("recv"),
+            EngineError::WallClockExceeded { budget_ms: 0 }
+        );
+        // An armed-but-live external deadline also falls through.
+        let live = Watchdog::pulses(u64::MAX)
+            .with_wall_clock(Duration::ZERO)
+            .with_deadline(Deadline::within(Duration::from_secs(3600)));
+        assert_eq!(
+            live.deadline_error("recv"),
+            EngineError::WallClockExceeded { budget_ms: 0 }
+        );
+        // The earliest instant wins for blocking waits.
+        assert!(live.deadline().unwrap() <= Instant::now() + Duration::from_secs(1));
     }
 }

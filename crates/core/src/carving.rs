@@ -7,7 +7,7 @@
 //! stand-in) into the weak→strong transformation.
 
 use crate::{transform, Params};
-use sdnd_clustering::{BallCarving, CarveCtx, StrongCarver};
+use sdnd_clustering::{BallCarving, Cancelled, CarveCtx, StrongCarver};
 use sdnd_congest::RoundLedger;
 use sdnd_graph::{Graph, NodeSet};
 
@@ -42,6 +42,7 @@ impl StrongCarver for Theorem22Carver {
         ledger: &mut RoundLedger,
     ) -> BallCarving {
         self.carve_strong_in(g, alive, eps, ledger, &mut CarveCtx::new())
+            .expect("unarmed ctx never cancels")
     }
 
     fn carve_strong_in(
@@ -51,7 +52,7 @@ impl StrongCarver for Theorem22Carver {
         eps: f64,
         ledger: &mut RoundLedger,
         ctx: &mut CarveCtx,
-    ) -> BallCarving {
+    ) -> Result<BallCarving, Cancelled> {
         let weak = self.params.weak_carver();
         transform::weak_to_strong_in(g, alive, eps, &weak, &self.params, ledger, ctx)
     }
@@ -73,6 +74,11 @@ pub fn strong_ball_carving(
 }
 
 /// [`strong_ball_carving`] with a caller-held [`CarveCtx`].
+///
+/// # Errors
+///
+/// [`Cancelled`] when the context's armed deadline trips at a phase
+/// boundary; the context stays safely reusable.
 pub fn strong_ball_carving_in(
     g: &Graph,
     alive: &NodeSet,
@@ -80,7 +86,7 @@ pub fn strong_ball_carving_in(
     params: &Params,
     ledger: &mut RoundLedger,
     ctx: &mut CarveCtx,
-) -> BallCarving {
+) -> Result<BallCarving, Cancelled> {
     Theorem22Carver::new(params.clone()).carve_strong_in(g, alive, eps, ledger, ctx)
 }
 

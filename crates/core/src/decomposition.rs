@@ -6,7 +6,7 @@
 
 use crate::{CoreError, Params, Theorem22Carver, Theorem33Carver};
 use sdnd_clustering::{
-    decompose_with_strong_carver_in, CarveCtx, NetworkDecomposition, StrongCarver,
+    decompose_with_strong_carver_in, Cancelled, CarveCtx, NetworkDecomposition, StrongCarver,
 };
 use sdnd_congest::RoundLedger;
 use sdnd_graph::Graph;
@@ -39,17 +39,24 @@ pub fn decompose_strong_with(
     ledger: &mut RoundLedger,
 ) -> NetworkDecomposition {
     decompose_strong_with_in(g, params, ledger, &mut CarveCtx::new())
+        .expect("unarmed ctx never cancels")
 }
 
 /// Theorem 2.3 with caller-provided ledger and [`CarveCtx`]: one
 /// traversal workspace serves every carving repetition of the LS93
-/// reduction (and stays warm across repeated decompositions).
+/// reduction (and stays warm across repeated decompositions). The
+/// context's armed deadline is honored at every carving phase boundary.
+///
+/// # Errors
+///
+/// [`Cancelled`] when the armed deadline trips mid-reduction; the
+/// context stays safely reusable.
 pub fn decompose_strong_with_in(
     g: &Graph,
     params: &Params,
     ledger: &mut RoundLedger,
     ctx: &mut CarveCtx,
-) -> NetworkDecomposition {
+) -> Result<NetworkDecomposition, Cancelled> {
     let carver = Theorem22Carver::new(params.clone());
     decompose_with_strong_carver_in(g, &carver, 0.5, ledger, ctx)
 }
@@ -79,15 +86,20 @@ pub fn decompose_strong_improved_with(
     ledger: &mut RoundLedger,
 ) -> NetworkDecomposition {
     decompose_strong_improved_with_in(g, params, ledger, &mut CarveCtx::new())
+        .expect("unarmed ctx never cancels")
 }
 
 /// Theorem 3.4 with caller-provided ledger and [`CarveCtx`].
+///
+/// # Errors
+///
+/// [`Cancelled`] when the context's armed deadline trips mid-reduction.
 pub fn decompose_strong_improved_with_in(
     g: &Graph,
     params: &Params,
     ledger: &mut RoundLedger,
     ctx: &mut CarveCtx,
-) -> NetworkDecomposition {
+) -> Result<NetworkDecomposition, Cancelled> {
     let carver = Theorem33Carver::new(params.clone());
     decompose_with_strong_carver_in(g, &carver, 0.5, ledger, ctx)
 }
@@ -100,16 +112,20 @@ pub fn decompose_with<C: StrongCarver + ?Sized>(
     carver: &C,
     ledger: &mut RoundLedger,
 ) -> NetworkDecomposition {
-    decompose_with_in(g, carver, ledger, &mut CarveCtx::new())
+    decompose_with_in(g, carver, ledger, &mut CarveCtx::new()).expect("unarmed ctx never cancels")
 }
 
 /// [`decompose_with`] with a caller-held [`CarveCtx`].
+///
+/// # Errors
+///
+/// [`Cancelled`] when the context's armed deadline trips mid-reduction.
 pub fn decompose_with_in<C: StrongCarver + ?Sized>(
     g: &Graph,
     carver: &C,
     ledger: &mut RoundLedger,
     ctx: &mut CarveCtx,
-) -> NetworkDecomposition {
+) -> Result<NetworkDecomposition, Cancelled> {
     decompose_with_strong_carver_in(g, carver, 0.5, ledger, ctx)
 }
 

@@ -16,7 +16,7 @@
 
 use crate::sparse_cut::{cut_or_component_in, CutOrComponent};
 use crate::Params;
-use sdnd_clustering::{BallCarving, CarveCtx, StrongCarver};
+use sdnd_clustering::{BallCarving, Cancelled, CarveCtx, StrongCarver};
 use sdnd_congest::RoundLedger;
 use sdnd_graph::{Graph, NodeId, NodeSet};
 
@@ -37,6 +37,7 @@ pub fn improve_diameter<C: StrongCarver + ?Sized>(
     ledger: &mut RoundLedger,
 ) -> BallCarving {
     improve_diameter_in(g, alive, eps, a1, params, ledger, &mut CarveCtx::new())
+        .expect("unarmed ctx never cancels")
 }
 
 /// [`improve_diameter`] with a caller-held [`CarveCtx`]: the context is
@@ -44,7 +45,14 @@ pub fn improve_diameter<C: StrongCarver + ?Sized>(
 /// [`StrongCarver::carve_strong_in`]) and every Lemma 3.1 cut, and the
 /// per-cluster member sets come from its NodeSet pool instead of being
 /// rebuilt per cluster per level. Output and ledger charges are
-/// bit-identical to the wrapper.
+/// bit-identical to the wrapper when the run completes. The armed
+/// deadline is honored once per part per recursion level, plus the
+/// checkpoints inside `A1` and the Lemma 3.1 cut.
+///
+/// # Errors
+///
+/// [`Cancelled`] when the armed deadline trips at a part boundary (or
+/// inside a nested phase); the context stays safely reusable.
 pub fn improve_diameter_in<C: StrongCarver + ?Sized>(
     g: &Graph,
     alive: &NodeSet,
@@ -53,11 +61,11 @@ pub fn improve_diameter_in<C: StrongCarver + ?Sized>(
     params: &Params,
     ledger: &mut RoundLedger,
     ctx: &mut CarveCtx,
-) -> BallCarving {
+) -> Result<BallCarving, Cancelled> {
     assert!(eps > 0.0 && eps < 1.0, "eps must lie in (0,1), got {eps}");
     let n0 = alive.len();
     if n0 == 0 {
-        return BallCarving::new(alive.clone(), vec![]).expect("empty carving");
+        return Ok(BallCarving::new(alive.clone(), vec![]).expect("empty carving"));
     }
     let eps_inner = params.improve_eps(eps, n0);
     // Parts shrink to <= 2/3 per level.
@@ -78,10 +86,11 @@ pub fn improve_diameter_in<C: StrongCarver + ?Sized>(
                 ctx.ws.give_set(part);
                 continue;
             }
+            ctx.checkpoint("improve-diameter-part")?;
             let mut branch = RoundLedger::new();
             // A1: strong carving with the shrunken boundary. Its dead
             // nodes are dead for good.
-            let carving = a1.carve_strong_in(g, &part, eps_inner, &mut branch, ctx);
+            let carving = a1.carve_strong_in(g, &part, eps_inner, &mut branch, ctx)?;
             ctx.ws.give_set(part);
 
             for members in carving.clusters() {
@@ -91,7 +100,7 @@ pub fn improve_diameter_in<C: StrongCarver + ?Sized>(
                     continue;
                 }
                 let cluster_set = ctx.ws.take_set_from(g.n(), members.iter().copied());
-                match cut_or_component_in(g, &cluster_set, eps, params, &mut branch, ctx) {
+                match cut_or_component_in(g, &cluster_set, eps, params, &mut branch, ctx)? {
                     CutOrComponent::SparseCut { v1, v2, middle: _ } => {
                         next_work.push(v1);
                         next_work.push(v2);
@@ -121,8 +130,8 @@ pub fn improve_diameter_in<C: StrongCarver + ?Sized>(
         "Theorem 3.2 recursion bound exceeded; carver or cut is broken"
     );
 
-    BallCarving::new(alive.clone(), out_clusters)
-        .expect("output clusters are disjoint subsets of the alive set")
+    Ok(BallCarving::new(alive.clone(), out_clusters)
+        .expect("output clusters are disjoint subsets of the alive set"))
 }
 
 /// The Theorem 3.3 strong-diameter ball carver: Theorem 2.2 wrapped in
@@ -148,6 +157,7 @@ impl StrongCarver for Theorem33Carver {
         ledger: &mut RoundLedger,
     ) -> BallCarving {
         self.carve_strong_in(g, alive, eps, ledger, &mut CarveCtx::new())
+            .expect("unarmed ctx never cancels")
     }
 
     fn carve_strong_in(
@@ -157,7 +167,7 @@ impl StrongCarver for Theorem33Carver {
         eps: f64,
         ledger: &mut RoundLedger,
         ctx: &mut CarveCtx,
-    ) -> BallCarving {
+    ) -> Result<BallCarving, Cancelled> {
         let base = crate::Theorem22Carver::new(self.params.clone());
         improve_diameter_in(g, alive, eps, &base, &self.params, ledger, ctx)
     }

@@ -80,6 +80,11 @@ pub fn strong_ball_carving_improved(
 }
 
 /// [`strong_ball_carving_improved`] with a caller-held [`CarveCtx`].
+///
+/// # Errors
+///
+/// [`Cancelled`](sdnd_clustering::Cancelled) when the context's armed
+/// deadline trips at a phase boundary.
 pub fn strong_ball_carving_improved_in(
     g: &Graph,
     alive: &NodeSet,
@@ -87,7 +92,7 @@ pub fn strong_ball_carving_improved_in(
     params: &Params,
     ledger: &mut RoundLedger,
     ctx: &mut CarveCtx,
-) -> sdnd_clustering::BallCarving {
+) -> Result<sdnd_clustering::BallCarving, sdnd_clustering::Cancelled> {
     let carver = Theorem33Carver::new(params.clone());
     sdnd_clustering::StrongCarver::carve_strong_in(&carver, g, alive, eps, ledger, ctx)
 }

@@ -22,7 +22,7 @@
 //! it to the thinnest layer within one more window yields `U`.
 
 use crate::Params;
-use sdnd_clustering::CarveCtx;
+use sdnd_clustering::{Cancelled, CarveCtx};
 use sdnd_congest::{bits_for_value, primitives, RoundLedger};
 use sdnd_graph::algo::{self, TraversalWorkspace};
 use sdnd_graph::{Adjacency, Graph, NodeId, NodeSet};
@@ -77,13 +77,22 @@ pub fn cut_or_component(
     ledger: &mut RoundLedger,
 ) -> CutOrComponent {
     cut_or_component_in(g, alive, eps, params, ledger, &mut CarveCtx::new())
+        .expect("unarmed ctx never cancels")
 }
 
 /// [`cut_or_component`] with a caller-held [`CarveCtx`]: the `O(log n)`
 /// BFS runs per invocation share one traversal workspace and the split
 /// halves come from its NodeSet pool, so a whole invocation performs
 /// `O(1)` heap allocations per traversal. Outcome and ledger charges are
-/// bit-identical to the wrapper.
+/// bit-identical to the wrapper. The context's armed deadline is honored
+/// once per halving iteration (each iteration is a full multi-source BFS
+/// census — the traversal-epoch granularity).
+///
+/// # Errors
+///
+/// [`Cancelled`] when the armed deadline trips at an iteration
+/// boundary; pooled sets held mid-iteration are dropped (the pool
+/// re-grows on demand) and the context stays safely reusable.
 pub fn cut_or_component_in(
     g: &Graph,
     alive: &NodeSet,
@@ -91,7 +100,7 @@ pub fn cut_or_component_in(
     params: &Params,
     ledger: &mut RoundLedger,
     ctx: &mut CarveCtx,
-) -> CutOrComponent {
+) -> Result<CutOrComponent, Cancelled> {
     assert!(eps > 0.0 && eps < 1.0, "eps must lie in (0,1), got {eps}");
     assert!(!alive.is_empty(), "Lemma 3.1 needs a nonempty set");
     let n = alive.len();
@@ -119,6 +128,10 @@ pub fn cut_or_component_in(
     for _ in 0..max_iters {
         if s.len() <= 1 {
             break;
+        }
+        if let Err(c) = ctx.checkpoint("cut-halving-iteration") {
+            ctx.ws.give_set(s);
+            return Err(c);
         }
         // Layer census from the source set S.
         let bfs = primitives::bfs_in(&view, s.iter(), u32::MAX, ledger, &mut ctx.ws);
@@ -151,7 +164,7 @@ pub fn cut_or_component_in(
                 v1.len() >= third && v2.len() + middle.len() >= n - balls[b as usize - 1]
             );
             ctx.ws.give_set(s);
-            return CutOrComponent::SparseCut { v1, v2, middle };
+            return Ok(CutOrComponent::SparseCut { v1, v2, middle });
         }
 
         // Narrow annulus: split S along the DFS order of the leader tree.
@@ -186,6 +199,7 @@ pub fn cut_or_component_in(
     // S is a single seed: grow to the thinnest layer past the n/3 ball.
     let seed = s.iter().next().expect("seed remains");
     ctx.ws.give_set(s);
+    ctx.checkpoint("cut-final-growth")?;
     let bfs = primitives::bfs_in(&view, [seed], u32::MAX, ledger, &mut ctx.ws);
     let balls = bfs.ball_sizes();
     ledger.charge_rounds(tree_height + balls.len() as u64);
@@ -202,7 +216,7 @@ pub fn cut_or_component_in(
             boundary.insert(v);
         }
     }
-    CutOrComponent::Component { u, boundary }
+    Ok(CutOrComponent::Component { u, boundary })
 }
 
 /// Smallest radius `r` with `balls[r] >= target` (or the last layer if
@@ -321,7 +335,8 @@ pub fn cut_or_component_report(
     ledger: &mut RoundLedger,
 ) -> (CutOrComponent, f64, Option<u32>) {
     let mut ctx = CarveCtx::new();
-    let outcome = cut_or_component_in(g, alive, eps, params, ledger, &mut ctx);
+    let outcome = cut_or_component_in(g, alive, eps, params, ledger, &mut ctx)
+        .expect("unarmed ctx never cancels");
     let removed_fraction = outcome.removed().len() as f64 / alive.len() as f64;
     let diam = match &outcome {
         CutOrComponent::Component { u, .. } => {

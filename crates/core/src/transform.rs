@@ -33,7 +33,7 @@
 //! fraction of its removed ball, and removed balls are disjoint).
 
 use crate::Params;
-use sdnd_clustering::{BallCarving, CarveCtx, WeakCarver};
+use sdnd_clustering::{BallCarving, Cancelled, CarveCtx, WeakCarver};
 use sdnd_congest::{bits_for_value, primitives, RoundLedger};
 use sdnd_graph::algo::MetricOracle;
 use sdnd_graph::{algo, Adjacency as _, Graph, NodeId, NodeSet};
@@ -66,7 +66,15 @@ pub fn weak_to_strong<A: WeakCarver + ?Sized>(
 /// [`weak_to_strong`] with a caller-held [`CarveCtx`]: every Case II
 /// ball growth (layer census or weighted flood) and component scan
 /// reuses the context's traversal workspace. Output and ledger charges
-/// are bit-identical to the wrapper.
+/// are bit-identical to the wrapper when the run completes. The armed
+/// deadline is honored once per processed component (each component
+/// costs at least one full weak carving — the traversal-epoch
+/// granularity), plus whatever checkpoints the weak carver adds.
+///
+/// # Errors
+///
+/// [`Cancelled`] when the armed deadline trips at a component boundary
+/// (or inside the weak carver); the context stays safely reusable.
 pub fn weak_to_strong_in<A: WeakCarver + ?Sized>(
     g: &Graph,
     alive: &NodeSet,
@@ -75,7 +83,7 @@ pub fn weak_to_strong_in<A: WeakCarver + ?Sized>(
     params: &Params,
     ledger: &mut RoundLedger,
     ctx: &mut CarveCtx,
-) -> BallCarving {
+) -> Result<BallCarving, Cancelled> {
     weak_to_strong_with_oracle_in(g, alive, eps, a, params, algo::oracle_for(g), ledger, ctx)
 }
 
@@ -117,9 +125,15 @@ pub fn weak_to_strong_with_oracle<A: WeakCarver + ?Sized>(
         ledger,
         &mut CarveCtx::new(),
     )
+    .expect("unarmed ctx never cancels")
 }
 
 /// [`weak_to_strong_with_oracle`] with a caller-held [`CarveCtx`].
+///
+/// # Errors
+///
+/// [`Cancelled`] when the context's armed deadline trips at a component
+/// boundary (or inside the weak carver); see [`weak_to_strong_in`].
 #[allow(clippy::too_many_arguments)]
 pub fn weak_to_strong_with_oracle_in<A: WeakCarver + ?Sized>(
     g: &Graph,
@@ -130,11 +144,11 @@ pub fn weak_to_strong_with_oracle_in<A: WeakCarver + ?Sized>(
     oracle: MetricOracle,
     ledger: &mut RoundLedger,
     ctx: &mut CarveCtx,
-) -> BallCarving {
+) -> Result<BallCarving, Cancelled> {
     assert!(eps > 0.0 && eps < 1.0, "eps must lie in (0,1), got {eps}");
     let n0 = alive.len();
     if n0 == 0 {
-        return BallCarving::new(alive.clone(), vec![]).expect("empty carving");
+        return Ok(BallCarving::new(alive.clone(), vec![]).expect("empty carving"));
     }
 
     let log2n = Params::log2n(n0);
@@ -163,6 +177,7 @@ pub fn weak_to_strong_with_oracle_in<A: WeakCarver + ?Sized>(
         let mut branch_ledgers: Vec<RoundLedger> = Vec::new();
 
         for s in work {
+            ctx.checkpoint("weak-to-strong-component")?;
             let mut branch = RoundLedger::new();
             process_component(
                 g,
@@ -177,7 +192,7 @@ pub fn weak_to_strong_with_oracle_in<A: WeakCarver + ?Sized>(
                 &mut next_work,
                 &mut branch,
                 ctx,
-            );
+            )?;
             branch_ledgers.push(branch);
             ctx.ws.give_set(s);
         }
@@ -189,8 +204,8 @@ pub fn weak_to_strong_with_oracle_in<A: WeakCarver + ?Sized>(
         "components remain after the iteration bound; weak carver is broken"
     );
 
-    BallCarving::new(alive.clone(), out_clusters)
-        .expect("output balls are disjoint subsets of the alive set")
+    Ok(BallCarving::new(alive.clone(), out_clusters)
+        .expect("output balls are disjoint subsets of the alive set"))
 }
 
 /// One component, one iteration: the Case I / Case II dichotomy.
@@ -208,18 +223,18 @@ fn process_component<A: WeakCarver + ?Sized>(
     next_work: &mut Vec<NodeSet>,
     ledger: &mut RoundLedger,
     ctx: &mut CarveCtx,
-) {
+) -> Result<(), Cancelled> {
     if s.is_empty() {
-        return;
+        return Ok(());
     }
     if s.len() == 1 {
         out_clusters.push(s.iter().collect());
-        return;
+        return Ok(());
     }
 
     // Step 1: the black-box weak carving on G[S] (workspace-threaded
     // for carvers that support it).
-    let wc = a.carve_weak_in(g, s, eps_inner, ledger, ctx);
+    let wc = a.carve_weak_in(g, s, eps_inner, ledger, ctx)?;
 
     // Giant detection: sizes are gathered over the Steiner trees
     // (depth x congestion rounds, one counter message per tree node).
@@ -426,6 +441,7 @@ fn process_component<A: WeakCarver + ?Sized>(
             }
         },
     }
+    Ok(())
 }
 
 #[cfg(test)]

@@ -22,7 +22,7 @@
 //!   `eps m / 2`.
 
 use crate::Params;
-use sdnd_clustering::{CarveCtx, EdgeCarving, WeakEdgeCarver};
+use sdnd_clustering::{Cancelled, CarveCtx, EdgeCarving, WeakEdgeCarver};
 use sdnd_congest::{bits_for_value, primitives, RoundLedger};
 use sdnd_graph::{algo, Adjacency, Graph, NodeId, NodeSet};
 use std::collections::HashSet;
@@ -43,12 +43,19 @@ pub fn weak_to_strong_edges<A: WeakEdgeCarver + ?Sized>(
     ledger: &mut RoundLedger,
 ) -> EdgeCarving {
     weak_to_strong_edges_in(g, alive, eps, a, params, ledger, &mut CarveCtx::new())
+        .expect("unarmed ctx never cancels")
 }
 
 /// [`weak_to_strong_edges`] with a caller-held [`CarveCtx`] (the Case II
 /// layer censuses run through the context's traversal workspace; the
 /// per-iteration filtered graphs are still materialized, as the cut set
-/// changes the edge structure itself).
+/// changes the edge structure itself). The armed deadline is honored
+/// once per processed component.
+///
+/// # Errors
+///
+/// [`Cancelled`] when the armed deadline trips at a component boundary;
+/// the context stays safely reusable.
 pub fn weak_to_strong_edges_in<A: WeakEdgeCarver + ?Sized>(
     g: &Graph,
     alive: &NodeSet,
@@ -57,11 +64,11 @@ pub fn weak_to_strong_edges_in<A: WeakEdgeCarver + ?Sized>(
     params: &Params,
     ledger: &mut RoundLedger,
     ctx: &mut CarveCtx,
-) -> EdgeCarving {
+) -> Result<EdgeCarving, Cancelled> {
     assert!(eps > 0.0 && eps < 1.0, "eps must lie in (0,1), got {eps}");
     let n0 = alive.len();
     if n0 == 0 {
-        return EdgeCarving::new(alive.clone(), vec![], vec![]).expect("empty carving");
+        return Ok(EdgeCarving::new(alive.clone(), vec![], vec![]).expect("empty carving"));
     }
     let log2n = Params::log2n(n0);
     let eps_inner = params.inner_eps(eps, n0);
@@ -92,6 +99,7 @@ pub fn weak_to_strong_edges_in<A: WeakEdgeCarver + ?Sized>(
         let mut branch_ledgers: Vec<RoundLedger> = Vec::new();
 
         for s in work {
+            ctx.checkpoint("weak-to-strong-edges-component")?;
             let mut branch = RoundLedger::new();
             process_component(
                 g,
@@ -117,8 +125,10 @@ pub fn weak_to_strong_edges_in<A: WeakEdgeCarver + ?Sized>(
         "edge transformation iteration bound exceeded"
     );
 
-    EdgeCarving::new(alive.clone(), out_clusters, cut.into_iter().collect())
-        .expect("output clusters partition the alive set")
+    Ok(
+        EdgeCarving::new(alive.clone(), out_clusters, cut.into_iter().collect())
+            .expect("output clusters partition the alive set"),
+    )
 }
 
 /// The subgraph of `G[S]` with `cut` edges removed, materialized with

@@ -26,7 +26,7 @@
 //! buffers are reused across sweeps (cleaned up per-participant, so a
 //! sweep over a small cluster never pays for the whole universe).
 
-use crate::{Adjacency, NodeId, NodeSet};
+use crate::{Adjacency, Cancelled, Deadline, NodeId, NodeSet};
 
 /// Configuration for a [`HyperBall`] estimator.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -179,7 +179,8 @@ impl HyperBall {
     /// one-sided estimate of the view's diameter (per component: the
     /// largest finite pairwise distance).
     pub fn sweep<A: Adjacency>(&mut self, view: &A) -> HyperBallSummary {
-        self.sweep_core(view, None)
+        self.sweep_core(view, None, &Deadline::unarmed())
+            .expect("unarmed deadline never cancels")
     }
 
     /// Sweeps `view` with only `seeds` seeding: count estimates
@@ -187,10 +188,49 @@ impl HyperBall {
     /// bound the seed-to-seed metric — the weak-diameter side when
     /// `view` is the full graph and `seeds` a cluster.
     pub fn sweep_seeded<A: Adjacency>(&mut self, view: &A, seeds: &NodeSet) -> HyperBallSummary {
-        self.sweep_core(view, Some(seeds))
+        self.sweep_core(view, Some(seeds), &Deadline::unarmed())
+            .expect("unarmed deadline never cancels")
     }
 
-    fn sweep_core<A: Adjacency>(&mut self, view: &A, seeds: Option<&NodeSet>) -> HyperBallSummary {
+    /// [`sweep`](Self::sweep) honoring an armed [`Deadline`] once per
+    /// synchronous round (= BFS layer), so abort latency is bounded by a
+    /// single layer even when one sweep spans the whole view. On
+    /// cancellation the estimator's buffers are cleaned up exactly as on
+    /// completion — the instance stays reusable.
+    ///
+    /// # Errors
+    ///
+    /// [`Cancelled`] when the deadline trips at a round boundary.
+    pub fn sweep_in<A: Adjacency>(
+        &mut self,
+        view: &A,
+        deadline: &Deadline,
+    ) -> Result<HyperBallSummary, Cancelled> {
+        self.sweep_core(view, None, deadline)
+    }
+
+    /// [`sweep_seeded`](Self::sweep_seeded) honoring an armed
+    /// [`Deadline`] once per synchronous round; see
+    /// [`sweep_in`](Self::sweep_in).
+    ///
+    /// # Errors
+    ///
+    /// [`Cancelled`] when the deadline trips at a round boundary.
+    pub fn sweep_seeded_in<A: Adjacency>(
+        &mut self,
+        view: &A,
+        seeds: &NodeSet,
+        deadline: &Deadline,
+    ) -> Result<HyperBallSummary, Cancelled> {
+        self.sweep_core(view, Some(seeds), deadline)
+    }
+
+    fn sweep_core<A: Adjacency>(
+        &mut self,
+        view: &A,
+        seeds: Option<&NodeSet>,
+        deadline: &Deadline,
+    ) -> Result<HyperBallSummary, Cancelled> {
         let wpn = self.words_per_node();
         let need = view.universe() * wpn;
         if self.regs.len() < need {
@@ -216,13 +256,17 @@ impl HyperBall {
             }
         }
         if self.participants.is_empty() {
-            return HyperBallSummary::EMPTY;
+            return Ok(HyperBallSummary::EMPTY);
         }
 
         // Synchronous rounds: merge neighbors' round-(t-1) sketches.
         let mut rounds = 0u32;
         let mut t = 1u32;
         loop {
+            if let Err(c) = deadline.check("hyperball-round") {
+                self.release_participants(wpn);
+                return Err(c);
+            }
             let mut any = false;
             for pi in 0..self.participants.len() {
                 let v = self.participants[pi];
@@ -292,8 +336,14 @@ impl HyperBall {
             summary.min_seed_count = 0.0;
         }
 
-        // Per-participant cleanup: the next sweep starts from zeroed
-        // state without an O(universe) clear.
+        self.release_participants(wpn);
+        Ok(summary)
+    }
+
+    /// Per-participant cleanup: the next sweep starts from zeroed state
+    /// without an `O(universe)` clear. Runs on completion *and* on
+    /// mid-sweep cancellation.
+    fn release_participants(&mut self, wpn: usize) {
         for pi in 0..self.participants.len() {
             let vi = self.participants[pi].index();
             let base = vi * wpn;
@@ -304,7 +354,6 @@ impl HyperBall {
             self.changed_next[vi] = false;
         }
         self.participants.clear();
-        summary
     }
 
     /// Folds `v` itself into `v`'s sketch (round-0 seeding).

@@ -114,6 +114,20 @@ impl Deserialize for Graph {
 }
 
 impl Graph {
+    /// A stable 64-bit hash of the graph's *content*: CSR structure,
+    /// edge weights, and original node ids — exactly what a `.csrbin`
+    /// cache file persists, hashed with the same slicing-by-16 CRC32
+    /// machinery (widened to 64 bits by a second chained pass).
+    ///
+    /// Two graphs hash equal iff their canonical cache encodings are
+    /// byte-identical, so serde/cache round trips preserve the hash
+    /// while relabelings (which permute CSR rows and ids) change it.
+    /// The serve layer keys its decomposition LRU on this value.
+    #[must_use]
+    pub fn content_hash(&self) -> u64 {
+        crate::dataset::content_hash(self)
+    }
+
     /// Starts building a graph with `n` nodes.
     pub fn builder(n: usize) -> GraphBuilder {
         GraphBuilder {
@@ -935,6 +949,32 @@ mod tests {
         // `with_ids` keeps the topology, hence may keep the cache.
         let relabeled = g.with_ids(vec![9, 8, 7, 6, 5]).unwrap();
         assert_eq!(relabeled.reverse_edges(), h.reverse_edges());
+    }
+
+    #[test]
+    fn content_hash_tracks_content_not_provenance() {
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]).unwrap();
+        // Stable across clones and serde round trips: same bytes, same
+        // hash (this is what lets the serve LRU key on it).
+        assert_eq!(g.content_hash(), g.clone().content_hash());
+        let back = Graph::from_value(&g.to_value()).unwrap();
+        assert_eq!(back.content_hash(), g.content_hash());
+        // Relabeling — new ids on the same topology — is a different
+        // content (CSV exports, --source lookups all change meaning).
+        let relabeled = g.clone().with_ids(vec![9, 8, 7, 6, 5]).unwrap();
+        assert_ne!(relabeled.content_hash(), g.content_hash());
+        // A reordered CSR (isomorphic, ids preserved) also differs.
+        let (permuted, _) = crate::gen::grid(4, 4).relabeled(crate::NodeOrder::Bfs);
+        assert_ne!(
+            permuted.content_hash(),
+            crate::gen::grid(4, 4).content_hash()
+        );
+        // Weights feed the hash too.
+        let unit = Graph::from_weighted_edges(3, [(0, 1, 1.0), (1, 2, 1.0)]).unwrap();
+        let heavy = Graph::from_weighted_edges(3, [(0, 1, 1.0), (1, 2, 2.0)]).unwrap();
+        assert_ne!(unit.content_hash(), heavy.content_hash());
+        let plain = Graph::from_edges(3, [(0, 1), (1, 2)]).unwrap();
+        assert_ne!(unit.content_hash(), plain.content_hash());
     }
 
     #[test]

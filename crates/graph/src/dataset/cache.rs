@@ -29,7 +29,7 @@
 //! need different reactions from callers.
 
 use super::{DatasetError, SourceStamp};
-use crate::dataset::inflate::crc32;
+use crate::dataset::inflate::{crc32, crc32_update};
 use crate::{Graph, NodeId};
 use std::path::{Path, PathBuf};
 
@@ -75,6 +75,20 @@ pub fn write_cache(
     };
     std::fs::write(&tmp, &buf).map_err(io_err)?;
     std::fs::rename(&tmp, path).map_err(io_err)
+}
+
+/// Content hash of a graph, as [`Graph::content_hash`] exposes it:
+/// the slicing-by-16 CRC32 of the canonical *unstamped* `.csrbin`
+/// encoding, widened to 64 bits by chaining a second CRC pass seeded
+/// with the first. Everything a cache file persists — CSR structure,
+/// weights, original node ids — feeds the hash; the source stamp
+/// (mtime/len) deliberately does not, so the same graph hashes the
+/// same regardless of which file it came from.
+pub(crate) fn content_hash(g: &Graph) -> u64 {
+    let body = encode(g, None);
+    let lo = crc32(&body);
+    let hi = crc32_update(lo, &body);
+    (u64::from(hi) << 32) | u64::from(lo)
 }
 
 fn encode(g: &Graph, stamp: Option<&SourceStamp>) -> Vec<u8> {

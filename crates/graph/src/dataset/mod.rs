@@ -32,6 +32,7 @@
 mod cache;
 mod inflate;
 
+pub(crate) use cache::content_hash;
 pub use cache::{cache_path_for, read_cache, write_cache};
 pub use inflate::{gunzip, gzip_stored, InflateError};
 

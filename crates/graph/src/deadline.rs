@@ -1,0 +1,258 @@
+//! Cooperative deadlines and cancellation.
+//!
+//! [`Deadline`] is the one cancellation source shared by every layer of
+//! the stack: the carving pipeline checks it at phase boundaries (per
+//! carve attempt, per halving iteration, per validated cluster — never
+//! per edge), the CONGEST engine's watchdog folds it into its per-round
+//! check, and the serve daemon arms one per request. A tripped check
+//! returns the typed [`Cancelled`] diagnostic naming the phase that
+//! observed the trip and the elapsed wall clock, so callers can report
+//! *where* a request died instead of just that it did.
+//!
+//! The design is cooperative, not preemptive: work between two
+//! checkpoints always runs to the next checkpoint. That is exactly the
+//! granularity the epoch-stamped traversal workspaces make safe — any
+//! state abandoned mid-phase is invalidated wholesale when the next
+//! traversal epoch opens.
+//!
+//! Clones share state. `Deadline::within(d)` starts the clock at
+//! construction; every clone observes the same expiry instant and the
+//! same [`cancel`](Deadline::cancel) flag, so a supervisor thread can
+//! hold one clone and abort a worker holding the other.
+//!
+//! ```
+//! use sdnd_graph::Deadline;
+//!
+//! let unarmed = Deadline::unarmed();
+//! assert!(unarmed.check("anything").is_ok()); // never trips
+//!
+//! let d = Deadline::within(std::time::Duration::ZERO);
+//! let err = d.check("doc-phase").unwrap_err();
+//! assert_eq!(err.phase, "doc-phase");
+//! ```
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Shared innards of an armed [`Deadline`]; unarmed deadlines carry
+/// nothing at all, so the unarmed check is a single branch.
+#[derive(Debug)]
+struct DeadlineInner {
+    /// When the clock started (for [`Cancelled::elapsed`]).
+    started: Instant,
+    /// Absolute expiry instant, if a wall-clock budget was set.
+    at: Option<Instant>,
+    /// The budget that produced `at`, kept for diagnostics.
+    budget: Option<Duration>,
+    /// Explicit cancellation flag; any clone may raise it.
+    cancel: AtomicBool,
+}
+
+/// A cooperative deadline: a wall-clock budget, an explicit cancel
+/// flag, or both — checked at phase boundaries via [`check`].
+///
+/// The default value is [`unarmed`](Deadline::unarmed): checks never
+/// trip and cost one branch, so infallible wrappers can thread a
+/// default `Deadline` through the `_in` pipeline with no measurable
+/// overhead on the zero-deadline path.
+///
+/// [`check`]: Deadline::check
+#[derive(Clone, Debug, Default)]
+pub struct Deadline {
+    inner: Option<Arc<DeadlineInner>>,
+}
+
+impl Deadline {
+    /// A deadline that never trips. This is also the `Default` value.
+    #[must_use]
+    pub fn unarmed() -> Deadline {
+        Deadline { inner: None }
+    }
+
+    /// Arms a wall-clock budget starting *now*: checks trip once
+    /// `budget` has elapsed. The returned deadline is also
+    /// cancellable — clones share one cancel flag.
+    #[must_use]
+    pub fn within(budget: Duration) -> Deadline {
+        let started = Instant::now();
+        Deadline {
+            inner: Some(Arc::new(DeadlineInner {
+                started,
+                at: started.checked_add(budget),
+                budget: Some(budget),
+                cancel: AtomicBool::new(false),
+            })),
+        }
+    }
+
+    /// Arms a pure cancellation token: no wall clock, trips only after
+    /// some clone calls [`cancel`](Deadline::cancel).
+    #[must_use]
+    pub fn cancellable() -> Deadline {
+        Deadline {
+            inner: Some(Arc::new(DeadlineInner {
+                started: Instant::now(),
+                at: None,
+                budget: None,
+                cancel: AtomicBool::new(false),
+            })),
+        }
+    }
+
+    /// Whether this deadline can ever trip.
+    #[must_use]
+    pub fn is_armed(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Raises the shared cancel flag; every clone's next
+    /// [`check`](Deadline::check) trips. A no-op on unarmed deadlines.
+    pub fn cancel(&self) {
+        if let Some(inner) = &self.inner {
+            inner.cancel.store(true, Ordering::Release);
+        }
+    }
+
+    /// Whether some clone has called [`cancel`](Deadline::cancel).
+    #[must_use]
+    pub fn cancel_requested(&self) -> bool {
+        self.inner
+            .as_ref()
+            .is_some_and(|i| i.cancel.load(Ordering::Acquire))
+    }
+
+    /// The absolute expiry instant, when a wall-clock budget was armed.
+    #[must_use]
+    pub fn instant(&self) -> Option<Instant> {
+        self.inner.as_ref().and_then(|i| i.at)
+    }
+
+    /// The wall-clock budget this deadline was armed with.
+    #[must_use]
+    pub fn budget(&self) -> Option<Duration> {
+        self.inner.as_ref().and_then(|i| i.budget)
+    }
+
+    /// Time since the deadline was armed (zero when unarmed).
+    #[must_use]
+    pub fn elapsed(&self) -> Duration {
+        self.inner
+            .as_ref()
+            .map_or(Duration::ZERO, |i| i.started.elapsed())
+    }
+
+    /// Remaining budget: `None` when unarmed (unbounded), zero when
+    /// expired or cancelled.
+    #[must_use]
+    pub fn remaining(&self) -> Option<Duration> {
+        let inner = self.inner.as_ref()?;
+        if inner.cancel.load(Ordering::Acquire) {
+            return Some(Duration::ZERO);
+        }
+        inner
+            .at
+            .map(|at| at.saturating_duration_since(Instant::now()))
+    }
+
+    /// The phase-boundary checkpoint: `Ok(())` while the budget holds
+    /// and nobody cancelled, [`Cancelled`] naming `phase` otherwise.
+    ///
+    /// # Errors
+    ///
+    /// [`Cancelled`] once the wall-clock budget is exhausted or a clone
+    /// raised the cancel flag. Unarmed deadlines never err.
+    pub fn check(&self, phase: &'static str) -> Result<(), Cancelled> {
+        let Some(inner) = &self.inner else {
+            return Ok(());
+        };
+        let expired =
+            inner.cancel.load(Ordering::Acquire) || inner.at.is_some_and(|at| Instant::now() >= at);
+        if expired {
+            Err(Cancelled {
+                phase,
+                elapsed: inner.started.elapsed(),
+            })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// A request was cooperatively aborted: which phase observed the trip,
+/// and how long the work had been running.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cancelled {
+    /// The phase boundary that observed the expired deadline (e.g.
+    /// `"carve-attempt"`, `"validate-cluster"`).
+    pub phase: &'static str,
+    /// Wall clock from arming the deadline to the tripping check.
+    pub elapsed: Duration,
+}
+
+impl std::fmt::Display for Cancelled {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "cancelled at phase `{}` after {:.3} ms",
+            self.phase,
+            self.elapsed.as_secs_f64() * 1e3
+        )
+    }
+}
+
+impl std::error::Error for Cancelled {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unarmed_never_trips_and_reports_nothing() {
+        let d = Deadline::unarmed();
+        assert!(!d.is_armed());
+        assert!(d.check("x").is_ok());
+        assert!(d.instant().is_none());
+        assert!(d.budget().is_none());
+        assert!(d.remaining().is_none());
+        assert_eq!(d.elapsed(), Duration::ZERO);
+        d.cancel(); // no-op
+        assert!(!d.cancel_requested());
+        assert!(d.check("x").is_ok());
+        assert!(Deadline::default().check("x").is_ok());
+    }
+
+    #[test]
+    fn zero_budget_trips_immediately_with_phase_and_elapsed() {
+        let d = Deadline::within(Duration::ZERO);
+        assert!(d.is_armed());
+        let err = d.check("trip-here").unwrap_err();
+        assert_eq!(err.phase, "trip-here");
+        assert_eq!(d.remaining(), Some(Duration::ZERO));
+        assert!(err.to_string().contains("trip-here"), "{err}");
+    }
+
+    #[test]
+    fn generous_budget_does_not_trip() {
+        let d = Deadline::within(Duration::from_secs(3600));
+        assert!(d.check("x").is_ok());
+        assert!(d.remaining().unwrap() > Duration::from_secs(3000));
+        assert!(d.instant().is_some());
+        assert_eq!(d.budget(), Some(Duration::from_secs(3600)));
+    }
+
+    #[test]
+    fn cancel_flag_is_shared_across_clones() {
+        let d = Deadline::cancellable();
+        let clone = d.clone();
+        assert!(clone.check("x").is_ok());
+        d.cancel();
+        assert!(d.cancel_requested());
+        assert!(clone.cancel_requested());
+        let err = clone.check("after-cancel").unwrap_err();
+        assert_eq!(err.phase, "after-cancel");
+        assert_eq!(clone.remaining(), Some(Duration::ZERO));
+        // No wall clock was ever armed.
+        assert!(clone.instant().is_none());
+    }
+}

@@ -36,6 +36,7 @@
 pub mod algo;
 mod csr;
 pub mod dataset;
+mod deadline;
 mod error;
 pub mod gen;
 mod node;
@@ -44,6 +45,7 @@ mod order;
 mod view;
 
 pub use csr::{EdgeIter, Graph, GraphBuilder};
+pub use deadline::{Cancelled, Deadline};
 pub use error::GraphError;
 pub use node::NodeId;
 pub use nodeset::NodeSet;

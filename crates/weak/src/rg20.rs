@@ -33,7 +33,9 @@
 //! adjacency) extends the agreement to the current bit. After the last
 //! phase, adjacent nodes agree on every bit — i.e. they share a label.
 
-use sdnd_clustering::{BallCarving, CarveCtx, SteinerForest, SteinerTree, WeakCarver, WeakCarving};
+use sdnd_clustering::{
+    BallCarving, Cancelled, CarveCtx, SteinerForest, SteinerTree, WeakCarver, WeakCarving,
+};
 use sdnd_congest::{bits_for_value, RoundLedger};
 use sdnd_graph::{Graph, NodeId, NodeSet};
 use std::collections::hash_map::Entry;
@@ -223,7 +225,18 @@ impl<'g> Run<'g> {
     }
 
     /// One phase for `bit`. Returns per-phase step count.
-    fn phase(&mut self, bit: u32, eps_p: f64, ledger: &mut RoundLedger) -> u64 {
+    ///
+    /// An armed deadline on `ctx` is honored once per growth step (each
+    /// step is one traversal epoch: a request sweep plus the accepted
+    /// joins), so a single phase on a large graph cannot overshoot the
+    /// budget by more than one epoch.
+    fn phase(
+        &mut self,
+        bit: u32,
+        eps_p: f64,
+        ledger: &mut RoundLedger,
+        ctx: &mut CarveCtx,
+    ) -> Result<u64, Cancelled> {
         let mut steps = 0u64;
         // First step scans every alive node; later steps only nodes
         // exposed by the previous step's joins.
@@ -231,6 +244,7 @@ impl<'g> Run<'g> {
         let step_cap = 16 * (self.alive.len() as u64 + 4) * (self.id_bits as u64 + 1);
 
         loop {
+            ctx.checkpoint("rg20-growth-step")?;
             let requests = self.collect_requests(bit, candidates.iter().copied());
             if requests.is_empty() {
                 break;
@@ -296,7 +310,7 @@ impl<'g> Run<'g> {
             next.dedup();
             candidates = next;
         }
-        steps
+        Ok(steps)
     }
 
     /// Moves `v` into the cluster labelled `l` via gateway `w`.
@@ -340,7 +354,12 @@ impl<'g> Run<'g> {
     /// GGR21-style rebuild: replace deep trees with truncated BFS trees
     /// from their roots over the *input* set (dead nodes may serve as
     /// helpers, exactly as the incremental trees allow).
-    fn rebuild_trees(&mut self, threshold: u32, ledger: &mut RoundLedger, ctx: &mut CarveCtx) {
+    fn rebuild_trees(
+        &mut self,
+        threshold: u32,
+        ledger: &mut RoundLedger,
+        ctx: &mut CarveCtx,
+    ) -> Result<(), Cancelled> {
         let labels: Vec<u64> = self
             .trees
             .iter()
@@ -348,7 +367,7 @@ impl<'g> Run<'g> {
             .map(|(&l, _)| l)
             .collect();
         if labels.is_empty() {
-            return;
+            return Ok(());
         }
         // One pass over the alive set groups the members of every
         // rebuilt label (instead of one O(n) scan per label).
@@ -366,6 +385,7 @@ impl<'g> Run<'g> {
         {
             let view = self.g.view(&self.input);
             for &l in &labels {
+                ctx.checkpoint("rg20-tree-rebuild")?;
                 let root = self.trees[&l].root;
                 let members = &members_of[&l];
                 let mut scratch = RoundLedger::new();
@@ -436,6 +456,7 @@ impl<'g> Run<'g> {
             .map(|t| t.depth)
             .max()
             .unwrap_or(0);
+        Ok(())
     }
 
     /// Final clusters and forest.
@@ -491,12 +512,22 @@ impl Rg20 {
         ledger: &mut RoundLedger,
     ) -> WeakCarving {
         self.carve_in(g, alive, eps, ledger, &mut CarveCtx::new())
+            .expect("unarmed ctx never cancels")
     }
 
     /// [`carve`](Self::carve) with a caller-held [`CarveCtx`]: the
     /// per-phase tree rebuilds (the GGR21 variant) run their BFS through
-    /// the context's traversal workspace. Output bit-identical to
-    /// [`carve`](Self::carve).
+    /// the context's traversal workspace, and the context's armed
+    /// deadline is honored at every traversal epoch — once per bit
+    /// phase, once per growth step inside a phase, and once per rebuilt
+    /// tree — so the abort latency is bounded by a single epoch, not a
+    /// whole blue/red sweep. Output bit-identical to
+    /// [`carve`](Self::carve) when it completes.
+    ///
+    /// # Errors
+    ///
+    /// [`Cancelled`] when the armed deadline trips at an epoch boundary;
+    /// the context stays safely reusable.
     ///
     /// # Panics
     ///
@@ -508,24 +539,25 @@ impl Rg20 {
         eps: f64,
         ledger: &mut RoundLedger,
         ctx: &mut CarveCtx,
-    ) -> WeakCarving {
+    ) -> Result<WeakCarving, Cancelled> {
         assert!(eps > 0.0 && eps < 1.0, "eps must lie in (0,1), got {eps}");
         if alive.is_empty() {
             let carving = BallCarving::new(alive.clone(), vec![]).expect("empty carving");
-            return WeakCarving::new(carving, SteinerForest::new()).expect("empty forest");
+            return Ok(WeakCarving::new(carving, SteinerForest::new()).expect("empty forest"));
         }
         let mut run = Run::new(g, alive);
         let b = run.id_bits;
         let eps_p = eps / b as f64;
         for bit in (0..b).rev() {
-            run.phase(bit, eps_p, ledger);
+            ctx.checkpoint("rg20-bit-phase")?;
+            run.phase(bit, eps_p, ledger, ctx)?;
             if self.config.rebuild_trees {
-                run.rebuild_trees(self.config.rebuild_depth_threshold, ledger, ctx);
+                run.rebuild_trees(self.config.rebuild_depth_threshold, ledger, ctx)?;
             }
         }
         let out = run.finish();
         debug_assert!(out.carving().dead_fraction() <= eps + 1e-9);
-        out
+        Ok(out)
     }
 
     /// Measured high-water marks `(max tree depth, congestion)` are
@@ -554,7 +586,7 @@ impl WeakCarver for Rg20 {
         eps: f64,
         ledger: &mut RoundLedger,
         ctx: &mut CarveCtx,
-    ) -> WeakCarving {
+    ) -> Result<WeakCarving, Cancelled> {
         self.carve_in(g, alive, eps, ledger, ctx)
     }
 

@@ -141,6 +141,22 @@ commands:
              estimates with a reported error band; --timing appends the
              per-phase wall clock (load, structural gates, diameter
              sweeps, total) to the exact-tier report
+  serve      [--socket /path.sock] [--queue N] [--lru N] [--graph SPEC]
+             runs the decomposition daemon: graphs load once, then a
+             newline-framed request mix (load, decompose, carve,
+             cluster-of, distance-in-cluster, validate[:approx], stats,
+             shutdown) is served over stdin/stdout (default) or a Unix
+             socket (--socket; the path must not exist). Finished
+             decompositions live in an LRU keyed by (graph content
+             hash, algorithm, eps, seed). `deadline=<ms>` on any
+             request arms a cooperative wall-clock budget checked at
+             pipeline phase boundaries (`err cancelled phase=...`);
+             beyond --queue (default 32) in-flight requests, admission
+             sheds with `err overloaded retry-after-ms=...`; `validate`
+             under a tight budget degrades exact -> approx and reports
+             the answering tier; a panicking request poisons only the
+             carving session, which is rebuilt. --graph preloads a
+             graph (a path, or grid:RxC | cycle:N | path:N | gnp:N:SEED)
 
 weights:
   uniform:lo,hi  seeded per-edge weights, integer-valued when lo and hi
@@ -179,6 +195,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
         "carve" => cmd_carve(&opts),
         "simulate" => cmd_simulate(&opts),
         "validate" => cmd_validate(&opts),
+        "serve" => cmd_serve(&opts),
         other => Err(format!("unknown command `{other}`").into()),
     }
 }
@@ -1168,7 +1185,8 @@ fn cmd_validate(opts: &Opts) -> Result<(), CliError> {
         &g,
         &d,
         &mut sdnd_clustering::CarveCtx::new(),
-    );
+    )
+    .expect("unarmed ctx never cancels");
     println!("clusters:       {}", d.num_clusters());
     println!("colors:         {}", d.num_colors());
     // The structural checks (non-adjacency, connectivity, colors) are
@@ -1220,6 +1238,27 @@ fn cmd_validate(opts: &Opts) -> Result<(), CliError> {
         println!("time total:     {:.3} ms", ms(total_start.elapsed()));
     }
     Ok(())
+}
+
+fn cmd_serve(opts: &Opts) -> Result<(), CliError> {
+    let config = sdnd_serve::ServeConfig {
+        queue_cap: opts.usize_or("queue", 32)?,
+        lru_cap: opts.usize_or("lru", 8)?,
+        preload: opts.get("graph").map(String::from),
+    };
+    match opts.get("socket") {
+        Some(path) => {
+            let path = std::path::PathBuf::from(path);
+            let handle = sdnd_serve::spawn_unix(&path, &config)
+                .map_err(|e| CliError::runtime(format!("bind {}: {e}", path.display())))?;
+            eprintln!("sdnd serve: listening on {}", path.display());
+            handle.join();
+            let _ = std::fs::remove_file(&path);
+            Ok(())
+        }
+        None => sdnd_serve::run_stdio(&config)
+            .map_err(|e| CliError::runtime(format!("stdio serve: {e}"))),
+    }
 }
 
 #[cfg(test)]

@@ -22,6 +22,10 @@
 //! - [`baselines`] — MPX13/EN16 random shifts, the ABCP96 LOCAL
 //!   transformation, and the sequential existential carving
 //!   ([`sdnd_baselines`]).
+//! - [`serve`] — the `sdnd serve` daemon: graphs load once, requests
+//!   (decompose, carve, point queries, validate) arrive over a framed
+//!   line protocol with cooperative deadlines, admission control, and
+//!   an LRU of finished decompositions ([`sdnd_serve`]).
 //!
 //! # Quickstart
 //!
@@ -52,6 +56,7 @@ pub use sdnd_clustering as clustering;
 pub use sdnd_congest as congest;
 pub use sdnd_core as core;
 pub use sdnd_graph as graph;
+pub use sdnd_serve as serve;
 pub use sdnd_weak as weak;
 
 /// Commonly used items, re-exported for `use sdnd::prelude::*`.

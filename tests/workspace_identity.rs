@@ -10,7 +10,7 @@
 use proptest::prelude::*;
 use sdnd::clustering::{
     metrics, validate_carving, validate_carving_in, validate_decomposition,
-    validate_decomposition_in, BallCarving, CarveCtx, StrongCarver,
+    validate_decomposition_in, BallCarving, Cancelled, CarveCtx, StrongCarver,
 };
 use sdnd::congest::RoundLedger;
 use sdnd::core::{sparse_cut, Params, Theorem22Carver, Theorem33Carver};
@@ -54,7 +54,8 @@ proptest! {
                 .carve_strong(&g, &alive, eps, &mut lf);
             let mut lw = RoundLedger::new();
             let shared = Theorem22Carver::new(params.clone())
-                .carve_strong_in(&g, &alive, eps, &mut lw, &mut ctx);
+                .carve_strong_in(&g, &alive, eps, &mut lw, &mut ctx)
+                .expect("unarmed ctx never cancels");
             prop_assert_eq!(fresh.clusters(), shared.clusters(), "thm2.2 clusters");
             prop_assert_eq!(fresh.dead(), shared.dead(), "thm2.2 dead set");
             prop_assert_eq!(lf, lw, "thm2.2 ledger");
@@ -65,7 +66,8 @@ proptest! {
                 .carve_strong(&g, &alive, eps, &mut lf);
             let mut lw = RoundLedger::new();
             let shared = Theorem33Carver::new(params.clone())
-                .carve_strong_in(&g, &alive, eps, &mut lw, &mut ctx);
+                .carve_strong_in(&g, &alive, eps, &mut lw, &mut ctx)
+                .expect("unarmed ctx never cancels");
             prop_assert_eq!(fresh.clusters(), shared.clusters(), "thm3.3 clusters");
             prop_assert_eq!(lf, lw, "thm3.3 ledger");
 
@@ -73,7 +75,8 @@ proptest! {
             let mut lf = RoundLedger::new();
             let fresh = sdnd::core::decompose_strong_with(&g, &params, &mut lf);
             let mut lw = RoundLedger::new();
-            let shared = sdnd::core::decompose_strong_with_in(&g, &params, &mut lw, &mut ctx);
+            let shared = sdnd::core::decompose_strong_with_in(&g, &params, &mut lw, &mut ctx)
+                .expect("unarmed ctx never cancels");
             prop_assert_eq!(&fresh, &shared, "thm2.3 decomposition");
             prop_assert_eq!(lf, lw, "thm2.3 ledger");
 
@@ -81,7 +84,8 @@ proptest! {
             let fresh = sdnd::core::decompose_strong_improved_with(&g, &params, &mut lf);
             let mut lw = RoundLedger::new();
             let shared =
-                sdnd::core::decompose_strong_improved_with_in(&g, &params, &mut lw, &mut ctx);
+                sdnd::core::decompose_strong_improved_with_in(&g, &params, &mut lw, &mut ctx)
+                    .expect("unarmed ctx never cancels");
             prop_assert_eq!(&fresh, &shared, "thm3.4 decomposition");
             prop_assert_eq!(lf, lw, "thm3.4 ledger");
         }
@@ -102,7 +106,8 @@ proptest! {
             let fresh = sparse_cut::cut_or_component(&g, &alive, 0.5, &params, &mut lf);
             let mut lw = RoundLedger::new();
             let shared =
-                sparse_cut::cut_or_component_in(&g, &alive, 0.5, &params, &mut lw, &mut ctx);
+                sparse_cut::cut_or_component_in(&g, &alive, 0.5, &params, &mut lw, &mut ctx)
+                    .expect("unarmed ctx never cancels");
             prop_assert_eq!(lf, lw, "cut ledger");
             match (&fresh, &shared) {
                 (
@@ -168,13 +173,15 @@ proptest! {
         let carving = Theorem22Carver::default()
             .carve_strong(&g, &NodeSet::full(g.n()), 0.5, &mut ledger);
         let fresh = validate_carving(&g, &carving);
-        let shared = validate_carving_in(&g, &carving, &mut ctx);
+        let shared =
+            validate_carving_in(&g, &carving, &mut ctx).expect("unarmed ctx never cancels");
         prop_assert_eq!(format!("{fresh:?}"), format!("{shared:?}"), "carving report");
 
         let mut ledger = RoundLedger::new();
         let d = sdnd::core::decompose_strong_with(&g, &Params::default(), &mut ledger);
         let fresh = validate_decomposition(&g, &d);
-        let shared = validate_decomposition_in(&g, &d, &mut ctx);
+        let shared =
+            validate_decomposition_in(&g, &d, &mut ctx).expect("unarmed ctx never cancels");
         prop_assert_eq!(format!("{fresh:?}"), format!("{shared:?}"), "decomposition report");
     }
 }
@@ -202,7 +209,7 @@ impl StrongCarver for PanickyCarver {
         eps: f64,
         ledger: &mut RoundLedger,
         ctx: &mut CarveCtx,
-    ) -> BallCarving {
+    ) -> Result<BallCarving, Cancelled> {
         // Exercise the workspace for real, then unwind with scratch and
         // pooled sets in a half-used state.
         let _ = sparse_cut::cut_or_component_in(g, alive, eps, &Params::default(), ledger, ctx);
@@ -235,12 +242,14 @@ fn workspace_survives_a_panicking_carve() {
     let mut lf = RoundLedger::new();
     let fresh = Theorem22Carver::default().carve_strong(&g, &alive, 0.5, &mut lf);
     let mut lw = RoundLedger::new();
-    let reused = Theorem22Carver::default().carve_strong_in(&g, &alive, 0.5, &mut lw, &mut ctx);
+    let reused = Theorem22Carver::default()
+        .carve_strong_in(&g, &alive, 0.5, &mut lw, &mut ctx)
+        .expect("unarmed ctx never cancels");
     assert_eq!(fresh.clusters(), reused.clusters());
     assert_eq!(fresh.dead(), reused.dead());
     assert_eq!(lf, lw, "ledger after panic recovery");
 
-    let report = validate_carving_in(&g, &reused, &mut ctx);
+    let report = validate_carving_in(&g, &reused, &mut ctx).expect("unarmed ctx never cancels");
     assert!(report.is_valid_strong(0.5), "{:?}", report.violations);
 }
 
@@ -257,7 +266,8 @@ fn one_context_across_many_graphs_and_universes() {
         let fresh = Theorem33Carver::new(params.clone()).carve_strong(&g, &alive, 0.5, &mut lf);
         let mut lw = RoundLedger::new();
         let shared = Theorem33Carver::new(params.clone())
-            .carve_strong_in(&g, &alive, 0.5, &mut lw, &mut ctx);
+            .carve_strong_in(&g, &alive, 0.5, &mut lw, &mut ctx)
+            .expect("unarmed ctx never cancels");
         assert_eq!(fresh.clusters(), shared.clusters(), "n={n}");
         assert_eq!(lf, lw, "n={n}");
     }
